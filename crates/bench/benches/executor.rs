@@ -1,0 +1,62 @@
+//! Executor benchmarks: one relaxation sweep under the Kali run-time system
+//! vs the hand-coded halo exchange (§1's "virtually identical" claim) and
+//! the communication-overlap ablation (the paper's Figure 3 code shape).
+//!
+//! Host wall-clock is what Criterion reports; the corresponding *simulated*
+//! times appear in the table binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use baseline::handcoded_jacobi;
+use distrib::DimDist;
+use dmsim::{CostModel, Machine};
+use meshes::{RegularGrid, UnstructuredMeshBuilder};
+use solvers::{jacobi_sweeps, JacobiConfig};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_sweep");
+    group.sample_size(10);
+    let procs = 8usize;
+    let grid = RegularGrid::square(64);
+    let grid_mesh = grid.five_point_mesh();
+    let grid_initial = grid.initial_field();
+    let unstructured = UnstructuredMeshBuilder::new(64, 64).seed(11).build();
+    let unstructured_initial: Vec<f64> = (0..unstructured.len()).map(|i| (i % 7) as f64).collect();
+
+    for (name, mesh, initial) in [
+        ("regular_grid_64x64", &grid_mesh, &grid_initial),
+        ("unstructured_64x64", &unstructured, &unstructured_initial),
+    ] {
+        let machine = Machine::new(procs, CostModel::ncube7());
+        group.bench_with_input(BenchmarkId::new("kali_overlap", name), &(), |b, _| {
+            b.iter(|| {
+                machine.run(|proc| {
+                    let dist = DimDist::block(mesh.len(), proc.nprocs());
+                    jacobi_sweeps(proc, mesh, &dist, initial, &JacobiConfig::with_sweeps(5))
+                        .total_time
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kali_no_overlap", name), &(), |b, _| {
+            b.iter(|| {
+                machine.run(|proc| {
+                    let dist = DimDist::block(mesh.len(), proc.nprocs());
+                    let config = JacobiConfig {
+                        sweeps: 5,
+                        overlap: false,
+                        ..JacobiConfig::default()
+                    };
+                    jacobi_sweeps(proc, mesh, &dist, initial, &config).total_time
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("handcoded", name), &(), |b, _| {
+            b.iter(|| {
+                machine.run(|proc| handcoded_jacobi(proc, mesh, initial, 5).total_time)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation A1: the paper's schedule representation.
+//!
+//! §3.3 argues for dynamically allocated, sorted arrays of coalesced range
+//! records: `O(log r)` access by binary search and compact messages, at the
+//! price of `O(r)` insertion.  This bench compares element lookup through
+//! the range records against the obvious alternative the paper rejects — a
+//! per-element hash map — for schedules of increasing fragmentation.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use distrib::IndexSet;
+use kali_core::CommSchedule;
+
+/// Build a schedule whose receive set consists of `ranges` ranges of
+/// `range_len` elements each, spread over 7 source processors.
+fn build_schedule(ranges: usize, range_len: usize) -> CommSchedule {
+    let nprocs = 8usize;
+    let mut sets = vec![IndexSet::new(); nprocs];
+    for r in 0..ranges {
+        let src = 1 + (r % (nprocs - 1));
+        let start = r * (range_len + 3); // gaps keep ranges from coalescing
+        sets[src].insert_range(distrib::IndexRange::new(start, start + range_len));
+    }
+    CommSchedule::from_recv_sets(0, &sets, vec![], vec![])
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_lookup");
+    for &ranges in &[4usize, 64, 1024] {
+        let range_len = 8usize;
+        let schedule = build_schedule(ranges, range_len);
+        // Probe set: every received element once.
+        let probes: Vec<usize> = schedule.recv_index_set().iter().collect();
+        // The alternative representation: element -> buffer slot hash map.
+        let map: HashMap<usize, usize> = probes
+            .iter()
+            .map(|&g| (g, schedule.find(g).unwrap()))
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("range_records_binary_search", ranges),
+            &ranges,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &g in &probes {
+                        acc += schedule.find(black_box(g)).unwrap();
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_element_hash_map", ranges),
+            &ranges,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &g in &probes {
+                        acc += *map.get(&black_box(g)).unwrap();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Run every reproduction table in one go (set KALI_QUICK=1 for a fast pass).
+fn main() {
+    bench_tables::print_table(
+        "Figure 7: NCUBE/7, varying processors (128x128, 100 sweeps)",
+        &bench_tables::measure_fig7(),
+        bench_tables::PAPER_FIG7_NCUBE_PROCS,
+    );
+    bench_tables::print_table(
+        "Figure 8: iPSC/2, varying processors (128x128, 100 sweeps)",
+        &bench_tables::measure_fig8(),
+        bench_tables::PAPER_FIG8_IPSC_PROCS,
+    );
+    bench_tables::print_table(
+        "Figure 9: NCUBE/7, varying problem size (128 processors, 100 sweeps)",
+        &bench_tables::measure_fig9(),
+        bench_tables::PAPER_FIG9_NCUBE_MESH,
+    );
+    bench_tables::print_table(
+        "Figure 10: iPSC/2, varying problem size (32 processors, 100 sweeps)",
+        &bench_tables::measure_fig10(),
+        bench_tables::PAPER_FIG10_IPSC_MESH,
+    );
+}

@@ -1,0 +1,38 @@
+//! §3.2 claim: saving the inspector's sets between executions amortises the
+//! run-time analysis over many sweeps.  Sweep count is varied; with the
+//! schedule cache the inspector cost is constant, without it it grows
+//! linearly.
+use dmsim::CostModel;
+use solvers::{run_jacobi_experiment, ExperimentParams};
+
+fn main() {
+    let quick = bench_tables::quick_mode();
+    let sweeps: Vec<usize> = if quick { vec![1, 5, 10] } else { vec![1, 10, 100, 1000] };
+    println!("\n=== Schedule-cache amortisation (NCUBE/7, 64x64 mesh, 16 processors) ===");
+    println!("{:>8}  {:>18}  {:>18}  {:>22}", "sweeps", "overhead (cached)", "overhead (no cache)", "inspector (no cache, s)");
+    for &s in &sweeps {
+        let base = ExperimentParams {
+            cost: CostModel::ncube7(),
+            nprocs: 16,
+            mesh_side: 64,
+            sweeps: s,
+            compute_speedup: false,
+            extrapolate_from: None,
+            overlap: true,
+            disable_schedule_cache: false,
+        };
+        let cached = run_jacobi_experiment(&base);
+        let uncached = run_jacobi_experiment(&ExperimentParams {
+            disable_schedule_cache: true,
+            ..base
+        });
+        println!(
+            "{:>8}  {:>17.1}%  {:>17.1}%  {:>22.2}",
+            s,
+            cached.times.inspector_overhead() * 100.0,
+            uncached.times.inspector_overhead() * 100.0,
+            uncached.times.inspector
+        );
+    }
+    println!("(the paper's tables assume 100 sweeps with the cached inspector)");
+}

@@ -1,0 +1,9 @@
+//! Figure 10: iPSC/2, 100 sweeps on 32 processors, varying mesh size.
+fn main() {
+    let rows = bench_tables::measure_fig10();
+    bench_tables::print_table(
+        "Figure 10: run-time analysis, varying problem size (iPSC/2, 32 processors, 100 sweeps)",
+        &rows,
+        bench_tables::PAPER_FIG10_IPSC_MESH,
+    );
+}

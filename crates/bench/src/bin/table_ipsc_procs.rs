@@ -1,0 +1,9 @@
+//! Figure 8: iPSC/2, 100 sweeps over a 128×128 mesh, varying processors.
+fn main() {
+    let rows = bench_tables::measure_fig8();
+    bench_tables::print_table(
+        "Figure 8: run-time analysis, varying processors (iPSC/2, 128x128, 100 sweeps)",
+        &rows,
+        bench_tables::PAPER_FIG8_IPSC_PROCS,
+    );
+}

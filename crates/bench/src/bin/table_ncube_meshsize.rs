@@ -1,0 +1,9 @@
+//! Figure 9: NCUBE/7, 100 sweeps on 128 processors, varying mesh size.
+fn main() {
+    let rows = bench_tables::measure_fig9();
+    bench_tables::print_table(
+        "Figure 9: run-time analysis, varying problem size (NCUBE/7, 128 processors, 100 sweeps)",
+        &rows,
+        bench_tables::PAPER_FIG9_NCUBE_MESH,
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 7: NCUBE/7, 100 sweeps over a 128×128 mesh, varying processors.
+fn main() {
+    let rows = bench_tables::measure_fig7();
+    bench_tables::print_table(
+        "Figure 7: run-time analysis, varying processors (NCUBE/7, 128x128, 100 sweeps)",
+        &rows,
+        bench_tables::PAPER_FIG7_NCUBE_PROCS,
+    );
+}

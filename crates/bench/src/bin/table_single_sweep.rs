@@ -1,0 +1,31 @@
+//! §4 narrative claim: worst-case (single-sweep) inspector overhead.
+//!
+//! "In the worst case, where one performs only one sweep, the inspector
+//! overhead on the NCUBE would range from 45% on 2 processors to 93% on 128
+//! processors, while on the iPSC it ranges from 35% to 41%."
+use dmsim::CostModel;
+use solvers::{run_jacobi_experiment, ExperimentParams};
+
+fn main() {
+    println!("\n=== Single-sweep (worst case) inspector overhead ===");
+    println!("{:>10}  {:>6}  {:>14}  {:>14}  {:>10}", "machine", "procs", "executor (s)", "inspector (s)", "overhead");
+    for (cost, procs) in [
+        (CostModel::ncube7(), vec![2usize, 4, 8, 16, 32, 64, 128]),
+        (CostModel::ipsc2(), vec![2, 4, 8, 16, 32]),
+    ] {
+        for p in procs {
+            let params = ExperimentParams {
+                sweeps: 1,
+                extrapolate_from: None,
+                ..ExperimentParams::paper_processor_row(cost.clone(), p)
+            };
+            let row = run_jacobi_experiment(&params);
+            println!(
+                "{:>10}  {:>6}  {:>14.3}  {:>14.3}  {:>9.1}%",
+                row.machine, row.nprocs, row.times.executor, row.times.inspector,
+                row.times.inspector_overhead() * 100.0
+            );
+        }
+    }
+    println!("(paper: NCUBE 45%..93% from 2..128 processors; iPSC 35%..41%)");
+}

@@ -1,0 +1,24 @@
+//! Communication analysis (paper §3).
+//!
+//! The paper gives one framework with two instantiations:
+//!
+//! * **Compile-time analysis** (§3.2, and reference \[3\]) — when the
+//!   subscript functions and distributions admit closed forms, the sets
+//!   `exec(p)`, `ref(p)`, `in(p,q)` and `out(p,q)` can be computed
+//!   symbolically and no run-time set computation is needed at all.
+//!   [`compile_time::analyze`] does this for affine subscripts
+//!   `g(i) = ±i + c` under any of the supported distributions.
+//! * **Run-time analysis** (§3.3) — when the subscripts involve run-time
+//!   data (`old_a[adj[i, j]]`), the sets are computed by the *inspector*
+//!   (see [`crate::inspector`]) the first time the loop runs and cached for
+//!   later executions.
+//!
+//! Both paths produce the same [`crate::schedule::CommSchedule`] type, and a
+//! property test in the integration suite checks that they agree whenever
+//! the compile-time path applies.
+
+pub mod affine;
+pub mod compile_time;
+
+pub use affine::AffineMap;
+pub use compile_time::{analyze, LoopSpec};

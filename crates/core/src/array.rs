@@ -1,0 +1,243 @@
+//! Distributed arrays: the local piece plus the global view.
+//!
+//! A [`DistArray`] is what one processor holds of a Kali distributed array:
+//! its owned rows (in local, contiguous storage) plus the distribution, so
+//! that global indices can be translated, ownership can be tested, and
+//! non-owned accesses can be routed through a communication schedule.
+//!
+//! Arrays may have a second, non-distributed dimension (`dist by [block, *]`
+//! in the paper — `adj` and `coef` in Figure 4): `row_width` is the extent
+//! of that dimension, 1 for ordinary one-dimensional arrays.
+
+use distrib::DimDist;
+use dmsim::collectives;
+use dmsim::Proc;
+
+/// The local portion of a distributed array on one processor.
+#[derive(Debug, Clone)]
+pub struct DistArray<T> {
+    dist: DimDist,
+    row_width: usize,
+    rank: usize,
+    local: Vec<T>,
+}
+
+impl<T: Clone + Default> DistArray<T> {
+    /// Create an array filled with `T::default()`.
+    pub fn new(dist: DimDist, row_width: usize, rank: usize) -> Self {
+        assert!(row_width > 0, "row width must be positive");
+        assert!(rank < dist.nprocs(), "rank outside the processor array");
+        let rows = dist.local_count(rank);
+        DistArray {
+            dist,
+            row_width,
+            rank,
+            local: vec![T::default(); rows * row_width],
+        }
+    }
+}
+
+impl<T: Clone> DistArray<T> {
+    /// Create an array by scattering a globally replicated initial value.
+    ///
+    /// `global` must have `dist.n() * row_width` elements in row-major
+    /// order.  Each processor keeps only its own rows.  (The paper's set-up
+    /// code builds `adj`/`coef` this way; set-up is outside the timed
+    /// sections.)
+    pub fn scatter_from(dist: DimDist, row_width: usize, rank: usize, global: &[T]) -> Self {
+        assert!(row_width > 0, "row width must be positive");
+        assert_eq!(
+            global.len(),
+            dist.n() * row_width,
+            "global initialiser has the wrong length"
+        );
+        let rows = dist.local_count(rank);
+        let mut local = Vec::with_capacity(rows * row_width);
+        for l in 0..rows {
+            let g = dist.global_index(rank, l);
+            local.extend_from_slice(&global[g * row_width..(g + 1) * row_width]);
+        }
+        DistArray {
+            dist,
+            row_width,
+            rank,
+            local,
+        }
+    }
+
+    /// The distribution of the (first dimension of the) array.
+    pub fn dist(&self) -> &DimDist {
+        &self.dist
+    }
+
+    /// Extent of the non-distributed second dimension (1 for 1-D arrays).
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Rank of the processor owning this local piece.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of rows stored locally.
+    pub fn local_rows(&self) -> usize {
+        self.dist.local_count(self.rank)
+    }
+
+    /// The raw local storage (row-major, `local_rows × row_width`).
+    pub fn local(&self) -> &[T] {
+        &self.local
+    }
+
+    /// Mutable access to the raw local storage.
+    pub fn local_mut(&mut self) -> &mut [T] {
+        &mut self.local
+    }
+
+    /// True when this processor owns global row `i` — the `.loc` test of the
+    /// paper's `on` clauses.
+    pub fn owns(&self, i: usize) -> bool {
+        self.dist.is_local(self.rank, i)
+    }
+
+    /// The owner of global row `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        self.dist.owner(i)
+    }
+
+    /// Read element `(global row, column)`; panics if the row is not owned.
+    pub fn get(&self, i: usize, j: usize) -> &T {
+        assert!(self.owns(i), "rank {} does not own global row {i}", self.rank);
+        debug_assert!(j < self.row_width);
+        &self.local[self.dist.local_index(i) * self.row_width + j]
+    }
+
+    /// Write element `(global row, column)`; panics if the row is not owned.
+    pub fn set(&mut self, i: usize, j: usize, value: T) {
+        assert!(self.owns(i), "rank {} does not own global row {i}", self.rank);
+        debug_assert!(j < self.row_width);
+        let l = self.dist.local_index(i) * self.row_width + j;
+        self.local[l] = value;
+    }
+
+    /// The owned slice of global row `i`.
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(self.owns(i), "rank {} does not own global row {i}", self.rank);
+        let l = self.dist.local_index(i) * self.row_width;
+        &self.local[l..l + self.row_width]
+    }
+
+    /// Local row slice by *local* row index.
+    pub fn local_row(&self, l: usize) -> &[T] {
+        &self.local[l * self.row_width..(l + 1) * self.row_width]
+    }
+
+    /// Iterate over the global row indices owned by this processor, in
+    /// ascending order.
+    pub fn owned_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        let rank = self.rank;
+        let dist = self.dist.clone();
+        (0..self.local_rows()).map(move |l| dist.global_index(rank, l))
+    }
+}
+
+impl<T: Clone + Send + Default + 'static> DistArray<T> {
+    /// Gather the full global array onto every processor (an allgather).
+    ///
+    /// Only used for verification and small demos — production code never
+    /// needs the whole array in one place, which is the point of the paper.
+    pub fn gather(&self, proc: &mut Proc) -> Vec<T> {
+        let n = self.dist.n();
+        let mut payload: Vec<(usize, T)> = Vec::with_capacity(self.local.len());
+        for l in 0..self.local_rows() {
+            let g = self.dist.global_index(self.rank, l);
+            for j in 0..self.row_width {
+                payload.push((
+                    g * self.row_width + j,
+                    self.local[l * self.row_width + j].clone(),
+                ));
+            }
+        }
+        let bytes = payload.len() * std::mem::size_of::<(usize, T)>();
+        let pieces = collectives::allgather(proc, payload, bytes);
+        let mut out = vec![T::default(); n * self.row_width];
+        for piece in pieces {
+            for (flat, value) in piece {
+                out[flat] = value;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsim::{CostModel, Machine};
+
+    #[test]
+    fn scatter_keeps_only_owned_rows() {
+        let global: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let dist = DimDist::block(12, 3);
+        let a = DistArray::scatter_from(dist, 1, 1, &global);
+        assert_eq!(a.local(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(a.local_rows(), 4);
+        assert!(a.owns(5));
+        assert!(!a.owns(2));
+        assert_eq!(*a.get(5, 0), 5.0);
+    }
+
+    #[test]
+    fn two_dimensional_rows_stay_together() {
+        // 4 rows x 3 columns, block distributed over 2 processors.
+        let global: Vec<u32> = (0..12).collect();
+        let a = DistArray::scatter_from(DimDist::block(4, 2), 3, 1, &global);
+        assert_eq!(a.row(2), &[6, 7, 8]);
+        assert_eq!(a.row(3), &[9, 10, 11]);
+        assert_eq!(a.local_row(0), &[6, 7, 8]);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut a: DistArray<f64> = DistArray::new(DimDist::cyclic(10, 3), 1, 2);
+        // Rank 2 owns 2, 5, 8 under cyclic(10, 3).
+        a.set(5, 0, 2.5);
+        assert_eq!(*a.get(5, 0), 2.5);
+        let owned: Vec<usize> = a.owned_rows().collect();
+        assert_eq!(owned, vec![2, 5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own")]
+    fn get_unowned_row_panics() {
+        let a: DistArray<f64> = DistArray::new(DimDist::block(10, 2), 1, 0);
+        let _ = a.get(9, 0);
+    }
+
+    #[test]
+    fn gather_reassembles_the_global_array() {
+        let machine = Machine::new(4, CostModel::ideal());
+        let global: Vec<u64> = (0..20).map(|x| x * 3).collect();
+        let results = machine.run(|proc| {
+            let a = DistArray::scatter_from(DimDist::cyclic(20, 4), 1, proc.rank(), &global);
+            a.gather(proc)
+        });
+        for r in results {
+            assert_eq!(r, global);
+        }
+    }
+
+    #[test]
+    fn gather_handles_row_width() {
+        let machine = Machine::new(2, CostModel::ideal());
+        let global: Vec<u32> = (0..24).collect();
+        let results = machine.run(|proc| {
+            let a = DistArray::scatter_from(DimDist::block(6, 2), 4, proc.rank(), &global);
+            a.gather(proc)
+        });
+        for r in results {
+            assert_eq!(r, global);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Schedule caching (paper §3.2).
+//!
+//! "Our run-time analysis takes advantage of this by computing the `exec(p)`
+//! and `ref(p)` sets only the first time they are needed and saving them for
+//! later loop executions.  This amortizes the cost of the run-time analysis
+//! over many repetitions of the forall."
+//!
+//! A [`ScheduleCache`] is a per-processor map from `(loop id, data version)`
+//! to the schedule built by the inspector (or the compile-time analyser).
+//! The *data version* captures the paper's observation that the schedule
+//! stays valid only while the data controlling the subscripts (the `adj`
+//! array) is unchanged; bumping the version forces re-inspection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::schedule::CommSchedule;
+
+/// Key identifying one `forall`'s communication pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopKey {
+    /// Static identity of the loop (one per `forall` in the program text).
+    pub loop_id: u64,
+    /// Version of the run-time data controlling the subscripts.
+    pub data_version: u64,
+}
+
+/// A per-processor cache of communication schedules.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: HashMap<LoopKey, Arc<CommSchedule>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScheduleCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the schedule for `(loop_id, data_version)`, building it with
+    /// `build` on the first request ("the conditional is only executed once
+    /// and the results saved for future executions of the forall").
+    ///
+    /// The builder typically runs the inspector, which is a *collective*
+    /// operation — all processors must therefore miss or hit together, which
+    /// they do because they execute the same program on the same versions.
+    pub fn get_or_build<F>(&mut self, loop_id: u64, data_version: u64, build: F) -> Arc<CommSchedule>
+    where
+        F: FnOnce() -> CommSchedule,
+    {
+        let key = LoopKey {
+            loop_id,
+            data_version,
+        };
+        if let Some(found) = self.map.get(&key) {
+            self.hits += 1;
+            return Arc::clone(found);
+        }
+        self.misses += 1;
+        let schedule = Arc::new(build());
+        self.map.insert(key, Arc::clone(&schedule));
+        schedule
+    }
+
+    /// Forget every schedule derived from older versions of the given loop
+    /// (e.g. after the mesh is adapted).
+    pub fn invalidate_loop(&mut self, loop_id: u64) {
+        self.map.retain(|k, _| k.loop_id != loop_id);
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no schedule is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses (inspector executions) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_schedule(rank: usize) -> CommSchedule {
+        CommSchedule::from_recv_sets(rank, &[], vec![], vec![])
+    }
+
+    #[test]
+    fn builds_once_and_reuses() {
+        let mut cache = ScheduleCache::new();
+        let mut builds = 0;
+        for _sweep in 0..100 {
+            let s = cache.get_or_build(1, 0, || {
+                builds += 1;
+                dummy_schedule(3)
+            });
+            assert_eq!(s.rank, 3);
+        }
+        assert_eq!(builds, 1, "inspector must run exactly once for 100 sweeps");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 99);
+    }
+
+    #[test]
+    fn different_loops_and_versions_are_distinct() {
+        let mut cache = ScheduleCache::new();
+        cache.get_or_build(1, 0, || dummy_schedule(0));
+        cache.get_or_build(2, 0, || dummy_schedule(1));
+        cache.get_or_build(1, 1, || dummy_schedule(2));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        // Same keys hit.
+        cache.get_or_build(2, 0, || unreachable!("must hit the cache"));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn version_bump_forces_reinspection() {
+        let mut cache = ScheduleCache::new();
+        let mut builds = 0;
+        for version in 0..5u64 {
+            for _sweep in 0..10 {
+                cache.get_or_build(7, version, || {
+                    builds += 1;
+                    dummy_schedule(0)
+                });
+            }
+        }
+        assert_eq!(builds, 5, "one inspector run per adj-array version");
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut cache = ScheduleCache::new();
+        cache.get_or_build(1, 0, || dummy_schedule(0));
+        cache.get_or_build(2, 0, || dummy_schedule(0));
+        cache.invalidate_loop(1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! The executor: carry out one execution of a `forall` under a schedule.
+//!
+//! Figure 3 of the paper gives the structure generated for every `forall`:
+//!
+//! ```text
+//! -- Send messages to other processors
+//! for each q with out(p,q) ≠ ∅:  send(q, out(p,q))
+//! -- Do local iterations
+//! for each i ∈ exec(p) ∩ ref(p): …A[g(i)]…
+//! -- Receive messages from other processors
+//! for each q with in(p,q) ≠ ∅:   tmp[in(p,q)] := recv(q)
+//! -- Do nonlocal iterations
+//! for each i ∈ exec(p) − ref(p): …tmp[g(i)]…
+//! ```
+//!
+//! Doing the local iterations *between* the sends and the receives overlaps
+//! communication with computation; the received elements live in a
+//! communication buffer addressed through the binary-searchable range
+//! records of the [`CommSchedule`].
+
+use distrib::DimDist;
+use dmsim::{Proc, Tag};
+
+use crate::schedule::CommSchedule;
+
+/// Tag space reserved for executor data messages; the caller supplies a
+/// per-execution offset (e.g. the sweep number) to keep successive sweeps
+/// distinct.
+const EXECUTOR_TAG_BASE: Tag = 1 << 40;
+
+/// Knobs for the executor, mostly used by the ablation benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Overlap communication with the local iterations (the paper's code
+    /// shape).  When `false`, messages are received immediately after they
+    /// are sent and the local iterations run afterwards.
+    pub overlap: bool,
+    /// Tag offset distinguishing successive executions (sweep number).
+    pub tag: Tag,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            overlap: true,
+            tag: 0,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Configuration for sweep number `sweep` with overlap enabled.
+    pub fn sweep(sweep: usize) -> Self {
+        ExecutorConfig {
+            overlap: true,
+            tag: sweep as Tag,
+        }
+    }
+}
+
+/// Resolves global indices of the referenced array to values, charging the
+/// appropriate access costs: local accesses translate the index, nonlocal
+/// accesses binary-search the communication buffer (the "search overhead …
+/// unique to our system", §4).
+pub struct Fetcher<'a, T> {
+    proc: &'a mut Proc,
+    dist: &'a DimDist,
+    rank: usize,
+    ranges: usize,
+    local_data: &'a [T],
+    recv_buf: &'a [T],
+    schedule: &'a CommSchedule,
+}
+
+impl<'a, T: Copy> Fetcher<'a, T> {
+    /// Fetch the value of global element `g` of the referenced array.
+    ///
+    /// Panics if `g` is neither owned nor covered by the schedule — that
+    /// means the schedule was built for a different reference pattern, which
+    /// is a correctness bug (the paper's system would read garbage).
+    pub fn fetch(&mut self, g: usize) -> T {
+        if self.dist.is_local(self.rank, g) {
+            self.proc.charge_seconds(self.proc.cost().local_access());
+            self.local_data[self.dist.local_index(g)]
+        } else {
+            self.proc
+                .charge_seconds(self.proc.cost().nonlocal_access(self.ranges));
+            let pos = self.schedule.find(g).unwrap_or_else(|| {
+                panic!(
+                    "global index {g} is neither local to rank {} nor in its receive schedule",
+                    self.rank
+                )
+            });
+            self.recv_buf[pos]
+        }
+    }
+
+    /// True when the element is stored locally (no communication needed).
+    pub fn is_local(&self, g: usize) -> bool {
+        self.dist.is_local(self.rank, g)
+    }
+
+    /// Access the underlying processor handle, e.g. to charge the cost of
+    /// the loop body's own arithmetic.
+    pub fn proc(&mut self) -> &mut Proc {
+        self.proc
+    }
+}
+
+/// Execute one sweep of a `forall` whose nonlocal data movement is described
+/// by `schedule`.
+///
+/// * `data_dist` / `local_data` — distribution and local storage of the
+///   array referenced inside the loop body (the paper's `old_a`).
+/// * `body` — the loop body; it receives the global iteration index and a
+///   [`Fetcher`] for reading referenced elements.
+///
+/// Every processor must call this collectively.  Returns the number of
+/// iterations executed locally (for reporting).
+pub fn execute_sweep<T, F>(
+    proc: &mut Proc,
+    config: ExecutorConfig,
+    schedule: &CommSchedule,
+    data_dist: &DimDist,
+    local_data: &[T],
+    mut body: F,
+) -> usize
+where
+    T: Copy + Send + 'static,
+    F: FnMut(usize, &mut Fetcher<'_, T>),
+{
+    let rank = proc.rank();
+    debug_assert_eq!(schedule.rank, rank, "schedule belongs to a different processor");
+    let tag = EXECUTOR_TAG_BASE + config.tag;
+
+    // ---- Send phase --------------------------------------------------------
+    for (to_proc, records) in schedule.send_messages() {
+        let count: usize = records.iter().map(|r| r.len()).sum();
+        let mut payload = Vec::with_capacity(count);
+        for record in records {
+            for g in record.low..record.high {
+                // Gather: translate and read each owned element.
+                proc.charge_mem_refs(2);
+                payload.push(local_data[data_dist.local_index(g)]);
+            }
+        }
+        proc.send_vec(to_proc, tag, payload);
+    }
+
+    if config.overlap {
+        // Paper order: local iterations run while messages are in flight.
+        run_iters(
+            proc,
+            &schedule.local_iters,
+            schedule,
+            data_dist,
+            local_data,
+            &[],
+            &mut body,
+        );
+        let recv_buf = receive_all(proc, schedule, tag);
+        run_iters(
+            proc,
+            &schedule.nonlocal_iters,
+            schedule,
+            data_dist,
+            local_data,
+            &recv_buf,
+            &mut body,
+        );
+    } else {
+        // Ablation: no overlap — wait for all data first.
+        let recv_buf = receive_all(proc, schedule, tag);
+        run_iters(
+            proc,
+            &schedule.local_iters,
+            schedule,
+            data_dist,
+            local_data,
+            &recv_buf,
+            &mut body,
+        );
+        run_iters(
+            proc,
+            &schedule.nonlocal_iters,
+            schedule,
+            data_dist,
+            local_data,
+            &recv_buf,
+            &mut body,
+        );
+    }
+    schedule.local_iters.len() + schedule.nonlocal_iters.len()
+}
+
+/// Run a list of iterations of the loop body with the given receive buffer.
+fn run_iters<T, F>(
+    proc: &mut Proc,
+    iters: &[usize],
+    schedule: &CommSchedule,
+    data_dist: &DimDist,
+    local_data: &[T],
+    recv_buf: &[T],
+    body: &mut F,
+) where
+    T: Copy,
+    F: FnMut(usize, &mut Fetcher<'_, T>),
+{
+    let rank = schedule.rank;
+    for &i in iters {
+        proc.charge_loop_iters(1);
+        let mut fetcher = Fetcher {
+            proc,
+            dist: data_dist,
+            rank,
+            ranges: schedule.range_count(),
+            local_data,
+            recv_buf,
+            schedule,
+        };
+        body(i, &mut fetcher);
+    }
+}
+
+/// Receive every scheduled message and scatter it into the communication
+/// buffer according to the range records' buffer offsets.
+fn receive_all<T>(proc: &mut Proc, schedule: &CommSchedule, tag: Tag) -> Vec<T>
+where
+    T: Copy + Send + 'static,
+{
+    let mut recv_buf: Vec<Option<T>> = vec![None; schedule.recv_len];
+    for (from_proc, records) in schedule.recv_messages() {
+        let (_, payload): (usize, Vec<T>) = proc.recv_from(from_proc, tag);
+        let expected: usize = records.iter().map(|r| r.len()).sum();
+        assert_eq!(
+            payload.len(),
+            expected,
+            "message from {from_proc} has {} elements, schedule expects {expected}",
+            payload.len()
+        );
+        let mut cursor = 0usize;
+        for record in records {
+            for k in 0..record.len() {
+                proc.charge_mem_refs(2);
+                recv_buf[record.buffer + k] = Some(payload[cursor]);
+                cursor += 1;
+            }
+        }
+    }
+    recv_buf
+        .into_iter()
+        .map(|v| v.expect("receive buffer slot never filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inspector::{owner_computes_iters, run_inspector};
+    use dmsim::{CostModel, Machine};
+
+    /// Distributed array shift (Figure 1): A[i] := A[i+1].
+    fn run_shift(nprocs: usize, n: usize, overlap: bool) -> Vec<f64> {
+        let machine = Machine::new(nprocs, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let dist = DimDist::block(n, proc.nprocs());
+            let rank = proc.rank();
+            // Local pieces of A, initialised to the global values i*1.0.
+            let local_a: Vec<f64> = dist
+                .local_set(rank)
+                .iter()
+                .map(|g| g as f64)
+                .collect();
+            let exec = owner_computes_iters(&dist, rank, n - 1);
+            let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
+            let mut new_a = local_a.clone();
+            execute_sweep(
+                proc,
+                ExecutorConfig { overlap, tag: 0 },
+                &schedule,
+                &dist,
+                &local_a,
+                |i, fetch| {
+                    let v = fetch.fetch(i + 1);
+                    new_a[dist.local_index(i)] = v;
+                },
+            );
+            (rank, new_a)
+        });
+        // Reassemble the global array.
+        let dist = DimDist::block(n, nprocs);
+        let mut global = vec![0.0; n];
+        for (rank, local) in results {
+            for (l, v) in local.into_iter().enumerate() {
+                global[dist.global_index(rank, l)] = v;
+            }
+        }
+        global
+    }
+
+    #[test]
+    fn shift_matches_sequential_semantics() {
+        for nprocs in [1, 2, 4, 8] {
+            for overlap in [true, false] {
+                let n = 64;
+                let got = run_shift(nprocs, n, overlap);
+                let mut expected: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                for i in 0..n - 1 {
+                    expected[i] = (i + 1) as f64;
+                }
+                assert_eq!(got, expected, "nprocs={nprocs} overlap={overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn executor_sends_one_message_per_neighbour_pair() {
+        let n = 64;
+        let nprocs = 4;
+        let machine = Machine::new(nprocs, CostModel::ideal());
+        let (_, stats) = machine.run_stats(|proc| {
+            let dist = DimDist::block(n, proc.nprocs());
+            let rank = proc.rank();
+            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| g as f64).collect();
+            let exec = owner_computes_iters(&dist, rank, n - 1);
+            let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
+            execute_sweep(
+                proc,
+                ExecutorConfig::default(),
+                &schedule,
+                &dist,
+                &local_a,
+                |_i, fetch| {
+                    let _ = fetch.fetch(_i + 1);
+                },
+            );
+        });
+        // Inspector: the crystal router sends log2(4) = 2 messages per proc
+        // (4*2 = 8).  Executor: 3 boundary messages in total.
+        assert_eq!(stats.totals.msgs_sent, 8 + 3);
+        // Executor moves exactly 3 halo elements of 8 bytes each.
+        let executor_bytes: u64 = 3 * 8;
+        assert!(stats.totals.bytes_sent >= executor_bytes);
+    }
+
+    #[test]
+    fn nonlocal_access_costs_more_than_local_access() {
+        let n = 32;
+        let run = |cost: CostModel| {
+            let machine = Machine::new(2, cost);
+            let (_, stats) = machine.run_stats(|proc| {
+                let dist = DimDist::block(n, proc.nprocs());
+                let rank = proc.rank();
+                let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| g as f64).collect();
+                let exec = owner_computes_iters(&dist, rank, n - 1);
+                let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
+                execute_sweep(
+                    proc,
+                    ExecutorConfig::default(),
+                    &schedule,
+                    &dist,
+                    &local_a,
+                    |i, fetch| {
+                        let _ = fetch.fetch(i + 1);
+                    },
+                );
+            });
+            stats.time
+        };
+        let ideal = run(CostModel::ideal());
+        let ncube = run(CostModel::ncube7());
+        assert_eq!(ideal, 0.0);
+        assert!(ncube > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn fetching_unscheduled_element_panics() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(8, 2);
+            let rank = proc.rank();
+            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|_| 0.0).collect();
+            // Schedule built for the identity pattern (no communication)…
+            let exec = owner_computes_iters(&dist, rank, 8);
+            let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i));
+            // …but the body reaches across the boundary.
+            execute_sweep(
+                proc,
+                ExecutorConfig::default(),
+                &schedule,
+                &dist,
+                &local_a,
+                |i, fetch| {
+                    let _ = fetch.fetch((i + 4) % 8);
+                },
+            );
+        });
+    }
+}

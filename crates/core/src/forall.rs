@@ -1,0 +1,244 @@
+//! High-level `forall` helpers.
+//!
+//! The paper's programmer writes
+//!
+//! ```text
+//! forall i in 1..N on A[i].loc do … end;
+//! ```
+//!
+//! and the compiler expands it into the inspector/executor structure.  This
+//! module is that expansion as a library: [`Forall`] describes the loop
+//! (range + on-clause), obtains a schedule — from the compile-time analyser
+//! when the references are affine, otherwise from the cached inspector —
+//! and runs the executor.
+//!
+//! Fully local loops (every reference owned by the executing processor, like
+//! the `old_a[i] := a[i]` copy loop in Figure 4) skip scheduling entirely via
+//! [`forall_local`].
+
+use std::sync::Arc;
+
+use distrib::DimDist;
+use dmsim::Proc;
+
+use crate::analysis::{self, AffineMap, LoopSpec};
+use crate::cache::ScheduleCache;
+use crate::executor::{execute_sweep, ExecutorConfig, Fetcher};
+use crate::inspector::{owner_computes_iters, run_inspector};
+use crate::schedule::CommSchedule;
+
+/// A `forall i in range on OWNER[i].loc` loop description.
+#[derive(Debug, Clone)]
+pub struct Forall {
+    /// Static identity of the loop (used as the schedule-cache key).
+    pub loop_id: u64,
+    /// Half-open iteration range.
+    pub range: (usize, usize),
+    /// Distribution named in the `on` clause (owner-computes placement).
+    pub on_dist: DimDist,
+}
+
+impl Forall {
+    /// Describe a loop `forall i in 0..n on A[i].loc` where `A` is
+    /// distributed by `on_dist`.
+    pub fn over(loop_id: u64, n: usize, on_dist: DimDist) -> Self {
+        Forall {
+            loop_id,
+            range: (0, n),
+            on_dist,
+        }
+    }
+
+    /// Restrict the iteration range (`forall i in lo..hi`).
+    pub fn range(mut self, lo: usize, hi: usize) -> Self {
+        self.range = (lo, hi);
+        self
+    }
+
+    /// The iterations this processor executes, in ascending order.
+    pub fn exec_iters(&self, rank: usize) -> Vec<usize> {
+        owner_computes_iters(&self.on_dist, rank, self.range.1)
+            .into_iter()
+            .filter(|&i| i >= self.range.0)
+            .collect()
+    }
+
+    /// Obtain a communication schedule for references `DATA[g_k(i)]` with
+    /// affine subscripts, using the compile-time analysis when possible and
+    /// the (cached) inspector otherwise.
+    pub fn plan_affine(
+        &self,
+        proc: &mut Proc,
+        cache: &mut ScheduleCache,
+        data_dist: &DimDist,
+        ref_maps: &[AffineMap],
+        data_version: u64,
+    ) -> Arc<CommSchedule> {
+        let spec = LoopSpec {
+            range: self.range,
+            on_dist: self.on_dist.clone(),
+            on_map: AffineMap::identity(),
+            data_dist: data_dist.clone(),
+            ref_maps: ref_maps.to_vec(),
+        };
+        if let Some(schedule) = analysis::compile_time::analyze(&spec, proc.rank()) {
+            // Closed form: no run-time set computation, no communication.
+            return Arc::new(schedule);
+        }
+        let exec = self.exec_iters(proc.rank());
+        let maps = ref_maps.to_vec();
+        let range_hi = data_dist.n();
+        cache.get_or_build(self.loop_id, data_version, || {
+            run_inspector(proc, data_dist, &exec, |i, refs| {
+                for g in &maps {
+                    if let Some(v) = g.apply(i) {
+                        if v < range_hi {
+                            refs.push(v);
+                        }
+                    }
+                }
+            })
+        })
+    }
+
+    /// Obtain a communication schedule for data-dependent references by
+    /// running the inspector (once per `(loop_id, data_version)`).
+    ///
+    /// `refs_of` enumerates, for an iteration, the global indices of the
+    /// `data_dist`-distributed array it references.
+    pub fn plan_indirect<F>(
+        &self,
+        proc: &mut Proc,
+        cache: &mut ScheduleCache,
+        data_dist: &DimDist,
+        data_version: u64,
+        refs_of: F,
+    ) -> Arc<CommSchedule>
+    where
+        F: FnMut(usize, &mut Vec<usize>),
+    {
+        let exec = self.exec_iters(proc.rank());
+        let mut refs_of = refs_of;
+        cache.get_or_build(self.loop_id, data_version, || {
+            run_inspector(proc, data_dist, &exec, &mut refs_of)
+        })
+    }
+
+    /// Execute the loop body under a previously planned schedule.
+    pub fn run<T, F>(
+        &self,
+        proc: &mut Proc,
+        config: ExecutorConfig,
+        schedule: &CommSchedule,
+        data_dist: &DimDist,
+        local_data: &[T],
+        body: F,
+    ) -> usize
+    where
+        T: Copy + Send + 'static,
+        F: FnMut(usize, &mut Fetcher<'_, T>),
+    {
+        execute_sweep(proc, config, schedule, data_dist, local_data, body)
+    }
+}
+
+/// Execute a `forall` in which every reference is local by construction —
+/// the `old_a[i] := a[i]` copy loop of Figure 4.  Charges the loop-control
+/// cost and hands the body each owned global index; no schedule, no
+/// messages.
+pub fn forall_local<F>(proc: &mut Proc, on_dist: &DimDist, n: usize, mut body: F)
+where
+    F: FnMut(usize),
+{
+    for i in owner_computes_iters(on_dist, proc.rank(), n) {
+        proc.charge_loop_iters(1);
+        body(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsim::{CostModel, Machine};
+
+    #[test]
+    fn forall_local_visits_exactly_the_owned_indices() {
+        let machine = Machine::new(4, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let dist = DimDist::cyclic(22, proc.nprocs());
+            let mut visited = Vec::new();
+            forall_local(proc, &dist, 22, |i| visited.push(i));
+            visited
+        });
+        let mut all: Vec<usize> = results.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..22).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_affine_uses_compile_time_path_without_messages() {
+        let machine = Machine::new(4, CostModel::ideal());
+        let (_, stats) = machine.run_stats(|proc| {
+            let dist = DimDist::block(64, proc.nprocs());
+            let loop_ = Forall::over(1, 63, dist.clone());
+            let mut cache = ScheduleCache::new();
+            let schedule =
+                loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            assert_eq!(cache.misses(), 0, "compile-time analysis must bypass the cache");
+            schedule.recv_len
+        });
+        // Compile-time planning alone must not send a single message.
+        assert_eq!(stats.totals.msgs_sent, 0);
+    }
+
+    #[test]
+    fn plan_affine_falls_back_to_inspector_for_strided_refs() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(32, proc.nprocs());
+            let data = DimDist::block(64, proc.nprocs());
+            let loop_ = Forall::over(9, 32, dist);
+            let mut cache = ScheduleCache::new();
+            let s1 = loop_.plan_affine(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
+            assert_eq!(cache.misses(), 1, "inspector must have been consulted");
+            let s2 = loop_.plan_affine(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
+            assert_eq!(cache.hits(), 1, "second plan must hit the cache");
+            assert_eq!(s1.signature(), s2.signature());
+        });
+    }
+
+    #[test]
+    fn full_shift_pipeline_through_forall_api() {
+        let n = 48;
+        let machine = Machine::new(4, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let dist = DimDist::block(n, proc.nprocs());
+            let rank = proc.rank();
+            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| (g * g) as f64).collect();
+            let loop_ = Forall::over(2, n - 1, dist.clone());
+            let mut cache = ScheduleCache::new();
+            let schedule =
+                loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            let mut out = local_a.clone();
+            loop_.run(
+                proc,
+                ExecutorConfig::default(),
+                &schedule,
+                &dist,
+                &local_a,
+                |i, fetch| {
+                    out[dist.local_index(i)] = fetch.fetch(i + 1);
+                },
+            );
+            (rank, out)
+        });
+        let dist = DimDist::block(n, 4);
+        for (rank, out) in results {
+            for (l, v) in out.iter().enumerate() {
+                let g = dist.global_index(rank, l);
+                let expected = if g < n - 1 { ((g + 1) * (g + 1)) as f64 } else { (g * g) as f64 };
+                assert_eq!(*v, expected, "global index {g}");
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The inspector: run-time communication analysis (paper §3.3, Figure 6).
+//!
+//! When a subscript depends on run-time data (`old_a[adj[i, j]]`), the
+//! communication sets cannot be computed symbolically.  The paper's solution
+//! is to run a *modified version of the forall*, the inspector, before the
+//! real loop:
+//!
+//! 1. every reference made by every iteration in `exec(p)` is checked for
+//!    locality; nonlocal references are recorded together with their home
+//!    processor,
+//! 2. iterations are split into a local list (all references local) and a
+//!    nonlocal list,
+//! 3. the per-source receive lists are sorted and adjacent ranges combined
+//!    (Figure 5's representation), and
+//! 4. a crystal-router global exchange converts receive lists into send
+//!    lists (`out(p,q) = in(q,p)`).
+//!
+//! The output is a [`CommSchedule`] which the executor uses for every
+//! subsequent execution of the same `forall` (see [`crate::cache`]).
+
+use distrib::{DimDist, IndexSet};
+use dmsim::collectives;
+use dmsim::Proc;
+
+use crate::schedule::{CommSchedule, RangeRecord};
+
+/// Run the inspector for one `forall` on the calling processor.
+///
+/// * `data_dist` — distribution of the array being referenced with
+///   data-dependent subscripts (the paper's `old_a`).
+/// * `exec_iters` — the iterations this processor executes (`exec(p)`
+///   intersected with the loop range), in ascending order.
+/// * `refs_of` — called once per iteration; it must push the global indices
+///   of every distributed-array reference the iteration makes into the
+///   supplied buffer (the inspector equivalent of executing the loop body
+///   "without the arithmetic").
+///
+/// Every processor of the machine must call this collectively — the final
+/// step is a global exchange.
+pub fn run_inspector<F>(
+    proc: &mut Proc,
+    data_dist: &DimDist,
+    exec_iters: &[usize],
+    mut refs_of: F,
+) -> CommSchedule
+where
+    F: FnMut(usize, &mut Vec<usize>),
+{
+    let rank = proc.rank();
+    let nprocs = proc.nprocs();
+    assert_eq!(
+        data_dist.nprocs(),
+        nprocs,
+        "the data distribution must span exactly the processors of the machine"
+    );
+
+    // ---- Phase 1: locality-checking loop over every reference -------------
+    let mut local_iters = Vec::new();
+    let mut nonlocal_iters = Vec::new();
+    let mut per_source: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+    let mut refs = Vec::new();
+    for &i in exec_iters {
+        proc.charge_loop_iters(1);
+        refs.clear();
+        refs_of(i, &mut refs);
+        let mut all_local = true;
+        for &g in &refs {
+            // "The inspector only checks whether references to distributed
+            // arrays are local" — one owner computation per reference.
+            proc.charge_seconds(proc.cost().locality_check());
+            let home = data_dist.owner(g);
+            if home != rank {
+                all_local = false;
+                per_source[home].push(g);
+            }
+        }
+        if all_local {
+            local_iters.push(i);
+        } else {
+            nonlocal_iters.push(i);
+        }
+    }
+
+    // ---- Phase 2: sort, deduplicate and coalesce the receive lists --------
+    let recv_sets: Vec<IndexSet> = per_source
+        .into_iter()
+        .map(|v| {
+            // Charge the paper's insertion/sort cost: one record-handling
+            // charge per element placed into the sorted list.
+            proc.charge_seconds(proc.cost().record_handling() * v.len() as f64);
+            IndexSet::from_indices(v)
+        })
+        .collect();
+    let mut schedule = CommSchedule::from_recv_sets(rank, &recv_sets, local_iters, nonlocal_iters);
+
+    // ---- Phase 3: global exchange to build the send lists ------------------
+    // Each receive record is routed to its home processor, where it becomes a
+    // send record ("Form send_list using recv_lists from all processors
+    // (requires global communication)", Figure 6).
+    let outgoing: Vec<(usize, RangeRecord)> = schedule
+        .recv_records
+        .iter()
+        .map(|r| (r.from_proc, *r))
+        .collect();
+    let incoming = collectives::crystal_router(proc, outgoing);
+    proc.charge_seconds(proc.cost().record_handling() * incoming.len() as f64);
+    schedule.set_send_records(incoming);
+    schedule
+}
+
+/// Convenience: the iterations of `0..n` this processor executes under an
+/// owner-computes on-clause (`on A[i].loc`), in ascending order.
+pub fn owner_computes_iters(dist: &DimDist, rank: usize, n: usize) -> Vec<usize> {
+    dist.local_set(rank)
+        .intersect(&IndexSet::from_range(0, n))
+        .iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsim::{CostModel, Machine};
+
+    /// A tiny indirect-access workload: iteration i references data[idx[i]].
+    fn run_indirect(
+        nprocs: usize,
+        n: usize,
+        idx: Vec<usize>,
+        dist: impl Fn() -> DimDist + Sync,
+    ) -> Vec<CommSchedule> {
+        let machine = Machine::new(nprocs, CostModel::ideal());
+        machine.run(|proc| {
+            let d = dist();
+            let exec = owner_computes_iters(&d, proc.rank(), n);
+            run_inspector(proc, &d, &exec, |i, refs| refs.push(idx[i]))
+        })
+    }
+
+    #[test]
+    fn purely_local_references_produce_empty_schedules() {
+        let n = 32;
+        let idx: Vec<usize> = (0..n).collect(); // identity: always local
+        let schedules = run_indirect(4, n, idx, || DimDist::block(32, 4));
+        for s in schedules {
+            assert_eq!(s.recv_len, 0);
+            assert!(s.send_records.is_empty());
+            assert!(s.nonlocal_iters.is_empty());
+            assert_eq!(s.local_iters.len(), 8);
+        }
+    }
+
+    #[test]
+    fn shift_pattern_matches_expected_boundaries() {
+        let n = 40;
+        // Iteration i references element i+1 (except the last, which is self).
+        let idx: Vec<usize> = (0..n).map(|i| if i + 1 < n { i + 1 } else { i }).collect();
+        let schedules = run_indirect(4, n, idx, || DimDist::block(40, 4));
+        for (rank, s) in schedules.iter().enumerate() {
+            if rank < 3 {
+                assert_eq!(s.recv_len, 1, "rank {rank} receives one halo element");
+                assert_eq!(s.recv_records[0].from_proc, rank + 1);
+                assert_eq!(s.recv_records[0].low, (rank + 1) * 10);
+                assert_eq!(s.nonlocal_iters, vec![rank * 10 + 9]);
+            } else {
+                assert_eq!(s.recv_len, 0);
+            }
+            if rank > 0 {
+                assert_eq!(s.send_records.len(), 1);
+                assert_eq!(s.send_records[0].to_proc, rank - 1);
+                assert_eq!(s.send_records[0].len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_references_are_coalesced_into_single_ranges() {
+        let n = 24;
+        // Every iteration on processor 1 references elements 0, 1 and 2 (all
+        // owned by processor 0) repeatedly.
+        let machine = Machine::new(2, CostModel::ideal());
+        let schedules = machine.run(|proc| {
+            let d = DimDist::block(n, 2);
+            let exec = owner_computes_iters(&d, proc.rank(), n);
+            run_inspector(proc, &d, &exec, |_i, refs| {
+                refs.extend_from_slice(&[0, 1, 2, 1, 0]);
+            })
+        });
+        let s1 = &schedules[1];
+        assert_eq!(s1.recv_len, 3, "duplicates must collapse");
+        assert_eq!(s1.range_count(), 1, "adjacent elements must coalesce");
+        assert_eq!(s1.recv_records[0].low, 0);
+        assert_eq!(s1.recv_records[0].high, 3);
+        // Processor 0 references only its own elements.
+        assert_eq!(schedules[0].recv_len, 0);
+        assert_eq!(schedules[0].send_records.len(), 1);
+        assert_eq!(schedules[0].send_records[0].high, 3);
+    }
+
+    #[test]
+    fn in_and_out_sets_are_transposes_of_each_other() {
+        let n = 60;
+        // Pseudo-random but deterministic indirect references.
+        let idx: Vec<usize> = (0..n).map(|i| (i * 17 + 5) % n).collect();
+        let schedules = run_indirect(4, n, idx, || DimDist::cyclic(60, 4));
+        for p in 0..4 {
+            for q in 0..4 {
+                if p == q {
+                    continue;
+                }
+                let in_pq: Vec<(usize, usize)> = schedules[p]
+                    .recv_records
+                    .iter()
+                    .filter(|r| r.from_proc == q)
+                    .map(|r| (r.low, r.high))
+                    .collect();
+                let mut out_qp: Vec<(usize, usize)> = schedules[q]
+                    .send_records
+                    .iter()
+                    .filter(|r| r.to_proc == p)
+                    .map(|r| (r.low, r.high))
+                    .collect();
+                out_qp.sort_unstable();
+                let mut in_sorted = in_pq.clone();
+                in_sorted.sort_unstable();
+                assert_eq!(in_sorted, out_qp, "in({p},{q}) vs out({q},{p})");
+            }
+        }
+    }
+
+    #[test]
+    fn inspector_charges_one_locality_check_per_reference() {
+        let n = 16;
+        let machine = Machine::new(2, CostModel::ncube7());
+        let idx: Vec<usize> = (0..n).map(|i| (i + 3) % n).collect();
+        let (_, stats) = machine.run_stats(|proc| {
+            let d = DimDist::block(n, 2);
+            let exec = owner_computes_iters(&d, proc.rank(), n);
+            run_inspector(proc, &d, &exec, |i, refs| refs.push(idx[i]));
+        });
+        // 16 references in total -> at least 16 × locality_check of simulated
+        // time across the two processors (plus loop and router overheads).
+        let check = CostModel::ncube7().locality_check();
+        let total: f64 = stats.clocks.iter().sum();
+        assert!(total >= 16.0 * check);
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn distribution_must_match_machine_size() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let d = DimDist::block(10, 4); // wrong processor count
+            run_inspector(proc, &d, &[0], |_i, refs| refs.push(0));
+        });
+    }
+}

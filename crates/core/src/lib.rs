@@ -1,0 +1,52 @@
+//! # kali-core — a global name space for distributed-memory machines
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Koelbel, Mehrotra, Van Rosendale, *Supporting Shared Data Structures on
+//! Distributed Memory Architectures*, PPoPP 1990): a run-time system that
+//! lets data-parallel loops be written against a **global name space** while
+//! executing as SPMD message-passing code on a distributed-memory machine.
+//!
+//! The paper's Kali compiler translated `forall` loops into the structure
+//! below; here the same structure is provided as a library API ("the output
+//! of the compiler"), running on the [`dmsim`] machine simulator:
+//!
+//! * [`array::DistArray`] — the local piece of a distributed array plus its
+//!   distribution, giving owner tests and global↔local index translation.
+//! * [`schedule::CommSchedule`] — the `in(p,q)` / `out(p,q)` sets of §3.1,
+//!   stored exactly as the paper stores them: sorted, coalesced range
+//!   records with `O(log r)` binary-search access (§3.3, Figure 5).
+//! * [`analysis`] — **compile-time** communication analysis: closed-form
+//!   schedules for affine subscripts (`A[i±c]`) under any distribution,
+//!   requiring no run-time set computation at all (§3.2).
+//! * [`inspector`] — **run-time** analysis: the inspector loop that records
+//!   nonlocal references, splits iterations into local and nonlocal lists,
+//!   and converts receive lists into send lists with a crystal-router global
+//!   exchange (§3.3, Figure 6).
+//! * [`executor`] — the executor: send boundary data, run local iterations
+//!   (overlapping communication), receive, run nonlocal iterations, with
+//!   received elements found by binary search over the range records.
+//! * [`cache`] — schedule caching between repeated executions of the same
+//!   `forall`, the amortisation that makes the inspector affordable (§3.2).
+//! * [`forall`] — a small convenience layer tying the pieces together for
+//!   the common loop shapes (`forall i in 1..N on A[i].loc`).
+//! * [`redistribute`] — an extension: move a live distributed array from one
+//!   distribution to another with a closed-form schedule, supporting the
+//!   paper's "just change the dist clause" workflow across program phases.
+
+pub mod analysis;
+pub mod array;
+pub mod cache;
+pub mod executor;
+pub mod forall;
+pub mod inspector;
+pub mod redistribute;
+pub mod schedule;
+
+pub use analysis::affine::AffineMap;
+pub use array::DistArray;
+pub use cache::ScheduleCache;
+pub use executor::{execute_sweep, ExecutorConfig, Fetcher};
+pub use forall::{forall_local, Forall};
+pub use inspector::run_inspector;
+pub use redistribute::{redistribute, redistribution_schedule};
+pub use schedule::{CommSchedule, RangeRecord};

@@ -1,0 +1,212 @@
+//! Array redistribution: move a distributed array from one distribution to
+//! another.
+//!
+//! The paper's §2.4 argues that "a variety of distribution patterns can
+//! easily be tried by trivial modification of this program"; in practice a
+//! program often needs to *change* the distribution of live data between
+//! phases (e.g. rows for one sweep direction, columns for the other, or a
+//! rebalanced custom distribution after mesh adaptation).  Redistribution is
+//! just another communication schedule: processor `p` must send, for every
+//! other processor `q`, the elements it owns under the old distribution that
+//! `q` owns under the new one — a set with a closed form for any pair of
+//! distributions, so no inspector is needed.
+
+use distrib::{DimDist, IndexSet};
+use dmsim::{Proc, Tag};
+
+use crate::schedule::{CommSchedule, RangeRecord};
+
+/// Tag space reserved for redistribution traffic.
+const REDIST_TAG_BASE: Tag = 1 << 42;
+
+/// Build the redistribution schedule for the calling processor: what it
+/// receives (elements it owns under `to` but not under `from`) and what it
+/// sends.  Pure local computation — both distributions are known everywhere.
+pub fn redistribution_schedule(rank: usize, from: &DimDist, to: &DimDist) -> CommSchedule {
+    assert_eq!(from.n(), to.n(), "distributions must cover the same index space");
+    assert_eq!(
+        from.nprocs(),
+        to.nprocs(),
+        "redistribution across machine sizes is not supported"
+    );
+    let nprocs = from.nprocs();
+
+    // in(p, q): elements owned by q under `from` and by p under `to`.
+    let mine_after = to.local_set(rank);
+    let mut recv_sets = vec![IndexSet::new(); nprocs];
+    for (q, slot) in recv_sets.iter_mut().enumerate() {
+        if q == rank {
+            continue;
+        }
+        *slot = mine_after.intersect(&from.local_set(q));
+    }
+    let mut schedule = CommSchedule::from_recv_sets(rank, &recv_sets, Vec::new(), Vec::new());
+
+    // out(p, q): elements owned by p under `from` and by q under `to`.
+    let mine_before = from.local_set(rank);
+    let mut send_records = Vec::new();
+    for q in 0..nprocs {
+        if q == rank {
+            continue;
+        }
+        let out = mine_before.intersect(&to.local_set(q));
+        for r in out.ranges() {
+            send_records.push(RangeRecord {
+                from_proc: rank,
+                to_proc: q,
+                low: r.start,
+                high: r.end,
+                buffer: 0,
+            });
+        }
+    }
+    schedule.set_send_records(send_records);
+    schedule
+}
+
+/// Redistribute local data from distribution `from` to distribution `to`,
+/// returning the new local storage (in `to`'s local index order).
+///
+/// Must be called collectively.  Elements whose owner does not change are
+/// copied locally without communication.
+pub fn redistribute<T>(
+    proc: &mut Proc,
+    from: &DimDist,
+    to: &DimDist,
+    local_data: &[T],
+) -> Vec<T>
+where
+    T: Copy + Default + Send + 'static,
+{
+    let rank = proc.rank();
+    assert_eq!(
+        local_data.len(),
+        from.local_count(rank),
+        "local data does not match the source distribution"
+    );
+    let schedule = redistribution_schedule(rank, from, to);
+    let tag = REDIST_TAG_BASE;
+
+    // Send phase.
+    for (to_proc, records) in schedule.send_messages() {
+        let count: usize = records.iter().map(|r| r.len()).sum();
+        let mut payload = Vec::with_capacity(count);
+        for record in records {
+            for g in record.low..record.high {
+                proc.charge_mem_refs(2);
+                payload.push(local_data[from.local_index(g)]);
+            }
+        }
+        proc.send_vec(to_proc, tag, payload);
+    }
+
+    // Local copies for elements that stay put.
+    let mut new_local = vec![T::default(); to.local_count(rank)];
+    for g in to.local_set(rank).intersect(&from.local_set(rank)).iter() {
+        proc.charge_mem_refs(2);
+        new_local[to.local_index(g)] = local_data[from.local_index(g)];
+    }
+
+    // Receive phase.
+    for (from_proc, records) in schedule.recv_messages() {
+        let (_, payload): (usize, Vec<T>) = proc.recv_from(from_proc, tag);
+        let expected: usize = records.iter().map(|r| r.len()).sum();
+        assert_eq!(payload.len(), expected, "redistribution message size mismatch");
+        let mut cursor = 0usize;
+        for record in records {
+            for g in record.low..record.high {
+                proc.charge_mem_refs(2);
+                new_local[to.local_index(g)] = payload[cursor];
+                cursor += 1;
+            }
+        }
+    }
+    new_local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmsim::{CostModel, Machine};
+
+    fn roundtrip_check(
+        _n: usize,
+        nprocs: usize,
+        from: impl Fn(usize) -> DimDist + Sync,
+        to: impl Fn(usize) -> DimDist + Sync,
+    ) {
+        let machine = Machine::new(nprocs, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let from = from(proc.nprocs());
+            let to = to(proc.nprocs());
+            let rank = proc.rank();
+            // Local data under `from`: value = global index.
+            let local: Vec<u64> = from.local_set(rank).iter().map(|g| g as u64).collect();
+            let new_local = redistribute(proc, &from, &to, &local);
+            // Every element must now hold its own global index under `to`.
+            let expected: Vec<u64> = to.local_set(rank).iter().map(|g| g as u64).collect();
+            (new_local, expected)
+        });
+        for (rank, (got, expected)) in results.into_iter().enumerate() {
+            assert_eq!(got, expected, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn block_to_cyclic_and_back() {
+        roundtrip_check(97, 4, |p| DimDist::block(97, p), |p| DimDist::cyclic(97, p));
+        roundtrip_check(97, 4, |p| DimDist::cyclic(97, p), |p| DimDist::block(97, p));
+    }
+
+    #[test]
+    fn block_to_block_cyclic() {
+        roundtrip_check(
+            64,
+            8,
+            |p| DimDist::block(64, p),
+            |p| DimDist::block_cyclic(64, p, 3),
+        );
+    }
+
+    #[test]
+    fn custom_rebalance() {
+        roundtrip_check(
+            50,
+            5,
+            |p| DimDist::block(50, p),
+            |p| DimDist::custom((0..50).map(|i| (i * 3 + 1) % p).collect(), p),
+        );
+    }
+
+    #[test]
+    fn identical_distributions_move_nothing() {
+        let machine = Machine::new(4, CostModel::ideal());
+        let (_, stats) = machine.run_stats(|proc| {
+            let d = DimDist::block(40, proc.nprocs());
+            let local: Vec<u32> = d.local_set(proc.rank()).iter().map(|g| g as u32).collect();
+            let out = redistribute(proc, &d, &d, &local);
+            assert_eq!(out, local);
+        });
+        assert_eq!(stats.totals.msgs_sent, 0);
+        assert_eq!(stats.totals.bytes_sent, 0);
+    }
+
+    #[test]
+    fn schedule_volumes_balance_globally() {
+        let n = 120;
+        let p = 6;
+        let from = DimDist::block(n, p);
+        let to = DimDist::cyclic(n, p);
+        let schedules: Vec<CommSchedule> = (0..p)
+            .map(|r| redistribution_schedule(r, &from, &to))
+            .collect();
+        let recv: usize = schedules.iter().map(|s| s.recv_len).sum();
+        let send: usize = schedules.iter().map(|s| s.send_len()).sum();
+        assert_eq!(recv, send);
+        // Every element is either kept locally or received exactly once.
+        let kept: usize = (0..p)
+            .map(|r| to.local_set(r).intersect(&from.local_set(r)).len())
+            .sum();
+        assert_eq!(kept + recv, n);
+    }
+}

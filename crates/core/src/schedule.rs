@@ -1,0 +1,449 @@
+//! Communication schedules: the `in(p,q)` / `out(p,q)` sets of the paper.
+//!
+//! §3.3 and Figure 5 of the paper describe the representation: a schedule is
+//! a dynamically allocated array of *range records*
+//! `(from_proc, to_proc, low, high, buffer)`, sorted by processor id with the
+//! range start as a secondary key, with adjacent ranges combined so that a
+//! single message per processor pair suffices and an individual element can
+//! be found by binary search in `O(log r)` time.
+//!
+//! [`CommSchedule`] is that data structure plus the two iteration lists the
+//! inspector produces (`local_list` and `nonlocal_list`), which drive the
+//! executor's "local iterations / nonlocal iterations" split.
+
+use distrib::{IndexRange, IndexSet};
+
+/// One contiguous block of a distributed array to be communicated between a
+/// pair of processors (Figure 5 of the paper).
+///
+/// `low..high` is a half-open range of **global** indices of the referenced
+/// array; `buffer` is the offset of the first of these elements in the
+/// receiving processor's communication buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RangeRecord {
+    /// Sending processor (the owner of the elements).
+    pub from_proc: usize,
+    /// Receiving processor (the processor that referenced the elements).
+    pub to_proc: usize,
+    /// First global index of the block.
+    pub low: usize,
+    /// One past the last global index of the block.
+    pub high: usize,
+    /// Offset of the block in the receiver's communication buffer.
+    pub buffer: usize,
+}
+
+impl RangeRecord {
+    /// Number of elements covered by the record.
+    pub fn len(&self) -> usize {
+        self.high.saturating_sub(self.low)
+    }
+
+    /// True if the record covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.high <= self.low
+    }
+}
+
+/// The complete communication schedule of one `forall` on one processor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommSchedule {
+    /// Rank of the processor this schedule belongs to.
+    pub rank: usize,
+    /// Blocks this processor must receive, sorted by `(from_proc, low)`.
+    /// `to_proc` is always `rank`.
+    pub recv_records: Vec<RangeRecord>,
+    /// Blocks this processor must send, sorted by `(to_proc, low)`.
+    /// `from_proc` is always `rank`.
+    pub send_records: Vec<RangeRecord>,
+    /// Iterations that reference only local data (`exec(p) ∩ ref(p)`),
+    /// in ascending order.
+    pub local_iters: Vec<usize>,
+    /// Iterations that reference at least one nonlocal element
+    /// (`exec(p) − ref(p)`), in ascending order.
+    pub nonlocal_iters: Vec<usize>,
+    /// Total number of elements to be received (the communication buffer
+    /// length).
+    pub recv_len: usize,
+    /// Lookup table for nonlocal accesses: `(low, high, buffer)` sorted by
+    /// `low`.  Global ranges from different senders are disjoint (every
+    /// element has one home), so a plain binary search on `low` suffices.
+    lookup: Vec<(usize, usize, usize)>,
+}
+
+impl CommSchedule {
+    /// Build a schedule from the inspector's (or the compile-time
+    /// analyser's) raw results.
+    ///
+    /// * `recv_sets[q]` is the set of global indices this processor must
+    ///   receive from processor `q` (`in(p,q)` in the paper's notation);
+    ///   entries for `q == rank` must be empty.
+    /// * `local_iters` / `nonlocal_iters` are the iteration lists.
+    ///
+    /// Buffer offsets are assigned in `(from_proc, low)` order, which is the
+    /// order in which the executor unpacks incoming messages.  Send records
+    /// are *not* filled in here — they are only known after the global
+    /// exchange (`out(p,q) = in(q,p)`); use
+    /// [`CommSchedule::set_send_records`].
+    pub fn from_recv_sets(
+        rank: usize,
+        recv_sets: &[IndexSet],
+        local_iters: Vec<usize>,
+        nonlocal_iters: Vec<usize>,
+    ) -> Self {
+        let mut recv_records = Vec::new();
+        let mut offset = 0usize;
+        for (q, set) in recv_sets.iter().enumerate() {
+            if q == rank {
+                assert!(
+                    set.is_empty(),
+                    "a processor never receives its own elements"
+                );
+                continue;
+            }
+            for r in set.ranges() {
+                recv_records.push(RangeRecord {
+                    from_proc: q,
+                    to_proc: rank,
+                    low: r.start,
+                    high: r.end,
+                    buffer: offset,
+                });
+                offset += r.len();
+            }
+        }
+        let mut schedule = CommSchedule {
+            rank,
+            recv_records,
+            send_records: Vec::new(),
+            local_iters,
+            nonlocal_iters,
+            recv_len: offset,
+            lookup: Vec::new(),
+        };
+        schedule.rebuild_lookup();
+        schedule
+    }
+
+    /// Install the send records produced by the global exchange, sorting
+    /// them by `(to_proc, low)` — the paper's "sorted on the `to_proc`
+    /// field, again using `low` as the secondary key".
+    pub fn set_send_records(&mut self, mut records: Vec<RangeRecord>) {
+        for r in &records {
+            debug_assert_eq!(r.from_proc, self.rank, "send record must originate here");
+        }
+        records.sort_by_key(|r| (r.to_proc, r.low));
+        self.send_records = records;
+    }
+
+    fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .recv_records
+            .iter()
+            .map(|r| (r.low, r.high, r.buffer))
+            .collect();
+        self.lookup.sort_unstable();
+    }
+
+    /// Number of distinct processors this processor receives from.
+    pub fn recv_partner_count(&self) -> usize {
+        count_distinct(self.recv_records.iter().map(|r| r.from_proc))
+    }
+
+    /// Number of distinct processors this processor sends to.
+    pub fn send_partner_count(&self) -> usize {
+        count_distinct(self.send_records.iter().map(|r| r.to_proc))
+    }
+
+    /// Total number of elements this processor sends.
+    pub fn send_len(&self) -> usize {
+        self.send_records.iter().map(RangeRecord::len).sum()
+    }
+
+    /// Number of range records held (the `r` of the `O(log r)` bound).
+    pub fn range_count(&self) -> usize {
+        self.recv_records.len()
+    }
+
+    /// Group receive records by sending processor, in ascending processor
+    /// order.  Each group's records are sorted by `low` and its buffer
+    /// region is contiguous.
+    pub fn recv_messages(&self) -> Vec<(usize, &[RangeRecord])> {
+        group_by_proc(&self.recv_records, |r| r.from_proc)
+    }
+
+    /// Group send records by destination processor, in ascending processor
+    /// order.
+    pub fn send_messages(&self) -> Vec<(usize, &[RangeRecord])> {
+        group_by_proc(&self.send_records, |r| r.to_proc)
+    }
+
+    /// Find the communication-buffer position of a received global index by
+    /// binary search over the range records — the access path the executor
+    /// uses for nonlocal references (`O(log r)`).
+    pub fn find(&self, global: usize) -> Option<usize> {
+        let idx = self.lookup.partition_point(|&(low, _, _)| low <= global);
+        if idx == 0 {
+            return None;
+        }
+        let (low, high, buffer) = self.lookup[idx - 1];
+        if global < high {
+            Some(buffer + (global - low))
+        } else {
+            None
+        }
+    }
+
+    /// The set of global indices this processor receives (for tests and
+    /// reporting).
+    pub fn recv_index_set(&self) -> IndexSet {
+        IndexSet::from_ranges(
+            self.recv_records
+                .iter()
+                .map(|r| IndexRange::new(r.low, r.high)),
+        )
+    }
+
+    /// The set of global indices this processor sends.
+    pub fn send_index_set(&self) -> IndexSet {
+        IndexSet::from_ranges(
+            self.send_records
+                .iter()
+                .map(|r| IndexRange::new(r.low, r.high)),
+        )
+    }
+
+    /// Normalised copy for equality testing: buffer offsets and record order
+    /// are implementation details of how the schedule was built, so
+    /// comparisons between the compile-time and run-time analyses use the
+    /// index sets and iteration lists only.
+    pub fn signature(&self) -> ScheduleSignature {
+        let mut recv_by_proc: Vec<(usize, Vec<IndexRange>)> = self
+            .recv_messages()
+            .into_iter()
+            .map(|(q, recs)| {
+                (
+                    q,
+                    recs.iter().map(|r| IndexRange::new(r.low, r.high)).collect(),
+                )
+            })
+            .collect();
+        recv_by_proc.sort();
+        let mut send_by_proc: Vec<(usize, Vec<IndexRange>)> = self
+            .send_messages()
+            .into_iter()
+            .map(|(q, recs)| {
+                (
+                    q,
+                    recs.iter().map(|r| IndexRange::new(r.low, r.high)).collect(),
+                )
+            })
+            .collect();
+        send_by_proc.sort();
+        ScheduleSignature {
+            rank: self.rank,
+            recv_by_proc,
+            send_by_proc,
+            local_iters: self.local_iters.clone(),
+            nonlocal_iters: self.nonlocal_iters.clone(),
+        }
+    }
+}
+
+/// Order-independent summary of a schedule, used to compare schedules built
+/// by different analyses (compile-time vs inspector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleSignature {
+    /// Processor the schedule belongs to.
+    pub rank: usize,
+    /// Received ranges grouped by sender.
+    pub recv_by_proc: Vec<(usize, Vec<IndexRange>)>,
+    /// Sent ranges grouped by receiver.
+    pub send_by_proc: Vec<(usize, Vec<IndexRange>)>,
+    /// Iterations with only local references.
+    pub local_iters: Vec<usize>,
+    /// Iterations with at least one nonlocal reference.
+    pub nonlocal_iters: Vec<usize>,
+}
+
+fn count_distinct<I: Iterator<Item = usize>>(iter: I) -> usize {
+    let mut v: Vec<usize> = iter.collect();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+fn group_by_proc<F: Fn(&RangeRecord) -> usize>(
+    records: &[RangeRecord],
+    key: F,
+) -> Vec<(usize, &[RangeRecord])> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < records.len() {
+        let p = key(&records[start]);
+        let mut end = start + 1;
+        while end < records.len() && key(&records[end]) == p {
+            end += 1;
+        }
+        out.push((p, &records[start..end]));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> CommSchedule {
+        // Rank 1 of 4 receives [10,13) from proc 0 and [20,22)+[30,31) from proc 2.
+        let recv_sets = vec![
+            IndexSet::from_range(10, 13),
+            IndexSet::new(),
+            IndexSet::from_ranges([IndexRange::new(20, 22), IndexRange::new(30, 31)]),
+            IndexSet::new(),
+        ];
+        let mut s = CommSchedule::from_recv_sets(1, &recv_sets, vec![5, 6], vec![7, 8, 9]);
+        s.set_send_records(vec![
+            RangeRecord {
+                from_proc: 1,
+                to_proc: 2,
+                low: 15,
+                high: 17,
+                buffer: 0,
+            },
+            RangeRecord {
+                from_proc: 1,
+                to_proc: 0,
+                low: 14,
+                high: 15,
+                buffer: 3,
+            },
+        ]);
+        s
+    }
+
+    #[test]
+    fn buffer_offsets_are_contiguous_in_record_order() {
+        let s = sample_schedule();
+        assert_eq!(s.recv_len, 6);
+        assert_eq!(s.recv_records[0].buffer, 0);
+        assert_eq!(s.recv_records[1].buffer, 3);
+        assert_eq!(s.recv_records[2].buffer, 5);
+        assert_eq!(s.range_count(), 3);
+    }
+
+    #[test]
+    fn find_locates_received_elements() {
+        let s = sample_schedule();
+        assert_eq!(s.find(10), Some(0));
+        assert_eq!(s.find(12), Some(2));
+        assert_eq!(s.find(20), Some(3));
+        assert_eq!(s.find(21), Some(4));
+        assert_eq!(s.find(30), Some(5));
+        // Elements never received.
+        assert_eq!(s.find(13), None);
+        assert_eq!(s.find(9), None);
+        assert_eq!(s.find(25), None);
+        assert_eq!(s.find(31), None);
+    }
+
+    #[test]
+    fn messages_group_by_partner() {
+        let s = sample_schedule();
+        let recv = s.recv_messages();
+        assert_eq!(recv.len(), 2);
+        assert_eq!(recv[0].0, 0);
+        assert_eq!(recv[0].1.len(), 1);
+        assert_eq!(recv[1].0, 2);
+        assert_eq!(recv[1].1.len(), 2);
+        assert_eq!(s.recv_partner_count(), 2);
+
+        let send = s.send_messages();
+        assert_eq!(send.len(), 2);
+        // Sorted by destination processor.
+        assert_eq!(send[0].0, 0);
+        assert_eq!(send[1].0, 2);
+        assert_eq!(s.send_partner_count(), 2);
+        assert_eq!(s.send_len(), 3);
+    }
+
+    #[test]
+    fn index_sets_round_trip() {
+        let s = sample_schedule();
+        let recv = s.recv_index_set();
+        assert_eq!(recv.len(), 6);
+        assert!(recv.contains(11));
+        assert!(recv.contains(30));
+        assert!(!recv.contains(14));
+        let send = s.send_index_set();
+        assert_eq!(send.len(), 3);
+        assert!(send.contains(16));
+    }
+
+    #[test]
+    fn empty_schedule_is_well_formed() {
+        let sets = vec![IndexSet::new(), IndexSet::new(), IndexSet::new()];
+        let s = CommSchedule::from_recv_sets(0, &sets, vec![0, 1, 2], vec![]);
+        assert_eq!(s.recv_len, 0);
+        assert_eq!(s.range_count(), 0);
+        assert_eq!(s.find(0), None);
+        assert!(s.recv_messages().is_empty());
+        assert_eq!(s.local_iters, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never receives its own")]
+    fn self_receive_is_rejected() {
+        let sets = vec![IndexSet::from_range(0, 1), IndexSet::new()];
+        let _ = CommSchedule::from_recv_sets(0, &sets, vec![], vec![]);
+    }
+
+    #[test]
+    fn signatures_ignore_buffer_layout() {
+        let a = sample_schedule();
+        let mut b = sample_schedule();
+        // Perturb buffer offsets; the signature must not change.
+        for r in &mut b.recv_records {
+            r.buffer += 100;
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn find_agrees_with_recv_index_set(
+                ranges in proptest::collection::vec((0usize..500, 1usize..20), 0..12)
+            ) {
+                // Build disjoint sets per "source" processor.
+                let nprocs = 5usize;
+                let rank = 0usize;
+                let mut sets = vec![IndexSet::new(); nprocs];
+                let mut claimed = IndexSet::new();
+                for (k, (start, len)) in ranges.iter().enumerate() {
+                    let q = 1 + (k % (nprocs - 1));
+                    let r = IndexRange::new(*start, start + len);
+                    let fresh = IndexSet::from_ranges([r]).difference(&claimed);
+                    claimed = claimed.union(&fresh);
+                    sets[q] = sets[q].union(&fresh);
+                }
+                let s = CommSchedule::from_recv_sets(rank, &sets, vec![], vec![]);
+                let set = s.recv_index_set();
+                prop_assert_eq!(set.len(), s.recv_len);
+                for g in 0..600usize {
+                    prop_assert_eq!(s.find(g).is_some(), set.contains(g), "index {}", g);
+                }
+                // All buffer positions are distinct and within bounds.
+                let mut positions: Vec<usize> = set.iter().filter_map(|g| s.find(g)).collect();
+                positions.sort_unstable();
+                positions.dedup();
+                prop_assert_eq!(positions.len(), s.recv_len);
+                prop_assert!(positions.iter().all(|&p| p < s.recv_len));
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! One-dimensional distribution patterns (paper §2.2).
+//!
+//! A distribution maps the index space `0..n` of one array dimension onto
+//! `0..p` processors.  Kali's built-in patterns are block, cyclic and
+//! block-cyclic; user-defined distributions are supported through an
+//! explicit owner table.  All patterns expose the same interface — the
+//! paper's `local(p)` function and its inverses — so the analysis layer
+//! never needs to know which pattern it is looking at.
+//!
+//! Index convention: this crate is 0-based ( the paper's examples are
+//! 1-based Pascal); the translation is mechanical.
+
+use std::sync::Arc;
+
+use crate::index::{IndexRange, IndexSet};
+
+/// A distribution of `n` array elements over `p` processors.
+///
+/// Invariants guaranteed by every variant:
+/// * every index in `0..n` has exactly one owner (`owner` is total),
+/// * `local_sets` of distinct processors are disjoint and their union is
+///   `0..n` (the paper's assumption `local(p) ∩ local(q) = ∅`),
+/// * `global_index(owner(i), local_index(i)) == i`.
+#[derive(Debug, Clone)]
+pub enum DimDist {
+    /// Contiguous blocks of `ceil(n/p)` elements: `local(p) = { i | ⌈i/B⌉ = p }`.
+    Block { n: usize, p: usize },
+    /// Round-robin assignment: `local(p) = { i | i ≡ p (mod P) }`.
+    Cyclic { n: usize, p: usize },
+    /// Blocks of `block` elements dealt round-robin to processors.
+    BlockCyclic { n: usize, p: usize, block: usize },
+    /// User-defined distribution given by an owner table (`owners[i]` is the
+    /// owning processor of global index `i`).
+    Custom(Arc<CustomDist>),
+}
+
+/// Pre-computed lookup structures for a user-defined distribution.
+#[derive(Debug)]
+pub struct CustomDist {
+    owners: Vec<usize>,
+    p: usize,
+    /// Local offset of every global index within its owner's storage.
+    local_of: Vec<usize>,
+    /// For each processor, its owned global indices in ascending order.
+    locals: Vec<Vec<usize>>,
+}
+
+impl DimDist {
+    /// Block distribution of `n` elements over `p` processors.
+    pub fn block(n: usize, p: usize) -> Self {
+        assert!(p > 0, "need at least one processor");
+        DimDist::Block { n, p }
+    }
+
+    /// Cyclic distribution of `n` elements over `p` processors.
+    pub fn cyclic(n: usize, p: usize) -> Self {
+        assert!(p > 0, "need at least one processor");
+        DimDist::Cyclic { n, p }
+    }
+
+    /// Block-cyclic distribution with the given block size.
+    pub fn block_cyclic(n: usize, p: usize, block: usize) -> Self {
+        assert!(p > 0, "need at least one processor");
+        assert!(block > 0, "block size must be positive");
+        DimDist::BlockCyclic { n, p, block }
+    }
+
+    /// User-defined distribution from an owner table.
+    ///
+    /// `owners[i]` names the processor owning global index `i`; every entry
+    /// must be `< p`.
+    pub fn custom(owners: Vec<usize>, p: usize) -> Self {
+        assert!(p > 0, "need at least one processor");
+        assert!(
+            owners.iter().all(|&o| o < p),
+            "owner table references a processor outside 0..{p}"
+        );
+        let n = owners.len();
+        let mut locals: Vec<Vec<usize>> = vec![Vec::new(); p];
+        let mut local_of = vec![0usize; n];
+        for (i, &o) in owners.iter().enumerate() {
+            local_of[i] = locals[o].len();
+            locals[o].push(i);
+        }
+        DimDist::Custom(Arc::new(CustomDist {
+            owners,
+            p,
+            local_of,
+            locals,
+        }))
+    }
+
+    /// Total number of elements being distributed.
+    pub fn n(&self) -> usize {
+        match self {
+            DimDist::Block { n, .. }
+            | DimDist::Cyclic { n, .. }
+            | DimDist::BlockCyclic { n, .. } => *n,
+            DimDist::Custom(c) => c.owners.len(),
+        }
+    }
+
+    /// Number of processors the elements are distributed over.
+    pub fn nprocs(&self) -> usize {
+        match self {
+            DimDist::Block { p, .. }
+            | DimDist::Cyclic { p, .. }
+            | DimDist::BlockCyclic { p, .. } => *p,
+            DimDist::Custom(c) => c.p,
+        }
+    }
+
+    /// Block length of the block distribution (`⌈n/p⌉`).
+    fn block_len(n: usize, p: usize) -> usize {
+        n.div_ceil(p).max(1)
+    }
+
+    /// Owning processor of global index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n(), "index {i} out of bounds (n = {})", self.n());
+        match self {
+            DimDist::Block { n, p } => (i / Self::block_len(*n, *p)).min(p - 1),
+            DimDist::Cyclic { p, .. } => i % p,
+            DimDist::BlockCyclic { p, block, .. } => (i / block) % p,
+            DimDist::Custom(c) => c.owners[i],
+        }
+    }
+
+    /// True when processor `rank` owns global index `i`.
+    pub fn is_local(&self, rank: usize, i: usize) -> bool {
+        self.owner(i) == rank
+    }
+
+    /// Local offset of global index `i` within its owner's storage.
+    pub fn local_index(&self, i: usize) -> usize {
+        match self {
+            DimDist::Block { n, p } => {
+                let b = Self::block_len(*n, *p);
+                i - self.owner(i) * b
+            }
+            DimDist::Cyclic { p, .. } => i / p,
+            DimDist::BlockCyclic { p, block, .. } => {
+                let blk = i / block;
+                (blk / p) * block + i % block
+            }
+            DimDist::Custom(c) => c.local_of[i],
+        }
+    }
+
+    /// Global index of local offset `l` on processor `rank`.
+    pub fn global_index(&self, rank: usize, l: usize) -> usize {
+        match self {
+            DimDist::Block { n, p } => rank * Self::block_len(*n, *p) + l,
+            DimDist::Cyclic { p, .. } => l * p + rank,
+            DimDist::BlockCyclic { p, block, .. } => {
+                let blk_local = l / block;
+                let within = l % block;
+                (blk_local * p + rank) * block + within
+            }
+            DimDist::Custom(c) => c.locals[rank][l],
+        }
+    }
+
+    /// Number of elements owned by processor `rank`.
+    pub fn local_count(&self, rank: usize) -> usize {
+        match self {
+            DimDist::Block { n, p } => {
+                let b = Self::block_len(*n, *p);
+                let lo = (rank * b).min(*n);
+                let hi = ((rank + 1) * b).min(*n);
+                hi - lo
+            }
+            DimDist::Cyclic { n, p } => {
+                let full = n / p;
+                full + usize::from(rank < n % p)
+            }
+            DimDist::BlockCyclic { n, p, block } => {
+                // Count elements i in 0..n with (i/block) % p == rank.
+                let nblocks = n.div_ceil(*block);
+                let mut count = 0usize;
+                let mut blk = rank;
+                while blk < nblocks {
+                    let lo = blk * block;
+                    let hi = ((blk + 1) * block).min(*n);
+                    count += hi - lo;
+                    blk += p;
+                }
+                count
+            }
+            DimDist::Custom(c) => c.locals[rank].len(),
+        }
+    }
+
+    /// The paper's `local(p)`: the set of global indices owned by `rank`.
+    pub fn local_set(&self, rank: usize) -> IndexSet {
+        match self {
+            DimDist::Block { n, p } => {
+                let b = Self::block_len(*n, *p);
+                let lo = (rank * b).min(*n);
+                let hi = ((rank + 1) * b).min(*n);
+                IndexSet::from_range(lo, hi)
+            }
+            DimDist::Cyclic { n, p } => {
+                IndexSet::from_indices((rank..*n).step_by(*p))
+            }
+            DimDist::BlockCyclic { n, p, block } => {
+                let nblocks = n.div_ceil(*block);
+                let mut ranges = Vec::new();
+                let mut blk = rank;
+                while blk < nblocks {
+                    let lo = blk * block;
+                    let hi = ((blk + 1) * block).min(*n);
+                    ranges.push(IndexRange::new(lo, hi));
+                    blk += p;
+                }
+                IndexSet::from_ranges(ranges)
+            }
+            DimDist::Custom(c) => IndexSet::from_indices(c.locals[rank].iter().copied()),
+        }
+    }
+
+    /// A short name for reports ("block", "cyclic", …).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DimDist::Block { .. } => "block",
+            DimDist::Cyclic { .. } => "cyclic",
+            DimDist::BlockCyclic { .. } => "block-cyclic",
+            DimDist::Custom(_) => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(d: &DimDist) {
+        let n = d.n();
+        let p = d.nprocs();
+        // Every index owned exactly once; local/global roundtrip holds.
+        let mut seen = vec![false; n];
+        for rank in 0..p {
+            let set = d.local_set(rank);
+            assert_eq!(set.len(), d.local_count(rank), "count vs set for rank {rank}");
+            for i in set.iter() {
+                assert!(!seen[i], "index {i} owned twice");
+                seen[i] = true;
+                assert_eq!(d.owner(i), rank);
+                assert!(d.is_local(rank, i));
+                let l = d.local_index(i);
+                assert!(l < d.local_count(rank));
+                assert_eq!(d.global_index(rank, l), i);
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "some index has no owner");
+        // Total count adds up.
+        let total: usize = (0..p).map(|r| d.local_count(r)).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn block_distribution_matches_paper_definition() {
+        // local_A(p) = { i | ceil(i/B) = p } with B = ceil(N/P).
+        let d = DimDist::block(100, 4);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(24), 0);
+        assert_eq!(d.owner(25), 1);
+        assert_eq!(d.owner(99), 3);
+        assert_eq!(d.local_count(0), 25);
+        check_invariants(&d);
+    }
+
+    #[test]
+    fn block_with_ragged_tail() {
+        let d = DimDist::block(10, 4); // blocks of 3: 3,3,3,1
+        assert_eq!(d.local_count(0), 3);
+        assert_eq!(d.local_count(3), 1);
+        check_invariants(&d);
+        let d = DimDist::block(3, 8); // more processors than elements
+        check_invariants(&d);
+    }
+
+    #[test]
+    fn cyclic_distribution_matches_paper_definition() {
+        // local_B(p) = { i | i ≡ p (mod P) }.
+        let d = DimDist::cyclic(10, 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(1), 1);
+        assert_eq!(d.owner(2), 2);
+        assert_eq!(d.owner(3), 0);
+        assert_eq!(d.local_count(0), 4);
+        assert_eq!(d.local_count(1), 3);
+        check_invariants(&d);
+    }
+
+    #[test]
+    fn block_cyclic_distribution() {
+        let d = DimDist::block_cyclic(20, 3, 2);
+        // Blocks of 2 dealt round robin: [0,1]->0, [2,3]->1, [4,5]->2, [6,7]->0 ...
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(2), 1);
+        assert_eq!(d.owner(4), 2);
+        assert_eq!(d.owner(6), 0);
+        check_invariants(&d);
+        // Ragged final block.
+        check_invariants(&DimDist::block_cyclic(19, 3, 4));
+    }
+
+    #[test]
+    fn custom_distribution_roundtrips() {
+        let owners = vec![2, 0, 1, 1, 0, 2, 2, 0];
+        let d = DimDist::custom(owners.clone(), 3);
+        for (i, &o) in owners.iter().enumerate() {
+            assert_eq!(d.owner(i), o);
+        }
+        check_invariants(&d);
+    }
+
+    #[test]
+    fn degenerate_single_processor() {
+        for d in [
+            DimDist::block(17, 1),
+            DimDist::cyclic(17, 1),
+            DimDist::block_cyclic(17, 1, 4),
+        ] {
+            assert_eq!(d.local_count(0), 17);
+            check_invariants(&d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn custom_rejects_bad_owner() {
+        DimDist::custom(vec![0, 5], 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_dist() -> impl Strategy<Value = DimDist> {
+            (1usize..200, 1usize..17, 1usize..8, 0usize..4).prop_map(|(n, p, block, kind)| {
+                match kind {
+                    0 => DimDist::block(n, p),
+                    1 => DimDist::cyclic(n, p),
+                    2 => DimDist::block_cyclic(n, p, block),
+                    _ => {
+                        let owners = (0..n).map(|i| (i * 7 + 3) % p).collect();
+                        DimDist::custom(owners, p)
+                    }
+                }
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn ownership_partitions_the_index_space(d in arb_dist()) {
+                check_invariants(&d);
+            }
+
+            #[test]
+            fn local_sets_are_pairwise_disjoint(d in arb_dist()) {
+                let p = d.nprocs();
+                for a in 0..p.min(6) {
+                    for b in (a + 1)..p.min(6) {
+                        prop_assert!(d.local_set(a).is_disjoint(&d.local_set(b)));
+                    }
+                }
+            }
+        }
+    }
+}

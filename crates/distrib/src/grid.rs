@@ -1,0 +1,157 @@
+//! Processor arrays ("real estate agent", paper §2.1).
+//!
+//! A [`ProcGrid`] is the declared arrangement of physical processors that
+//! data arrays are distributed across — `processors Procs: array[1..P]` in
+//! Kali syntax.  The paper lets the run-time system choose `P` dynamically
+//! ("the largest feasible P"); [`ProcGrid::largest_1d`] mirrors that.
+
+/// A (possibly multi-dimensional) array of processors.
+///
+/// Ranks are linearised in row-major order: for a `[rows, cols]` grid the
+/// processor at coordinates `(r, c)` has rank `r * cols + c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcGrid {
+    /// A one-dimensional processor array of `p` processors.
+    pub fn new_1d(p: usize) -> Self {
+        assert!(p > 0, "processor array must not be empty");
+        ProcGrid { dims: vec![p] }
+    }
+
+    /// A two-dimensional `rows × cols` processor array.
+    pub fn new_2d(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "processor array must not be empty");
+        ProcGrid {
+            dims: vec![rows, cols],
+        }
+    }
+
+    /// A processor array with arbitrary dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "processor array needs at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "every processor-array dimension must be positive"
+        );
+        ProcGrid {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The paper's "real estate agent": choose the largest 1-D processor
+    /// array with at most `max_procs` processors out of an `available`
+    /// machine — `P in 1..max_procs` with the current implementation's
+    /// "largest feasible P" policy (§2.1).
+    pub fn largest_1d(available: usize, max_procs: usize) -> Self {
+        let p = available.min(max_procs).max(1);
+        ProcGrid::new_1d(p)
+    }
+
+    /// Extents of each grid dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of grid dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of processors in the grid.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the grid contains exactly one processor.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Convert a linear rank to grid coordinates (row-major).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.len(), "rank {rank} outside grid of {}", self.len());
+        let mut rest = rank;
+        let mut coords = vec![0; self.dims.len()];
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            coords[i] = rest % d;
+            rest /= d;
+        }
+        coords
+    }
+
+    /// Convert grid coordinates to a linear rank (row-major).
+    pub fn rank(&self, coords: &[usize]) -> usize {
+        assert_eq!(
+            coords.len(),
+            self.dims.len(),
+            "coordinate arity does not match grid dimensionality"
+        );
+        let mut rank = 0;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            assert!(c < d, "coordinate {c} outside dimension extent {d}");
+            rank = rank * d + c;
+        }
+        rank
+    }
+
+    /// Extent of the given grid dimension.
+    pub fn extent(&self, dim: usize) -> usize {
+        self.dims[dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_grid() {
+        let g = ProcGrid::new_1d(8);
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.ndims(), 1);
+        assert_eq!(g.coords(5), vec![5]);
+        assert_eq!(g.rank(&[5]), 5);
+    }
+
+    #[test]
+    fn two_dimensional_roundtrip() {
+        let g = ProcGrid::new_2d(3, 4);
+        assert_eq!(g.len(), 12);
+        for r in 0..12 {
+            assert_eq!(g.rank(&g.coords(r)), r);
+        }
+        assert_eq!(g.coords(7), vec![1, 3]);
+        assert_eq!(g.rank(&[2, 0]), 8);
+    }
+
+    #[test]
+    fn three_dimensional_roundtrip() {
+        let g = ProcGrid::new(&[2, 3, 4]);
+        assert_eq!(g.len(), 24);
+        for r in 0..24 {
+            assert_eq!(g.rank(&g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn largest_1d_respects_bounds() {
+        assert_eq!(ProcGrid::largest_1d(128, 64).len(), 64);
+        assert_eq!(ProcGrid::largest_1d(32, 64).len(), 32);
+        assert_eq!(ProcGrid::largest_1d(0, 64).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn rank_out_of_range_panics() {
+        ProcGrid::new_1d(4).coords(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_grid_panics() {
+        ProcGrid::new_1d(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # distrib — processor arrays and data distributions
+//!
+//! This crate implements the *data mapping* half of the Kali programming
+//! model (Koelbel, Mehrotra, Van Rosendale, PPoPP 1990, §2):
+//!
+//! * **Processor arrays** ([`ProcGrid`]) — the `processors Procs:
+//!   array[1..P]` declaration of the paper.  A grid can be one- or
+//!   multi-dimensional; processor ranks are mapped to grid coordinates in
+//!   row-major order.
+//! * **Distribution patterns** ([`DimDist`]) — `dist by [block]`,
+//!   `[cyclic]`, `[block-cyclic(b)]`, replication, and user-defined
+//!   distributions given by an explicit owner table.  Mathematically a
+//!   distribution is the paper's `local : Proc → 2^Arr` function; this crate
+//!   provides `owner(i)`, `local_indices(p)`, `local_index(i)` and
+//!   `global_index(p, l)` views of it, all mutually consistent.
+//! * **Index sets** ([`IndexSet`]) — sets of disjoint, sorted index ranges
+//!   with union / intersection / difference.  The paper's analysis is
+//!   phrased entirely in terms of such sets (`exec(p)`, `ref(p)`,
+//!   `in(p,q)`, `out(p,q)`); `kali-core` reuses this type for both the
+//!   compile-time closed forms and the run-time inspector.
+//! * **Multi-dimensional decompositions** ([`ArrayDist`]) — one pattern per
+//!   array dimension, with `*` (non-distributed) dimensions, matching the
+//!   `dist by [block, *]` declarations of Figure 1.
+//!
+//! The analysis layer in `kali-core` is written purely against these
+//! interfaces, so new distribution patterns automatically work with the
+//! run-time (inspector/executor) analysis, and work with the compile-time
+//! analysis whenever closed forms exist.
+
+pub mod dist;
+pub mod grid;
+pub mod index;
+pub mod multi;
+
+pub use dist::DimDist;
+pub use grid::ProcGrid;
+pub use index::{IndexRange, IndexSet};
+pub use multi::{ArrayDist, DimAssign};

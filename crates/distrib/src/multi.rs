@@ -1,0 +1,335 @@
+//! Multi-dimensional array decompositions (paper §2.2, Figure 1).
+//!
+//! Kali distributes an array by giving one pattern per array dimension —
+//! `dist by [block, *]` distributes the rows by blocks and keeps whole rows
+//! together (`*` means "not distributed").  The number of distributed
+//! dimensions must match the dimensionality of the processor array, exactly
+//! as in the paper.  Arrays with no `dist` clause are replicated.
+
+use crate::dist::DimDist;
+use crate::grid::ProcGrid;
+
+/// How one array dimension is mapped.
+#[derive(Debug, Clone)]
+pub enum DimAssign {
+    /// The dimension is distributed across one dimension of the processor
+    /// grid using the given pattern.
+    Distributed(DimDist),
+    /// The dimension is not distributed (`*` in Kali): every owner of the
+    /// distributed dimensions stores the full extent of this dimension.
+    Star(usize),
+}
+
+impl DimAssign {
+    /// Extent of the array dimension.
+    pub fn extent(&self) -> usize {
+        match self {
+            DimAssign::Distributed(d) => d.n(),
+            DimAssign::Star(n) => *n,
+        }
+    }
+}
+
+/// The distribution of a (possibly multi-dimensional) array over a
+/// processor grid.
+#[derive(Debug, Clone)]
+pub struct ArrayDist {
+    grid: ProcGrid,
+    dims: Vec<DimAssign>,
+    /// Positions of the distributed dimensions, in array-dimension order.
+    distributed_dims: Vec<usize>,
+}
+
+impl ArrayDist {
+    /// Create a distribution.  The number of [`DimAssign::Distributed`]
+    /// entries must equal the dimensionality of the processor grid (the
+    /// paper's rule), and each distributed dimension must be spread over the
+    /// same number of processors as the corresponding grid dimension.
+    pub fn new(grid: ProcGrid, dims: Vec<DimAssign>) -> Self {
+        let distributed_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| matches!(d, DimAssign::Distributed(_)).then_some(i))
+            .collect();
+        assert_eq!(
+            distributed_dims.len(),
+            grid.ndims(),
+            "the number of distributed array dimensions ({}) must match the \
+             processor-array dimensionality ({})",
+            distributed_dims.len(),
+            grid.ndims()
+        );
+        for (k, &dim) in distributed_dims.iter().enumerate() {
+            if let DimAssign::Distributed(d) = &dims[dim] {
+                assert_eq!(
+                    d.nprocs(),
+                    grid.extent(k),
+                    "array dimension {dim} is distributed over {} processors but grid \
+                     dimension {k} has extent {}",
+                    d.nprocs(),
+                    grid.extent(k)
+                );
+            }
+        }
+        ArrayDist {
+            grid,
+            dims,
+            distributed_dims,
+        }
+    }
+
+    /// A fully replicated array (no `dist` clause): one copy per processor.
+    pub fn replicated(grid: ProcGrid, shape: &[usize]) -> Self {
+        let dims = shape.iter().map(|&n| DimAssign::Star(n)).collect();
+        ArrayDist {
+            grid,
+            dims,
+            distributed_dims: Vec::new(),
+        }
+    }
+
+    /// A one-dimensional array distributed by blocks over a 1-D grid —
+    /// the most common declaration in the paper (`dist by [ block ]`).
+    pub fn block_1d(n: usize, p: usize) -> Self {
+        ArrayDist::new(
+            ProcGrid::new_1d(p),
+            vec![DimAssign::Distributed(DimDist::block(n, p))],
+        )
+    }
+
+    /// A two-dimensional array whose rows are distributed by blocks and whose
+    /// columns stay together (`dist by [ block, * ]`), as used for the `adj`
+    /// and `coef` arrays in Figure 4.
+    pub fn block_rows(rows: usize, cols: usize, p: usize) -> Self {
+        ArrayDist::new(
+            ProcGrid::new_1d(p),
+            vec![
+                DimAssign::Distributed(DimDist::block(rows, p)),
+                DimAssign::Star(cols),
+            ],
+        )
+    }
+
+    /// The processor grid this array is distributed over.
+    pub fn grid(&self) -> &ProcGrid {
+        &self.grid
+    }
+
+    /// Shape of the global array.
+    pub fn shape(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.extent()).collect()
+    }
+
+    /// Per-dimension assignments.
+    pub fn dims(&self) -> &[DimAssign] {
+        &self.dims
+    }
+
+    /// True when the array is fully replicated.
+    pub fn is_replicated(&self) -> bool {
+        self.distributed_dims.is_empty()
+    }
+
+    /// Owning processor rank of a global multi-index, or `None` for a
+    /// replicated array (every processor holds a copy).
+    pub fn owner(&self, index: &[usize]) -> Option<usize> {
+        assert_eq!(index.len(), self.dims.len(), "index arity mismatch");
+        if self.is_replicated() {
+            return None;
+        }
+        let coords: Vec<usize> = self
+            .distributed_dims
+            .iter()
+            .map(|&dim| match &self.dims[dim] {
+                DimAssign::Distributed(d) => d.owner(index[dim]),
+                DimAssign::Star(_) => unreachable!(),
+            })
+            .collect();
+        Some(self.grid.rank(&coords))
+    }
+
+    /// True when processor `rank` stores the element at `index` (always true
+    /// for replicated arrays).
+    pub fn is_local(&self, rank: usize, index: &[usize]) -> bool {
+        self.owner(index).map_or(true, |o| o == rank)
+    }
+
+    /// Shape of the local piece stored on `rank`.
+    pub fn local_shape(&self, rank: usize) -> Vec<usize> {
+        let coords = if self.is_replicated() {
+            Vec::new()
+        } else {
+            self.grid.coords(rank)
+        };
+        let mut k = 0usize;
+        self.dims
+            .iter()
+            .map(|d| match d {
+                DimAssign::Distributed(dist) => {
+                    let c = coords[k];
+                    k += 1;
+                    dist.local_count(c)
+                }
+                DimAssign::Star(n) => *n,
+            })
+            .collect()
+    }
+
+    /// Number of elements stored on `rank`.
+    pub fn local_len(&self, rank: usize) -> usize {
+        self.local_shape(rank).iter().product()
+    }
+
+    /// Translate a global multi-index into the owner's local multi-index.
+    pub fn global_to_local(&self, index: &[usize]) -> Vec<usize> {
+        assert_eq!(index.len(), self.dims.len(), "index arity mismatch");
+        self.dims
+            .iter()
+            .zip(index)
+            .map(|(d, &i)| match d {
+                DimAssign::Distributed(dist) => dist.local_index(i),
+                DimAssign::Star(_) => i,
+            })
+            .collect()
+    }
+
+    /// Translate a local multi-index on `rank` back to the global index.
+    pub fn local_to_global(&self, rank: usize, local: &[usize]) -> Vec<usize> {
+        assert_eq!(local.len(), self.dims.len(), "index arity mismatch");
+        let coords = if self.is_replicated() {
+            Vec::new()
+        } else {
+            self.grid.coords(rank)
+        };
+        let mut k = 0usize;
+        self.dims
+            .iter()
+            .zip(local)
+            .map(|(d, &l)| match d {
+                DimAssign::Distributed(dist) => {
+                    let c = coords[k];
+                    k += 1;
+                    dist.global_index(c, l)
+                }
+                DimAssign::Star(_) => l,
+            })
+            .collect()
+    }
+
+    /// The distribution pattern of array dimension 0, if it is distributed.
+    ///
+    /// The paper's example programs all distribute the first dimension and
+    /// keep the rest with `*`, so this accessor is used heavily by the
+    /// solver layer.
+    pub fn row_dist(&self) -> Option<&DimDist> {
+        match self.dims.first() {
+            Some(DimAssign::Distributed(d)) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_1d_owner_and_roundtrip() {
+        let a = ArrayDist::block_1d(100, 4);
+        assert_eq!(a.shape(), vec![100]);
+        assert_eq!(a.owner(&[0]), Some(0));
+        assert_eq!(a.owner(&[99]), Some(3));
+        assert_eq!(a.local_shape(1), vec![25]);
+        let l = a.global_to_local(&[30]);
+        assert_eq!(a.local_to_global(1, &l), vec![30]);
+    }
+
+    #[test]
+    fn block_rows_keeps_columns_together() {
+        let a = ArrayDist::block_rows(16, 4, 4);
+        assert_eq!(a.shape(), vec![16, 4]);
+        // Whole rows live on one processor regardless of column.
+        for j in 0..4 {
+            assert_eq!(a.owner(&[5, j]), Some(1));
+        }
+        assert_eq!(a.local_shape(2), vec![4, 4]);
+        assert_eq!(a.local_len(2), 16);
+        let l = a.global_to_local(&[9, 3]);
+        assert_eq!(l, vec![1, 3]);
+        assert_eq!(a.local_to_global(2, &l), vec![9, 3]);
+    }
+
+    #[test]
+    fn replicated_arrays_have_no_owner() {
+        let a = ArrayDist::replicated(ProcGrid::new_1d(4), &[10, 10]);
+        assert!(a.is_replicated());
+        assert_eq!(a.owner(&[3, 3]), None);
+        assert!(a.is_local(2, &[3, 3]));
+        assert_eq!(a.local_shape(0), vec![10, 10]);
+    }
+
+    #[test]
+    fn two_dimensional_grid_distribution() {
+        // A 6x6 array distributed [block, cyclic] over a 2x3 grid.
+        let grid = ProcGrid::new_2d(2, 3);
+        let a = ArrayDist::new(
+            grid,
+            vec![
+                DimAssign::Distributed(DimDist::block(6, 2)),
+                DimAssign::Distributed(DimDist::cyclic(6, 3)),
+            ],
+        );
+        // Element (4, 5): row block 1, column 5 % 3 = 2 -> rank 1*3+2 = 5.
+        assert_eq!(a.owner(&[4, 5]), Some(5));
+        // Every element has exactly one owner and roundtrips.
+        let mut counts = vec![0usize; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                let o = a.owner(&[i, j]).unwrap();
+                counts[o] += 1;
+                let l = a.global_to_local(&[i, j]);
+                assert_eq!(a.local_to_global(o, &l), vec![i, j]);
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 36);
+        for (rank, &c) in counts.iter().enumerate() {
+            assert_eq!(c, a.local_len(rank), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn cyclic_rows_matches_figure_1_array_b() {
+        // Figure 1: B : array[1..N,1..M] dist by [cyclic, *].
+        let a = ArrayDist::new(
+            ProcGrid::new_1d(10),
+            vec![
+                DimAssign::Distributed(DimDist::cyclic(100, 10)),
+                DimAssign::Star(7),
+            ],
+        );
+        // "processor 1 would store elements in rows 1, 11, 21, ..." (0-based:
+        // processor 0 stores rows 0, 10, 20, ...).
+        assert_eq!(a.owner(&[0, 3]), Some(0));
+        assert_eq!(a.owner(&[10, 6]), Some(0));
+        assert_eq!(a.owner(&[21, 0]), Some(1));
+        assert_eq!(a.local_shape(0), vec![10, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_grid_dimensionality_panics() {
+        ArrayDist::new(
+            ProcGrid::new_2d(2, 2),
+            vec![DimAssign::Distributed(DimDist::block(10, 4))],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "has extent")]
+    fn mismatched_processor_count_panics() {
+        ArrayDist::new(
+            ProcGrid::new_1d(4),
+            vec![DimAssign::Distributed(DimDist::block(10, 5))],
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Logical clocks and phase timers.
+//!
+//! Each virtual processor advances a logical clock measured in simulated
+//! seconds.  The clock is the quantity reported in every table of the paper;
+//! phase timers split it into the named phases the paper reports separately
+//! (inspector time, executor time, total time).
+
+use std::collections::BTreeMap;
+
+/// A named break-down of simulated time into phases.
+///
+/// `PhaseTimer` accumulates *clock deltas*: a phase is entered with the
+/// current clock value and left with a later clock value, and the difference
+/// is added to that phase's bucket.  Because buckets are keyed by name in a
+/// `BTreeMap`, reports are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    phases: BTreeMap<String, f64>,
+    open: Option<(String, f64)>,
+}
+
+impl PhaseTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a phase at the given clock value.
+    ///
+    /// Panics if another phase is still open — phases never nest in the
+    /// paper's instrumentation and nesting would double-count time.
+    pub fn start(&mut self, name: &str, clock: f64) {
+        assert!(
+            self.open.is_none(),
+            "phase '{}' started while '{}' is still open",
+            name,
+            self.open.as_ref().map(|(n, _)| n.as_str()).unwrap_or("?")
+        );
+        self.open = Some((name.to_string(), clock));
+    }
+
+    /// End the currently open phase at the given clock value and accumulate
+    /// the elapsed simulated time into its bucket.
+    pub fn stop(&mut self, clock: f64) {
+        let (name, start) = self
+            .open
+            .take()
+            .expect("PhaseTimer::stop called with no open phase");
+        assert!(
+            clock >= start,
+            "clock went backwards in phase '{name}': {start} -> {clock}"
+        );
+        *self.phases.entry(name).or_insert(0.0) += clock - start;
+    }
+
+    /// Add an externally measured amount of time to a phase.
+    pub fn add(&mut self, name: &str, seconds: f64) {
+        *self.phases.entry(name.to_string()).or_insert(0.0) += seconds;
+    }
+
+    /// Accumulated time of a phase (0.0 if the phase never ran).
+    pub fn get(&self, name: &str) -> f64 {
+        self.phases.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.values().sum()
+    }
+
+    /// Iterate over `(phase name, seconds)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merge another timer into this one by taking, for every phase, the
+    /// element-wise **maximum**.  This is how per-processor timers are
+    /// reduced into the machine-wide numbers the paper reports (the slowest
+    /// processor determines the wall clock).
+    pub fn merge_max(&mut self, other: &PhaseTimer) {
+        for (name, &v) in &other.phases {
+            let slot = self.phases.entry(name.clone()).or_insert(0.0);
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_deltas() {
+        let mut t = PhaseTimer::new();
+        t.start("executor", 1.0);
+        t.stop(3.5);
+        t.start("executor", 10.0);
+        t.stop(11.0);
+        t.start("inspector", 11.0);
+        t.stop(11.25);
+        assert!((t.get("executor") - 3.5).abs() < 1e-12);
+        assert!((t.get("inspector") - 0.25).abs() < 1e-12);
+        assert!((t.total() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_phase_reads_zero() {
+        let t = PhaseTimer::new();
+        assert_eq!(t.get("nope"), 0.0);
+        assert_eq!(t.total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn nested_phases_panic() {
+        let mut t = PhaseTimer::new();
+        t.start("a", 0.0);
+        t.start("b", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open phase")]
+    fn stop_without_start_panics() {
+        let mut t = PhaseTimer::new();
+        t.stop(1.0);
+    }
+
+    #[test]
+    fn merge_max_takes_slowest_processor() {
+        let mut a = PhaseTimer::new();
+        a.add("executor", 10.0);
+        a.add("inspector", 1.0);
+        let mut b = PhaseTimer::new();
+        b.add("executor", 8.0);
+        b.add("inspector", 2.0);
+        b.add("extra", 0.5);
+        a.merge_max(&b);
+        assert_eq!(a.get("executor"), 10.0);
+        assert_eq!(a.get("inspector"), 2.0);
+        assert_eq!(a.get("extra"), 0.5);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_name() {
+        let mut t = PhaseTimer::new();
+        t.add("z", 1.0);
+        t.add("a", 2.0);
+        t.add("m", 3.0);
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

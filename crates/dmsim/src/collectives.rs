@@ -1,0 +1,439 @@
+//! Collective operations built on top of point-to-point messaging.
+//!
+//! The paper's run-time system needs three collective patterns:
+//!
+//! * **barrier / reduction** — for convergence tests across sweeps,
+//! * **all-to-all personalised exchange** — the inspector must turn its
+//!   receive lists (`in(p,q)`) into send lists (`out(p,q) = in(q,p)`), which
+//!   the paper does with "a variant of Fox's Crystal router" so that no
+//!   processor becomes a bottleneck (§3.3),
+//! * **broadcast / allgather** — used when replicated data must be set up.
+//!
+//! All collectives are SPMD: every processor must call the same collective
+//! in the same order.  Each invocation reserves a fresh tag so consecutive
+//! collectives can never interfere.
+
+use crate::engine::Proc;
+
+/// Synchronise all processors (dissemination barrier).
+///
+/// After the call, every processor's clock is at least as large as the time
+/// at which the last processor entered the barrier (plus messaging costs).
+pub fn barrier(proc: &mut Proc) {
+    let tag = proc.next_collective_tag();
+    let n = proc.nprocs();
+    if n == 1 {
+        return;
+    }
+    let me = proc.rank();
+    let mut k = 1usize;
+    while k < n {
+        let to = (me + k) % n;
+        let from = (me + n - k % n) % n;
+        proc.send(to, tag + ((k as u64) << 32), 0u8);
+        let _: (usize, u8) = proc.recv_from(from, tag + ((k as u64) << 32));
+        k <<= 1;
+    }
+}
+
+/// All-reduce an arbitrary value with a user-supplied combining function.
+///
+/// Uses recursive doubling on a hypercube when the processor count is a
+/// power of two (the paper's machines), and a gather-to-root + broadcast
+/// fallback otherwise.  The combine function must be associative and
+/// commutative for the result to be well defined.
+pub fn allreduce<T, F>(proc: &mut Proc, value: T, bytes: usize, combine: F) -> T
+where
+    T: Clone + Send + 'static,
+    F: Fn(&T, &T) -> T,
+{
+    let tag = proc.next_collective_tag();
+    let n = proc.nprocs();
+    if n == 1 {
+        return value;
+    }
+    let me = proc.rank();
+    let mut acc = value;
+    if n.is_power_of_two() {
+        let dim = n.trailing_zeros();
+        for d in 0..dim {
+            let partner = me ^ (1usize << d);
+            proc.send_bytes(partner, tag + d as u64, bytes, acc.clone());
+            let (_, other): (usize, T) = proc.recv_from(partner, tag + d as u64);
+            // Combine in a fixed (rank-independent) order so floating-point
+            // results are identical on both partners.
+            acc = if me < partner {
+                combine(&acc, &other)
+            } else {
+                combine(&other, &acc)
+            };
+            proc.charge_flops(1);
+        }
+        acc
+    } else {
+        // Gather to rank 0, reduce there in rank order, then broadcast.
+        if me == 0 {
+            let mut partials: Vec<Option<T>> = vec![None; n];
+            partials[0] = Some(acc);
+            for _ in 1..n {
+                let (src, v): (usize, T) = proc.recv_any(tag);
+                partials[src] = Some(v);
+            }
+            let mut acc = partials[0].take().unwrap();
+            for p in partials.into_iter().skip(1) {
+                acc = combine(&acc, &p.expect("missing partial"));
+                proc.charge_flops(1);
+            }
+            for dst in 1..n {
+                proc.send_bytes(dst, tag + 1, bytes, acc.clone());
+            }
+            acc
+        } else {
+            proc.send_bytes(0, tag, bytes, acc.clone());
+            let (_, v): (usize, T) = proc.recv_from(0, tag + 1);
+            acc = v;
+            acc
+        }
+    }
+}
+
+/// All-reduce of an `f64` sum.
+pub fn allreduce_sum_f64(proc: &mut Proc, value: f64) -> f64 {
+    allreduce(proc, value, 8, |a, b| a + b)
+}
+
+/// All-reduce of an `f64` maximum.
+pub fn allreduce_max_f64(proc: &mut Proc, value: f64) -> f64 {
+    allreduce(proc, value, 8, |a, b| a.max(*b))
+}
+
+/// All-reduce of a `u64` sum.
+pub fn allreduce_sum_u64(proc: &mut Proc, value: u64) -> u64 {
+    allreduce(proc, value, 8, |a, b| a + b)
+}
+
+/// Logical AND across processors (used for convergence tests).
+pub fn allreduce_and(proc: &mut Proc, value: bool) -> bool {
+    allreduce(proc, u8::from(value), 1, |a, b| a & b) != 0
+}
+
+/// Gather one value from every processor onto every processor.
+///
+/// The result vector is indexed by rank.
+pub fn allgather<T>(proc: &mut Proc, value: T, bytes: usize) -> Vec<T>
+where
+    T: Clone + Send + 'static,
+{
+    let tag = proc.next_collective_tag();
+    let n = proc.nprocs();
+    let me = proc.rank();
+    let mut out: Vec<Option<T>> = vec![None; n];
+    out[me] = Some(value.clone());
+    for dst in 0..n {
+        if dst != me {
+            proc.send_bytes(dst, tag, bytes, value.clone());
+        }
+    }
+    for _ in 0..n - 1 {
+        let (src, v): (usize, T) = proc.recv_any(tag);
+        out[src] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("missing rank")).collect()
+}
+
+/// Broadcast a value from `root` to every processor (binomial tree).
+pub fn broadcast<T>(proc: &mut Proc, root: usize, value: Option<T>, bytes: usize) -> T
+where
+    T: Clone + Send + 'static,
+{
+    let tag = proc.next_collective_tag();
+    let n = proc.nprocs();
+    let me = proc.rank();
+    // Work in a coordinate system where the root is rank 0.
+    let rel = (me + n - root) % n;
+    let mut current: Option<T> = if rel == 0 {
+        Some(value.expect("broadcast root must supply a value"))
+    } else {
+        None
+    };
+    // Binomial tree: in round k, ranks < 2^k that hold the value send it to
+    // rank + 2^k (if within range).
+    let mut k = 1usize;
+    // First, non-root ranks wait to receive.
+    if rel != 0 {
+        let (_, v): (usize, T) = proc.recv_any(tag);
+        current = Some(v);
+    }
+    // Determine the round in which `rel` receives: position of highest set bit.
+    // After receiving, it forwards in all later rounds.
+    let start_round = if rel == 0 {
+        1usize
+    } else {
+        // highest power of two <= rel, doubled
+        let h = usize::BITS - 1 - rel.leading_zeros();
+        1usize << (h + 1)
+    };
+    k = k.max(start_round);
+    let val = current.clone().expect("value must be present by now");
+    let mut stride = k;
+    while stride < n.next_power_of_two() {
+        let dst_rel = rel + stride;
+        if rel < stride && dst_rel < n {
+            let dst = (dst_rel + root) % n;
+            proc.send_bytes(dst, tag, bytes, val.clone());
+        }
+        stride <<= 1;
+    }
+    current.expect("broadcast failed to deliver a value")
+}
+
+/// One routed item in an all-to-all personalised exchange: `(destination
+/// rank, payload)`.
+pub type Routed<T> = (usize, T);
+
+/// Fox's crystal router: all-to-all personalised exchange by hypercube
+/// dimension exchange.
+///
+/// Every processor contributes a list of `(destination, item)` pairs and
+/// receives the items destined for it.  At stage `d` each processor
+/// exchanges, with the partner across hypercube dimension `d`, exactly the
+/// items whose destination differs from its own rank in bit `d`.  Each item
+/// therefore travels at most `log2(P)` hops and no processor ever holds more
+/// than its share of the traffic — the property the paper relies on to avoid
+/// bottlenecks.
+///
+/// In addition to the per-message transfer costs, each stage charges the
+/// machine's `router_stage` software overhead (the calibrated cost of the
+/// global concatenation step; see [`CostModel`](crate::CostModel)).
+///
+/// Falls back to [`direct_exchange`] when the processor count is not a power
+/// of two.
+pub fn crystal_router<T>(proc: &mut Proc, items: Vec<Routed<T>>) -> Vec<T>
+where
+    T: Send + 'static,
+{
+    let n = proc.nprocs();
+    if !n.is_power_of_two() || n == 1 {
+        return direct_exchange(proc, items);
+    }
+    let tag = proc.next_collective_tag();
+    let me = proc.rank();
+    let dim = n.trailing_zeros();
+    let item_bytes = std::mem::size_of::<Routed<T>>();
+    let mut current = items;
+    for d in 0..dim {
+        let bit = 1usize << d;
+        let partner = me ^ bit;
+        let (forward, keep): (Vec<Routed<T>>, Vec<Routed<T>>) = current
+            .into_iter()
+            .partition(|(dst, _)| (dst & bit) != (me & bit));
+        // Per-stage software overhead of the global concatenation.
+        proc.charge_seconds(proc.cost().router_stage);
+        // Handling cost proportional to the records touched this stage.
+        let handled = forward.len();
+        proc.charge_seconds(proc.cost().record_handling() * handled as f64);
+        proc.send_bytes(partner, tag + d as u64, forward.len() * item_bytes, forward);
+        let (_, incoming): (usize, Vec<Routed<T>>) = proc.recv_from(partner, tag + d as u64);
+        current = keep;
+        current.extend(incoming);
+    }
+    debug_assert!(current.iter().all(|(dst, _)| *dst == me));
+    current.into_iter().map(|(_, item)| item).collect()
+}
+
+/// Naive all-to-all personalised exchange: every processor sends one message
+/// (possibly empty) directly to every other processor.
+///
+/// This is the baseline the crystal router is compared against in the
+/// ablation benchmarks; it is also the fallback for non-power-of-two
+/// processor counts.
+pub fn direct_exchange<T>(proc: &mut Proc, items: Vec<Routed<T>>) -> Vec<T>
+where
+    T: Send + 'static,
+{
+    let tag = proc.next_collective_tag();
+    let n = proc.nprocs();
+    let me = proc.rank();
+    let item_bytes = std::mem::size_of::<T>();
+    // Bucket items by destination.
+    let mut buckets: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (dst, item) in items {
+        assert!(dst < n, "routed item addressed to rank {dst} of {n}");
+        buckets[dst].push(item);
+    }
+    let mut mine = std::mem::take(&mut buckets[me]);
+    for (dst, bucket) in buckets.into_iter().enumerate() {
+        if dst == me {
+            continue;
+        }
+        proc.charge_seconds(proc.cost().record_handling() * bucket.len() as f64);
+        proc.send_bytes(dst, tag, bucket.len() * item_bytes, bucket);
+    }
+    for _ in 0..n - 1 {
+        let (_, incoming): (usize, Vec<T>) = proc.recv_any(tag);
+        mine.extend(incoming);
+    }
+    mine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Machine};
+
+    #[test]
+    fn barrier_completes_on_various_sizes() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let m = Machine::new(n, CostModel::ideal());
+            let r = m.run(|p| {
+                barrier(p);
+                barrier(p);
+                p.rank()
+            });
+            assert_eq!(r.len(), n);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_sequential_sum() {
+        for n in [1, 2, 4, 5, 8, 16] {
+            let m = Machine::new(n, CostModel::ideal());
+            let r = m.run(|p| allreduce_sum_f64(p, (p.rank() + 1) as f64));
+            let expected = (n * (n + 1) / 2) as f64;
+            for v in r {
+                assert!((v - expected).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_and() {
+        let m = Machine::new(8, CostModel::ideal());
+        let r = m.run(|p| allreduce_max_f64(p, p.rank() as f64));
+        assert!(r.iter().all(|&v| v == 7.0));
+        let r = m.run(|p| allreduce_and(p, p.rank() != 3));
+        assert!(r.iter().all(|&v| !v));
+        let r = m.run(|p| allreduce_and(p, true));
+        assert!(r.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn allreduce_results_identical_on_all_ranks() {
+        let m = Machine::new(16, CostModel::ncube7());
+        let r = m.run(|p| allreduce_sum_f64(p, 0.1 * (p.rank() as f64 + 1.0)));
+        for w in r.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits(), "bitwise identical sums");
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for n in [1, 3, 4, 8] {
+            let m = Machine::new(n, CostModel::ideal());
+            let r = m.run(|p| allgather(p, p.rank() as u64 * 10, 8));
+            let expected: Vec<u64> = (0..n as u64).map(|r| r * 10).collect();
+            for v in r {
+                assert_eq!(v, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for n in [1, 2, 4, 5, 8] {
+            for root in 0..n {
+                let m = Machine::new(n, CostModel::ideal());
+                let r = m.run(|p| {
+                    let value = if p.rank() == root { Some(42u64 + root as u64) } else { None };
+                    broadcast(p, root, value, 8)
+                });
+                assert!(r.iter().all(|&v| v == 42 + root as u64), "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn crystal_router_delivers_all_items_to_their_destinations() {
+        for n in [2usize, 4, 8, 16] {
+            let m = Machine::new(n, CostModel::ideal());
+            let r = m.run(|p| {
+                // Every processor sends (me, dst) to every dst including itself.
+                let items: Vec<Routed<(usize, usize)>> =
+                    (0..p.nprocs()).map(|dst| (dst, (p.rank(), dst))).collect();
+                let mut got = crystal_router(p, items);
+                got.sort_unstable();
+                got
+            });
+            for (rank, got) in r.into_iter().enumerate() {
+                let expected: Vec<(usize, usize)> = (0..n).map(|src| (src, rank)).collect();
+                assert_eq!(got, expected, "n={n} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_exchange_matches_crystal_router_contents() {
+        let n = 8;
+        let m = Machine::new(n, CostModel::ideal());
+        let build = |p: &Proc| -> Vec<Routed<u64>> {
+            (0..p.nprocs())
+                .filter(|&d| d != p.rank())
+                .map(|d| (d, (p.rank() * 100 + d) as u64))
+                .collect()
+        };
+        let via_router = m.run(|p| {
+            let mut v = crystal_router(p, build(p));
+            v.sort_unstable();
+            v
+        });
+        let via_direct = m.run(|p| {
+            let mut v = direct_exchange(p, build(p));
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(via_router, via_direct);
+    }
+
+    #[test]
+    fn crystal_router_handles_empty_and_uneven_loads() {
+        let m = Machine::new(8, CostModel::ideal());
+        let r = m.run(|p| {
+            // Only rank 0 sends anything, and everything goes to rank 7.
+            let items: Vec<Routed<u32>> = if p.rank() == 0 {
+                (0..100).map(|i| (7usize, i)).collect()
+            } else {
+                Vec::new()
+            };
+            crystal_router(p, items).len()
+        });
+        assert_eq!(r[7], 100);
+        assert!(r[..7].iter().all(|&len| len == 0));
+    }
+
+    #[test]
+    fn crystal_router_charges_router_stage_per_dimension() {
+        let mut cost = CostModel::ideal();
+        cost.router_stage = 1.0;
+        let m = Machine::new(8, cost);
+        let (_, stats) = m.run_stats(|p| {
+            let _ = crystal_router::<u8>(p, Vec::new());
+        });
+        // 8 processors -> 3 dimensions -> 3 seconds of stage overhead.
+        assert!((stats.time - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back_to_direct_exchange() {
+        let m = Machine::new(6, CostModel::ideal());
+        let r = m.run(|p| {
+            let items: Vec<Routed<usize>> =
+                (0..p.nprocs()).map(|d| (d, p.rank())).collect();
+            let mut got = crystal_router(p, items);
+            got.sort_unstable();
+            got
+        });
+        for got in r {
+            assert_eq!(got, (0..6).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Machine cost models.
+//!
+//! The paper reports absolute wall-clock times on an NCUBE/7 and an Intel
+//! iPSC/2.  We reproduce those experiments on a simulator, so the numbers we
+//! report are *simulated seconds* produced by a per-machine cost model.  The
+//! presets below are calibrated so that
+//!
+//! * the per-node-update compute cost matches the order of magnitude implied
+//!   by the paper's 2-processor rows (≈ 300 µs/node on the NCUBE/7,
+//!   ≈ 75 µs/node on the iPSC/2 for the 5-point Jacobi kernel),
+//! * the iPSC/2 has markedly cheaper small messages and procedure calls than
+//!   the NCUBE/7 — the property the paper uses to explain why inspector
+//!   overhead is almost invisible on the iPSC, and
+//! * the inspector's global-concatenation phase costs an amount proportional
+//!   to the hypercube dimension, with a much larger per-dimension constant on
+//!   the NCUBE/7 (`router_stage` below), reproducing the U-shaped inspector
+//!   time curve of Figure 7.
+//!
+//! All times are in seconds.
+
+/// Per-operation costs of a simulated machine, in seconds.
+///
+/// The model has two halves:
+///
+/// * **Computation** — `flop`, `mem_ref`, `loop_iter`, `call`.  Library code
+///   charges these explicitly through [`Proc`](crate::Proc) helpers
+///   (`charge_flops`, `charge_mem_refs`, …).
+/// * **Communication** — `msg_latency`, `byte`, `hop`, `send_overhead`,
+///   `recv_overhead`, plus `router_stage`, the per-hypercube-dimension
+///   software overhead of the crystal-router global concatenation used by the
+///   inspector (see §3.3 and §4 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Human-readable machine name (used in reports).
+    pub name: &'static str,
+    /// One floating-point operation.
+    pub flop: f64,
+    /// One local memory reference (load or store through an index).
+    pub mem_ref: f64,
+    /// Per-iteration loop control overhead.
+    pub loop_iter: f64,
+    /// One procedure call (the paper blames slow NCUBE calls for the
+    /// run-time system's search overhead).
+    pub call: f64,
+    /// Fixed software + network start-up cost per message.
+    pub msg_latency: f64,
+    /// Transfer cost per byte.
+    pub byte: f64,
+    /// Additional cost per network hop beyond the first.
+    pub hop: f64,
+    /// CPU time consumed on the sender to issue a send.
+    pub send_overhead: f64,
+    /// CPU time consumed on the receiver to complete a receive.
+    pub recv_overhead: f64,
+    /// Per-stage (per hypercube dimension) software cost of the global
+    /// concatenation / crystal-router exchange used by the inspector.
+    pub router_stage: f64,
+}
+
+impl CostModel {
+    /// NCUBE/7 hypercube (up to 128 nodes in the paper's experiments).
+    ///
+    /// Slow scalar nodes, expensive procedure calls, expensive small
+    /// messages and a very expensive global-combine stage.
+    pub fn ncube7() -> Self {
+        CostModel {
+            name: "NCUBE/7",
+            flop: 7.0e-6,
+            mem_ref: 5.0e-6,
+            loop_iter: 1.4e-5,
+            call: 2.4e-5,
+            msg_latency: 4.0e-4,
+            byte: 2.6e-6,
+            hop: 1.0e-5,
+            send_overhead: 2.5e-3,
+            recv_overhead: 2.5e-3,
+            router_stage: 0.19,
+        }
+    }
+
+    /// Intel iPSC/2 hypercube (up to 32 nodes in the paper's experiments).
+    ///
+    /// Roughly 4× faster scalar nodes than the NCUBE/7, an order of magnitude
+    /// cheaper procedure calls, and much cheaper small messages.
+    pub fn ipsc2() -> Self {
+        CostModel {
+            name: "iPSC/2",
+            flop: 2.8e-6,
+            mem_ref: 1.3e-6,
+            loop_iter: 2.8e-6,
+            call: 2.5e-6,
+            msg_latency: 3.0e-4,
+            byte: 3.6e-7,
+            hop: 5.0e-6,
+            send_overhead: 2.0e-4,
+            recv_overhead: 2.0e-4,
+            router_stage: 3.0e-3,
+        }
+    }
+
+    /// An idealised machine: computation is free and communication is free.
+    ///
+    /// Useful for functional tests where only message *contents* matter.
+    pub fn ideal() -> Self {
+        CostModel {
+            name: "ideal",
+            flop: 0.0,
+            mem_ref: 0.0,
+            loop_iter: 0.0,
+            call: 0.0,
+            msg_latency: 0.0,
+            byte: 0.0,
+            hop: 0.0,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            router_stage: 0.0,
+        }
+    }
+
+    /// A generic "modern cluster"-flavoured model: fast compute, relatively
+    /// expensive latency.  Used by some extension benchmarks; not part of the
+    /// paper's evaluation.
+    pub fn cluster() -> Self {
+        CostModel {
+            name: "cluster",
+            flop: 1.0e-9,
+            mem_ref: 2.0e-9,
+            loop_iter: 1.0e-9,
+            call: 5.0e-9,
+            msg_latency: 2.0e-6,
+            byte: 1.0e-10,
+            hop: 1.0e-7,
+            send_overhead: 5.0e-7,
+            recv_overhead: 5.0e-7,
+            router_stage: 1.0e-5,
+        }
+    }
+
+    /// Transfer time of a message of `bytes` bytes over `hops` hops,
+    /// excluding sender/receiver CPU overheads.
+    pub fn transfer_time(&self, bytes: usize, hops: usize) -> f64 {
+        self.msg_latency + self.byte * bytes as f64 + self.hop * hops.saturating_sub(1) as f64
+    }
+
+    /// Cost of the inspector's per-reference locality check: one procedure
+    /// call, one loop iteration of control, three memory references (the
+    /// indirection array, the owner table/bounds, the list append) and one
+    /// arithmetic op.
+    pub fn locality_check(&self) -> f64 {
+        self.call + self.loop_iter + 3.0 * self.mem_ref + self.flop
+    }
+
+    /// Cost of accessing one element of a distributed array from inside an
+    /// executor loop body when the element is local: global→local index
+    /// translation plus the load itself.
+    pub fn local_access(&self) -> f64 {
+        self.flop + 2.0 * self.mem_ref
+    }
+
+    /// Cost of accessing one *nonlocal* element from the receive buffer: a
+    /// procedure call plus `log2(ranges)` binary-search steps, each a compare
+    /// and a memory reference, plus the final load.
+    pub fn nonlocal_access(&self, ranges: usize) -> f64 {
+        let steps = (ranges.max(1) as f64).log2().ceil().max(1.0);
+        self.call + steps * (self.flop + self.mem_ref) + self.mem_ref
+    }
+
+    /// CPU cost charged per record handled while building / merging the
+    /// inspector's range lists.
+    pub fn record_handling(&self) -> f64 {
+        self.call + 2.0 * self.mem_ref
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        let n = CostModel::ncube7();
+        let i = CostModel::ipsc2();
+        // iPSC/2 is faster in every dimension the paper calls out.
+        assert!(i.flop < n.flop);
+        assert!(i.call < n.call);
+        assert!(i.msg_latency < n.msg_latency);
+        assert!(i.byte < n.byte);
+        assert!(i.router_stage < n.router_stage);
+    }
+
+    #[test]
+    fn ideal_machine_is_free() {
+        let c = CostModel::ideal();
+        assert_eq!(c.transfer_time(1 << 20, 7), 0.0);
+        assert_eq!(c.locality_check(), 0.0);
+        assert_eq!(c.nonlocal_access(1024), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes_and_hops() {
+        let c = CostModel::ncube7();
+        let t1 = c.transfer_time(100, 1);
+        let t2 = c.transfer_time(200, 1);
+        let t3 = c.transfer_time(100, 3);
+        assert!(t2 > t1);
+        assert!(t3 > t1);
+        assert!((t2 - t1 - 100.0 * c.byte).abs() < 1e-12);
+        assert!((t3 - t1 - 2.0 * c.hop).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_check_magnitudes_match_calibration() {
+        // These magnitudes anchor the inspector rows of Figures 7 and 8:
+        // ≈ 58 µs per reference on the NCUBE/7, ≈ 10 µs on the iPSC/2.
+        let n = CostModel::ncube7().locality_check();
+        let i = CostModel::ipsc2().locality_check();
+        assert!(n > 4.0e-5 && n < 8.0e-5, "ncube check = {n}");
+        assert!(i > 5.0e-6 && i < 2.0e-5, "ipsc check = {i}");
+    }
+
+    #[test]
+    fn nonlocal_access_grows_logarithmically() {
+        let c = CostModel::ncube7();
+        let a = c.nonlocal_access(2);
+        let b = c.nonlocal_access(16);
+        let d = c.nonlocal_access(256);
+        assert!(b > a);
+        assert!(d > b);
+        // Four doublings from 16 to 256 adds four search steps.
+        let step = c.flop + c.mem_ref;
+        assert!((d - b - 4.0 * step).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! # dmsim — a distributed-memory machine simulator
+//!
+//! This crate provides the *machine substrate* for the Kali reproduction
+//! (Koelbel, Mehrotra, Van Rosendale, PPoPP 1990).  The paper ran on two
+//! hypercube multicomputers — the NCUBE/7 and the Intel iPSC/2 — which no
+//! longer exist.  `dmsim` replaces them with a deterministic simulation:
+//!
+//! * **SPMD execution.**  A [`Machine`] runs one OS thread per *virtual
+//!   processor*.  Each virtual processor owns a [`Proc`] handle through which
+//!   it can [`send`](Proc::send), [`recv`](Proc::recv), and participate in
+//!   collective operations (barriers, reductions, and the crystal-router
+//!   all-to-all used by the paper's inspector).
+//! * **Logical clocks.**  Every processor carries a logical clock measured in
+//!   *simulated seconds*.  Computation advances the clock through the
+//!   [`CostModel`] (per-flop, per-memory-reference, per-loop-iteration and
+//!   per-procedure-call charges); messages advance it through the usual
+//!   `latency + bytes × per-byte` model plus per-hop routing charges on the
+//!   chosen [`Topology`].  Receive operations merge the sender's timestamp,
+//!   so the final clocks are a deterministic function of the program and the
+//!   cost model, independent of host scheduling.
+//! * **Machine presets.**  [`CostModel::ncube7`] and [`CostModel::ipsc2`]
+//!   are calibrated so the experiments in the paper land in the same range
+//!   and — more importantly — have the same *shape* (scaling curves,
+//!   overhead ratios, crossover points).  [`CostModel::ideal`] charges no
+//!   communication costs and is useful in tests.
+//!
+//! The crate is deliberately independent of the Kali layer: it only knows
+//! about processors, messages and time.  Everything specific to global name
+//! spaces, distributions and inspector/executor analysis lives in the
+//! `distrib` and `kali-core` crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use dmsim::{Machine, CostModel};
+//!
+//! // Four virtual processors on an ideal machine: a ring shift.
+//! let machine = Machine::new(4, CostModel::ideal());
+//! let results = machine.run(|proc| {
+//!     let right = (proc.rank() + 1) % proc.nprocs();
+//!     let left = (proc.rank() + proc.nprocs() - 1) % proc.nprocs();
+//!     proc.send(right, 7, proc.rank() as u64);
+//!     let (_, v): (usize, u64) = proc.recv_from(left, 7);
+//!     v
+//! });
+//! assert_eq!(results, vec![3, 0, 1, 2]);
+//! ```
+
+pub mod clock;
+pub mod collectives;
+pub mod cost;
+pub mod engine;
+pub mod message;
+pub mod stats;
+pub mod topology;
+
+pub use clock::PhaseTimer;
+pub use cost::CostModel;
+pub use engine::{Machine, Proc};
+pub use message::{payload_bytes, Envelope, Tag};
+pub use stats::{Counters, RunStats};
+pub use topology::Topology;
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::clock::PhaseTimer;
+    pub use crate::collectives;
+    pub use crate::cost::CostModel;
+    pub use crate::engine::{Machine, Proc};
+    pub use crate::stats::{Counters, RunStats};
+    pub use crate::topology::Topology;
+}

@@ -1,0 +1,99 @@
+//! Message envelopes exchanged between virtual processors.
+//!
+//! Payloads are type-erased (`Box<dyn Any + Send>`) so that a program can
+//! exchange arbitrary `Send + 'static` values — range-record lists, slices of
+//! floats, scalars — without the engine having to know about them.  The
+//! *simulated* size of a message is tracked separately from its in-memory
+//! representation so the cost model can charge realistic byte counts.
+
+use std::any::Any;
+
+/// Message tag, used to match sends with receives (like MPI tags).
+pub type Tag = u64;
+
+/// A message in flight between two virtual processors.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Rank of the sending processor.
+    pub src: usize,
+    /// Rank of the destination processor.
+    pub dst: usize,
+    /// User-chosen tag; receives match on `(src, tag)`.
+    pub tag: Tag,
+    /// Simulated payload size in bytes (used by the cost model).
+    pub bytes: usize,
+    /// Simulated time at which the message is fully available at `dst`.
+    pub arrival: f64,
+    /// The actual data.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// Attempt to downcast the payload to `T`, consuming the envelope.
+    ///
+    /// Panics with a descriptive message on a type mismatch: a mismatch is a
+    /// programming error in the SPMD program (the equivalent of an MPI type
+    /// error) and never recoverable.
+    pub fn into_payload<T: 'static>(self) -> T {
+        *self
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "message payload type mismatch: src={} dst={} tag={} expected {}",
+                    self.src,
+                    self.dst,
+                    self.tag,
+                    std::any::type_name::<T>()
+                )
+            })
+    }
+}
+
+/// Simulated wire size, in bytes, of a slice of `T`.
+///
+/// This is the number the cost model charges for; it deliberately ignores
+/// any headers or padding of the host representation.
+pub fn payload_bytes<T>(len: usize) -> usize {
+    len * std::mem::size_of::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downcast_roundtrip() {
+        let env = Envelope {
+            src: 1,
+            dst: 2,
+            tag: 7,
+            bytes: 24,
+            arrival: 0.5,
+            payload: Box::new(vec![1.0f64, 2.0, 3.0]),
+        };
+        let v: Vec<f64> = env.into_payload();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn downcast_wrong_type_panics() {
+        let env = Envelope {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            bytes: 8,
+            arrival: 0.0,
+            payload: Box::new(42u64),
+        };
+        let _: Vec<f64> = env.into_payload();
+    }
+
+    #[test]
+    fn payload_bytes_counts_element_size() {
+        assert_eq!(payload_bytes::<f64>(10), 80);
+        assert_eq!(payload_bytes::<u8>(10), 10);
+        assert_eq!(payload_bytes::<(u32, u32)>(4), 32);
+    }
+}

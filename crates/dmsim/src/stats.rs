@@ -1,0 +1,170 @@
+//! Per-processor operation counters and machine-wide run statistics.
+//!
+//! Counters are pure bookkeeping — they do not influence the logical clock —
+//! and are used by tests ("did the executor really send only one message per
+//! neighbour?") and by the benchmark tables (message counts, communication
+//! volume).
+
+/// Operation counters accumulated by one virtual processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Number of point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Number of point-to-point messages received.
+    pub msgs_recv: u64,
+    /// Total simulated payload bytes sent.
+    pub bytes_sent: u64,
+    /// Total simulated payload bytes received.
+    pub bytes_recv: u64,
+    /// Floating-point operations charged.
+    pub flops: u64,
+    /// Local memory references charged.
+    pub mem_refs: u64,
+    /// Loop iterations charged.
+    pub loop_iters: u64,
+    /// Procedure calls charged.
+    pub calls: u64,
+}
+
+impl Counters {
+    /// Element-wise sum of two counter sets.
+    pub fn merge(&self, other: &Counters) -> Counters {
+        Counters {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+            flops: self.flops + other.flops,
+            mem_refs: self.mem_refs + other.mem_refs,
+            loop_iters: self.loop_iters + other.loop_iters,
+            calls: self.calls + other.calls,
+        }
+    }
+}
+
+/// Machine-wide statistics assembled after an SPMD run.
+///
+/// `time` is the maximum final clock over all processors — the quantity the
+/// paper's tables call "total time".  `totals` sums the counters of every
+/// processor; `per_proc` keeps the raw per-processor data for detailed
+/// reporting.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Maximum final logical clock across processors (simulated seconds).
+    pub time: f64,
+    /// Final logical clock of each processor.
+    pub clocks: Vec<f64>,
+    /// Per-processor counters.
+    pub per_proc: Vec<Counters>,
+    /// Sum of all per-processor counters.
+    pub totals: Counters,
+}
+
+impl RunStats {
+    /// Build machine-wide statistics from per-processor clocks and counters.
+    pub fn from_parts(clocks: Vec<f64>, per_proc: Vec<Counters>) -> Self {
+        assert_eq!(clocks.len(), per_proc.len());
+        let time = clocks.iter().copied().fold(0.0f64, f64::max);
+        let totals = per_proc
+            .iter()
+            .fold(Counters::default(), |acc, c| acc.merge(c));
+        RunStats {
+            time,
+            clocks,
+            per_proc,
+            totals,
+        }
+    }
+
+    /// Number of processors that took part in the run.
+    pub fn nprocs(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Load imbalance: max clock divided by mean clock (1.0 = perfectly
+    /// balanced).  Returns 1.0 for an empty or all-zero run.
+    pub fn imbalance(&self) -> f64 {
+        if self.clocks.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 = self.clocks.iter().sum::<f64>() / self.clocks.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.time / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = Counters {
+            msgs_sent: 1,
+            msgs_recv: 2,
+            bytes_sent: 3,
+            bytes_recv: 4,
+            flops: 5,
+            mem_refs: 6,
+            loop_iters: 7,
+            calls: 8,
+        };
+        let b = Counters {
+            msgs_sent: 10,
+            msgs_recv: 20,
+            bytes_sent: 30,
+            bytes_recv: 40,
+            flops: 50,
+            mem_refs: 60,
+            loop_iters: 70,
+            calls: 80,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.msgs_sent, 11);
+        assert_eq!(m.bytes_recv, 44);
+        assert_eq!(m.calls, 88);
+    }
+
+    #[test]
+    fn run_stats_takes_max_clock_and_sums_counters() {
+        let stats = RunStats::from_parts(
+            vec![1.0, 3.0, 2.0],
+            vec![
+                Counters {
+                    flops: 1,
+                    ..Counters::default()
+                },
+                Counters {
+                    flops: 2,
+                    ..Counters::default()
+                },
+                Counters {
+                    flops: 3,
+                    ..Counters::default()
+                },
+            ],
+        );
+        assert_eq!(stats.time, 3.0);
+        assert_eq!(stats.totals.flops, 6);
+        assert_eq!(stats.nprocs(), 3);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let stats = RunStats::from_parts(vec![2.0, 2.0, 2.0, 2.0], vec![Counters::default(); 4]);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+        let stats = RunStats::from_parts(vec![1.0, 3.0], vec![Counters::default(); 2]);
+        assert!((stats.imbalance() - 1.5).abs() < 1e-12);
+        let empty = RunStats::from_parts(vec![], vec![]);
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = RunStats::from_parts(vec![1.0], vec![]);
+    }
+}

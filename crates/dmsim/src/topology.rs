@@ -1,0 +1,224 @@
+//! Interconnect topologies.
+//!
+//! The paper's machines are binary hypercubes (NCUBE/7 up to 128 nodes,
+//! iPSC/2 up to 32 nodes in the experiments).  The simulator also offers a
+//! 2-D mesh and a fully-connected network, mostly for tests and for checking
+//! that the analysis layer does not silently depend on hypercube structure.
+
+/// Interconnection network shape.
+///
+/// The topology determines the hop count used for the per-hop component of
+/// message cost and the structure of the hypercube collectives (dimension
+/// exchange, crystal router).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Binary hypercube of the given dimension (2^dim nodes).
+    Hypercube { dim: u32 },
+    /// 2-D mesh with the given number of rows and columns, X-Y routed.
+    Mesh2D { rows: usize, cols: usize },
+    /// Fully connected crossbar (every pair is one hop apart).
+    FullyConnected { nodes: usize },
+}
+
+impl Topology {
+    /// A hypercube just large enough to hold `nodes` processors.
+    ///
+    /// If `nodes` is a power of two the cube is exact; otherwise the smallest
+    /// enclosing cube is used (extra node slots are simply never scheduled).
+    pub fn hypercube_for(nodes: usize) -> Self {
+        assert!(nodes > 0, "topology must contain at least one node");
+        let dim = (nodes as f64).log2().ceil() as u32;
+        Topology::Hypercube { dim }
+    }
+
+    /// Number of processor slots provided by the topology.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::Hypercube { dim } => 1usize << dim,
+            Topology::Mesh2D { rows, cols } => rows * cols,
+            Topology::FullyConnected { nodes } => nodes,
+        }
+    }
+
+    /// Hypercube dimension, i.e. `ceil(log2(nodes))`.
+    ///
+    /// This is the quantity the paper calls "the dimension of the hypercube";
+    /// the inspector's global concatenation phase is proportional to it.
+    pub fn dimension(&self) -> u32 {
+        match *self {
+            Topology::Hypercube { dim } => dim,
+            _ => {
+                let n = self.nodes();
+                if n <= 1 {
+                    0
+                } else {
+                    (n as f64).log2().ceil() as u32
+                }
+            }
+        }
+    }
+
+    /// Number of network hops between two nodes.
+    ///
+    /// * Hypercube: Hamming distance of the node ids.
+    /// * Mesh: Manhattan distance under X-Y routing.
+    /// * Fully connected: 1 for distinct nodes.
+    ///
+    /// A node is zero hops from itself in every topology.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Hypercube { .. } => (a ^ b).count_ones() as usize,
+            Topology::Mesh2D { rows: _, cols } => {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                ar.abs_diff(br) + ac.abs_diff(bc)
+            }
+            Topology::FullyConnected { .. } => 1,
+        }
+    }
+
+    /// Direct neighbors of a node.
+    pub fn neighbors(&self, node: usize) -> Vec<usize> {
+        match *self {
+            Topology::Hypercube { dim } => {
+                (0..dim).map(|d| node ^ (1usize << d)).collect()
+            }
+            Topology::Mesh2D { rows, cols } => {
+                let (r, c) = (node / cols, node % cols);
+                let mut out = Vec::with_capacity(4);
+                if r > 0 {
+                    out.push((r - 1) * cols + c);
+                }
+                if r + 1 < rows {
+                    out.push((r + 1) * cols + c);
+                }
+                if c > 0 {
+                    out.push(r * cols + c - 1);
+                }
+                if c + 1 < cols {
+                    out.push(r * cols + c + 1);
+                }
+                out
+            }
+            Topology::FullyConnected { nodes } => {
+                (0..nodes).filter(|&n| n != node).collect()
+            }
+        }
+    }
+
+    /// True if the node id is a valid slot in this topology.
+    pub fn contains(&self, node: usize) -> bool {
+        node < self.nodes()
+    }
+
+    /// The binary-reflected Gray code of `i`.
+    ///
+    /// Gray codes embed rings and meshes into hypercubes so that logically
+    /// adjacent processors are physically adjacent; the paper's block
+    /// distributions benefit from exactly this embedding.
+    pub fn gray_code(i: usize) -> usize {
+        i ^ (i >> 1)
+    }
+
+    /// Inverse of [`Topology::gray_code`].
+    pub fn gray_decode(mut g: usize) -> usize {
+        let mut i = g;
+        while g > 0 {
+            g >>= 1;
+            i ^= g;
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_node_count() {
+        assert_eq!(Topology::Hypercube { dim: 0 }.nodes(), 1);
+        assert_eq!(Topology::Hypercube { dim: 3 }.nodes(), 8);
+        assert_eq!(Topology::Hypercube { dim: 7 }.nodes(), 128);
+    }
+
+    #[test]
+    fn hypercube_for_rounds_up() {
+        assert_eq!(Topology::hypercube_for(1).nodes(), 1);
+        assert_eq!(Topology::hypercube_for(2).nodes(), 2);
+        assert_eq!(Topology::hypercube_for(5).nodes(), 8);
+        assert_eq!(Topology::hypercube_for(128).nodes(), 128);
+    }
+
+    #[test]
+    fn hypercube_hops_is_hamming_distance() {
+        let t = Topology::Hypercube { dim: 4 };
+        assert_eq!(t.hops(0b0000, 0b0000), 0);
+        assert_eq!(t.hops(0b0000, 0b1111), 4);
+        assert_eq!(t.hops(0b1010, 0b1001), 2);
+    }
+
+    #[test]
+    fn hypercube_neighbors_differ_in_one_bit() {
+        let t = Topology::Hypercube { dim: 3 };
+        let n = t.neighbors(0b101);
+        assert_eq!(n.len(), 3);
+        for x in n {
+            assert_eq!(t.hops(0b101, x), 1);
+        }
+    }
+
+    #[test]
+    fn mesh_hops_is_manhattan() {
+        let t = Topology::Mesh2D { rows: 4, cols: 4 };
+        assert_eq!(t.hops(0, 15), 6);
+        assert_eq!(t.hops(5, 6), 1);
+        assert_eq!(t.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn mesh_neighbors_are_adjacent() {
+        let t = Topology::Mesh2D { rows: 3, cols: 3 };
+        let corner = t.neighbors(0);
+        assert_eq!(corner.len(), 2);
+        let center = t.neighbors(4);
+        assert_eq!(center.len(), 4);
+        for n in center {
+            assert_eq!(t.hops(4, n), 1);
+        }
+    }
+
+    #[test]
+    fn fully_connected_is_one_hop() {
+        let t = Topology::FullyConnected { nodes: 5 };
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(t.hops(a, b), usize::from(a != b));
+            }
+        }
+    }
+
+    #[test]
+    fn gray_code_roundtrip_and_adjacency() {
+        for i in 0..256usize {
+            assert_eq!(Topology::gray_decode(Topology::gray_code(i)), i);
+        }
+        // Consecutive Gray codes differ in exactly one bit.
+        for i in 0..255usize {
+            let a = Topology::gray_code(i);
+            let b = Topology::gray_code(i + 1);
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn dimension_matches_log2() {
+        assert_eq!(Topology::Hypercube { dim: 5 }.dimension(), 5);
+        assert_eq!(Topology::FullyConnected { nodes: 9 }.dimension(), 4);
+        assert_eq!(Topology::Mesh2D { rows: 2, cols: 2 }.dimension(), 2);
+        assert_eq!(Topology::FullyConnected { nodes: 1 }.dimension(), 0);
+    }
+}

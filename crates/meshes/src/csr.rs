@@ -1,0 +1,240 @@
+//! Adjacency-list meshes (`count` / `adj` / `coef`, Figure 4 of the paper).
+//!
+//! The paper stores the mesh in three distributed arrays:
+//!
+//! ```text
+//! count : array[1..n]        of integer   -- number of neighbours of node i
+//! adj   : array[1..n, 1..k]  of integer   -- neighbour indices
+//! coef  : array[1..n, 1..k]  of real      -- per-edge coefficients
+//! ```
+//!
+//! [`AdjacencyMesh`] is the Rust equivalent: a padded (ragged-free) adjacency
+//! matrix with a fixed per-node capacity `max_degree`, matching the paper's
+//! fixed second array dimension, plus the per-node counts and coefficients.
+
+/// A mesh in the paper's `count`/`adj`/`coef` representation.
+///
+/// Rows are nodes; each node `i` has `count[i]` valid entries in
+/// `adj[i][0..count[i]]` and `coef[i][0..count[i]]`.  Entries beyond the
+/// count are padding and must never be read — exactly the convention of the
+/// Pascal arrays in Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjacencyMesh {
+    n: usize,
+    max_degree: usize,
+    count: Vec<u32>,
+    adj: Vec<u32>,
+    coef: Vec<f64>,
+}
+
+impl AdjacencyMesh {
+    /// Build a mesh from per-node neighbour lists and coefficients.
+    ///
+    /// All neighbour indices must be valid node indices; each node's
+    /// neighbour and coefficient lists must have equal length.
+    pub fn from_lists(neighbors: &[Vec<usize>], coefs: &[Vec<f64>]) -> Self {
+        assert_eq!(
+            neighbors.len(),
+            coefs.len(),
+            "neighbour and coefficient lists must cover the same nodes"
+        );
+        let n = neighbors.len();
+        let max_degree = neighbors.iter().map(Vec::len).max().unwrap_or(0);
+        let mut count = Vec::with_capacity(n);
+        let mut adj = vec![0u32; n * max_degree];
+        let mut coef = vec![0.0f64; n * max_degree];
+        for (i, (nbrs, cs)) in neighbors.iter().zip(coefs).enumerate() {
+            assert_eq!(
+                nbrs.len(),
+                cs.len(),
+                "node {i}: neighbour/coefficient length mismatch"
+            );
+            count.push(nbrs.len() as u32);
+            for (j, (&nb, &c)) in nbrs.iter().zip(cs).enumerate() {
+                assert!(nb < n, "node {i}: neighbour index {nb} out of range");
+                adj[i * max_degree + j] = nb as u32;
+                coef[i * max_degree + j] = c;
+            }
+        }
+        AdjacencyMesh {
+            n,
+            max_degree,
+            count,
+            adj,
+            coef,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the mesh has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Fixed per-node neighbour capacity (the second dimension of `adj`).
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Number of neighbours of node `i` (`count[i]`).
+    pub fn degree(&self, i: usize) -> usize {
+        self.count[i] as usize
+    }
+
+    /// Neighbour indices of node `i` (`adj[i, 1..count[i]]`).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        let start = i * self.max_degree;
+        &self.adj[start..start + self.degree(i)]
+    }
+
+    /// Per-edge coefficients of node `i` (`coef[i, 1..count[i]]`).
+    pub fn coefs(&self, i: usize) -> &[f64] {
+        let start = i * self.max_degree;
+        &self.coef[start..start + self.degree(i)]
+    }
+
+    /// Total number of directed edges (sum of all degrees).
+    pub fn edge_count(&self) -> usize {
+        self.count.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Average node degree — about 4 on the paper's rectangular grids,
+    /// about 6 on 2-D unstructured meshes (§4).
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.n as f64
+        }
+    }
+
+    /// The raw `count` array (length `n`).
+    pub fn count_array(&self) -> &[u32] {
+        &self.count
+    }
+
+    /// The raw padded `adj` array (length `n × max_degree`, row-major).
+    pub fn adj_array(&self) -> &[u32] {
+        &self.adj
+    }
+
+    /// The raw padded `coef` array (length `n × max_degree`, row-major).
+    pub fn coef_array(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// Apply a node renumbering: `perm[old] = new`.  Both the node order and
+    /// all adjacency references are relabelled.  Used to turn a nicely
+    /// ordered mesh into an irregularly numbered one (stress for the
+    /// inspector's range coalescing).
+    pub fn renumber(&self, perm: &[usize]) -> AdjacencyMesh {
+        assert_eq!(perm.len(), self.n, "permutation must cover every node");
+        // Check that perm is a permutation.
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            assert!(p < self.n && !seen[p], "perm is not a permutation");
+            seen[p] = true;
+        }
+        let mut neighbors = vec![Vec::new(); self.n];
+        let mut coefs = vec![Vec::new(); self.n];
+        for old in 0..self.n {
+            let new = perm[old];
+            neighbors[new] = self
+                .neighbors(old)
+                .iter()
+                .map(|&nb| perm[nb as usize])
+                .collect();
+            coefs[new] = self.coefs(old).to_vec();
+        }
+        AdjacencyMesh::from_lists(&neighbors, &coefs)
+    }
+
+    /// True when every edge `i -> j` has a matching edge `j -> i`.
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n {
+            for &j in self.neighbors(i) {
+                if !self.neighbors(j as usize).contains(&(i as u32)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> AdjacencyMesh {
+        AdjacencyMesh::from_lists(
+            &[vec![1, 2], vec![0, 2], vec![0, 1]],
+            &[vec![0.5, 0.5], vec![0.5, 0.5], vec![0.5, 0.5]],
+        )
+    }
+
+    #[test]
+    fn builds_padded_arrays() {
+        let m = AdjacencyMesh::from_lists(
+            &[vec![1], vec![0, 2, 3], vec![1], vec![1]],
+            &[vec![1.0], vec![0.25, 0.25, 0.5], vec![1.0], vec![1.0]],
+        );
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.max_degree(), 3);
+        assert_eq!(m.degree(0), 1);
+        assert_eq!(m.degree(1), 3);
+        assert_eq!(m.neighbors(1), &[0, 2, 3]);
+        assert_eq!(m.coefs(1), &[0.25, 0.25, 0.5]);
+        assert_eq!(m.edge_count(), 6);
+        assert!((m.average_degree() - 1.5).abs() < 1e-12);
+        assert_eq!(m.adj_array().len(), 12);
+    }
+
+    #[test]
+    fn triangle_is_symmetric() {
+        assert!(triangle().is_symmetric());
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let m = AdjacencyMesh::from_lists(&[vec![1], vec![]], &[vec![1.0], vec![]]);
+        assert!(!m.is_symmetric());
+    }
+
+    #[test]
+    fn renumber_preserves_structure() {
+        let m = triangle();
+        let r = m.renumber(&[2, 0, 1]);
+        assert_eq!(r.len(), 3);
+        assert!(r.is_symmetric());
+        assert_eq!(r.edge_count(), m.edge_count());
+        // Old node 0 (now 2) was adjacent to old 1 and 2 (now 0 and 1).
+        let mut nbrs: Vec<u32> = r.neighbors(2).to_vec();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn renumber_rejects_non_permutation() {
+        triangle().renumber(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_neighbor() {
+        AdjacencyMesh::from_lists(&[vec![5]], &[vec![1.0]]);
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let m = AdjacencyMesh::from_lists(&[], &[]);
+        assert!(m.is_empty());
+        assert_eq!(m.average_degree(), 0.0);
+        assert!(m.is_symmetric());
+    }
+}

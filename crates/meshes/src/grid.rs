@@ -1,0 +1,176 @@
+//! Regular rectangular grids with the standard five-point Laplacian.
+//!
+//! "…in the tests here the grids used were simple rectangular grids, on
+//! which we performed 100 Jacobi iterations with the standard five point
+//! Laplacian." (§4).  Nodes are numbered row-major; interior nodes have four
+//! neighbours, edge nodes three, corner nodes two.
+
+use crate::csr::AdjacencyMesh;
+
+/// An `nx × ny` rectangular grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegularGrid {
+    nx: usize,
+    ny: usize,
+}
+
+impl RegularGrid {
+    /// Create a grid with `nx` columns and `ny` rows.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have positive extents");
+        RegularGrid { nx, ny }
+    }
+
+    /// A square `n × n` grid (the paper's meshes are 64², 128², …, 1024²).
+    pub fn square(n: usize) -> Self {
+        RegularGrid::new(n, n)
+    }
+
+    /// Number of columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// True when the grid has no nodes (never happens — extents are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Node index of grid point `(row, col)`, row-major.
+    pub fn node(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.ny && col < self.nx);
+        row * self.nx + col
+    }
+
+    /// Grid coordinates `(row, col)` of a node index.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        debug_assert!(node < self.len());
+        (node / self.nx, node % self.nx)
+    }
+
+    /// The four-neighbour (five-point stencil) adjacency of a node.
+    pub fn neighbors(&self, node: usize) -> Vec<usize> {
+        let (r, c) = self.coords(node);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(self.node(r - 1, c));
+        }
+        if r + 1 < self.ny {
+            out.push(self.node(r + 1, c));
+        }
+        if c > 0 {
+            out.push(self.node(r, c - 1));
+        }
+        if c + 1 < self.nx {
+            out.push(self.node(r, c + 1));
+        }
+        out
+    }
+
+    /// Build the adjacency-list mesh for the five-point Laplacian.
+    ///
+    /// Every edge gets the Jacobi coefficient `1/4` ("standard five point
+    /// Laplacian"); boundary nodes simply have fewer neighbours, as in the
+    /// paper's `count` array.
+    pub fn five_point_mesh(&self) -> AdjacencyMesh {
+        let n = self.len();
+        let mut neighbors = Vec::with_capacity(n);
+        let mut coefs = Vec::with_capacity(n);
+        for node in 0..n {
+            let nbrs = self.neighbors(node);
+            let cs = vec![0.25f64; nbrs.len()];
+            neighbors.push(nbrs);
+            coefs.push(cs);
+        }
+        AdjacencyMesh::from_lists(&neighbors, &coefs)
+    }
+
+    /// An initial field with a hot interior and cold boundary, handy for
+    /// convergence demos.
+    pub fn initial_field(&self) -> Vec<f64> {
+        let mut v = vec![0.0f64; self.len()];
+        for node in 0..self.len() {
+            let (r, c) = self.coords(node);
+            if r == 0 || c == 0 || r == self.ny - 1 || c == self.nx - 1 {
+                v[node] = 0.0;
+            } else {
+                v[node] = 1.0 + ((r * 31 + c * 17) % 97) as f64 / 97.0;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_coords_roundtrip() {
+        let g = RegularGrid::new(5, 3);
+        assert_eq!(g.len(), 15);
+        for n in 0..g.len() {
+            let (r, c) = g.coords(n);
+            assert_eq!(g.node(r, c), n);
+        }
+    }
+
+    #[test]
+    fn interior_edge_and_corner_degrees() {
+        let g = RegularGrid::square(4);
+        let m = g.five_point_mesh();
+        // Corner.
+        assert_eq!(m.degree(g.node(0, 0)), 2);
+        // Edge.
+        assert_eq!(m.degree(g.node(0, 1)), 3);
+        // Interior.
+        assert_eq!(m.degree(g.node(1, 1)), 4);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn five_point_coefficients_are_quarter() {
+        let m = RegularGrid::square(3).five_point_mesh();
+        for i in 0..m.len() {
+            for &c in m.coefs(i) {
+                assert_eq!(c, 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_approaches_four_for_large_grids() {
+        let m = RegularGrid::square(64).five_point_mesh();
+        let avg = m.average_degree();
+        assert!(avg > 3.8 && avg < 4.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn edge_count_matches_formula() {
+        // Directed edges of an nx x ny grid: 2*(nx-1)*ny + 2*(ny-1)*nx.
+        let g = RegularGrid::new(7, 5);
+        let m = g.five_point_mesh();
+        assert_eq!(m.edge_count(), 2 * 6 * 5 + 2 * 4 * 7);
+    }
+
+    #[test]
+    fn initial_field_has_cold_boundary() {
+        let g = RegularGrid::square(8);
+        let f = g.initial_field();
+        for c in 0..8 {
+            assert_eq!(f[g.node(0, c)], 0.0);
+            assert_eq!(f[g.node(7, c)], 0.0);
+        }
+        assert!(f[g.node(3, 3)] > 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # meshes — workload generators for the Kali reproduction
+//!
+//! The paper's evaluation (§4) runs a Jacobi relaxation over a mesh stored in
+//! *adjacency-list form*: arrays `adj[1..n, 1..4]` and `coef[1..n, 1..4]`
+//! hold, for every node, the indices of its neighbours and the corresponding
+//! coefficients, with `count[1..n]` giving the number of neighbours.  The
+//! authors' measurements use simple rectangular grids with the standard
+//! five-point Laplacian, but the program is written for general unstructured
+//! meshes (average degree ≈ 6 in 2-D), so this crate provides both:
+//!
+//! * [`grid::RegularGrid`] — an `nx × ny` grid with 4-neighbour (five-point
+//!   stencil) connectivity, exactly the test problem of Figures 7–10;
+//! * [`unstructured`] — synthetic irregular meshes with an average degree of
+//!   about six and optional node renumbering, exercising the data-dependent
+//!   communication patterns that force run-time (inspector) analysis;
+//! * [`csr::AdjacencyMesh`] — the common adjacency + coefficient container
+//!   both generators produce, in exactly the shape the paper's program uses.
+
+pub mod csr;
+pub mod grid;
+pub mod partition;
+pub mod unstructured;
+
+pub use csr::AdjacencyMesh;
+pub use grid::RegularGrid;
+pub use partition::{block_partition, strip_partition_rows};
+pub use unstructured::UnstructuredMeshBuilder;

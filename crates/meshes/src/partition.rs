@@ -1,0 +1,121 @@
+//! Mesh partitioners.
+//!
+//! The paper leaves the data distribution to the user ("the optimal static
+//! domain decomposition is obvious" for the rectangular test grids, §4); the
+//! Kali program in Figure 4 distributes the node arrays `by [block]`.  These
+//! helpers produce the owner tables for the common decompositions so that
+//! the same mesh can be run under different distributions — the whole point
+//! of the paper's distribution-independent loop bodies.
+
+use crate::csr::AdjacencyMesh;
+use crate::grid::RegularGrid;
+
+/// Block partition of `n` nodes over `p` processors (contiguous chunks of
+/// `ceil(n/p)` nodes) — the owner table equivalent of `dist by [block]`.
+pub fn block_partition(n: usize, p: usize) -> Vec<usize> {
+    assert!(p > 0, "need at least one processor");
+    let b = n.div_ceil(p).max(1);
+    (0..n).map(|i| (i / b).min(p - 1)).collect()
+}
+
+/// Strip partition of a rectangular grid: contiguous bands of whole rows.
+///
+/// For row-major numbering this coincides with the block partition of the
+/// node indices whenever `ny` is a multiple of `p`; it is the decomposition
+/// the paper calls "obvious" for its test grids.
+pub fn strip_partition_rows(grid: &RegularGrid, p: usize) -> Vec<usize> {
+    assert!(p > 0, "need at least one processor");
+    let rows_per = grid.ny().div_ceil(p).max(1);
+    (0..grid.len())
+        .map(|node| {
+            let (r, _) = grid.coords(node);
+            (r / rows_per).min(p - 1)
+        })
+        .collect()
+}
+
+/// Number of directed edges that cross between different partitions —
+/// proportional to the communication volume of one relaxation sweep.
+pub fn cut_edges(mesh: &AdjacencyMesh, owners: &[usize]) -> usize {
+    assert_eq!(mesh.len(), owners.len());
+    let mut cut = 0usize;
+    for i in 0..mesh.len() {
+        for &j in mesh.neighbors(i) {
+            if owners[i] != owners[j as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Maximum number of nodes assigned to any single processor (load balance).
+pub fn max_load(owners: &[usize], p: usize) -> usize {
+    let mut counts = vec![0usize; p];
+    for &o in owners {
+        counts[o] += 1;
+    }
+    counts.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_is_contiguous_and_balanced() {
+        let owners = block_partition(100, 4);
+        assert_eq!(owners.len(), 100);
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[99], 3);
+        // Non-decreasing (contiguous blocks).
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(max_load(&owners, 4), 25);
+    }
+
+    #[test]
+    fn block_partition_with_more_procs_than_nodes() {
+        let owners = block_partition(3, 8);
+        assert_eq!(owners, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn strip_partition_keeps_rows_together() {
+        let g = RegularGrid::new(8, 8);
+        let owners = strip_partition_rows(&g, 4);
+        for node in 0..g.len() {
+            let (r, _) = g.coords(node);
+            assert_eq!(owners[node], r / 2);
+        }
+    }
+
+    #[test]
+    fn strip_and_block_agree_on_row_major_grids() {
+        let g = RegularGrid::new(16, 16);
+        assert_eq!(strip_partition_rows(&g, 4), block_partition(g.len(), 4));
+    }
+
+    #[test]
+    fn cut_edges_counts_boundary_for_five_point_grid() {
+        // 8x8 grid split into two 4-row strips: the cut is the 8-node
+        // interface, counted once in each direction.
+        let g = RegularGrid::new(8, 8);
+        let mesh = g.five_point_mesh();
+        let owners = strip_partition_rows(&g, 2);
+        assert_eq!(cut_edges(&mesh, &owners), 16);
+    }
+
+    #[test]
+    fn cut_edges_zero_on_single_processor() {
+        let g = RegularGrid::new(6, 6);
+        let mesh = g.five_point_mesh();
+        let owners = block_partition(mesh.len(), 1);
+        assert_eq!(cut_edges(&mesh, &owners), 0);
+    }
+
+    #[test]
+    fn max_load_counts_heaviest_processor() {
+        assert_eq!(max_load(&[0, 0, 1, 2, 2, 2], 3), 3);
+        assert_eq!(max_load(&[], 3), 0);
+    }
+}

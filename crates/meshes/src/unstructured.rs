@@ -1,0 +1,198 @@
+//! Synthetic unstructured meshes.
+//!
+//! "Since our primary interest is unstructured grids, our program allows
+//! general `adj` and `coef` arrays. … The only significant difference is
+//! that the node connectivity is higher for unstructured grids; nodes in a
+//! two dimensional unstructured grid have six neighbors, on average" (§4).
+//!
+//! The paper's authors did not publish their meshes, so we generate
+//! synthetic ones with the properties the paper relies on:
+//!
+//! * symmetric adjacency with an average degree close to six,
+//! * data-dependent connectivity (the `adj` array is only known at run time,
+//!   so the compiler *must* fall back to the inspector), and
+//! * optionally scrambled node numbering, which breaks the contiguity of the
+//!   nonlocal ranges and stresses the inspector's range coalescing.
+//!
+//! The generator starts from a rectangular grid (guaranteeing connectivity)
+//! and adds one diagonal per grid cell plus a configurable fraction of
+//! random "long" edges, which lifts the average degree from ~4 to ~6.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::AdjacencyMesh;
+use crate::grid::RegularGrid;
+
+/// Builder for synthetic unstructured meshes.
+#[derive(Debug, Clone)]
+pub struct UnstructuredMeshBuilder {
+    nx: usize,
+    ny: usize,
+    seed: u64,
+    long_edge_fraction: f64,
+    scramble_numbering: bool,
+}
+
+impl UnstructuredMeshBuilder {
+    /// Start from an `nx × ny` point cloud (the mesh will have `nx · ny`
+    /// nodes).
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2, "unstructured mesh needs at least 2x2 points");
+        UnstructuredMeshBuilder {
+            nx,
+            ny,
+            seed: 0x5EED_1990,
+            long_edge_fraction: 0.02,
+            scramble_numbering: false,
+        }
+    }
+
+    /// Use a specific RNG seed (the default is fixed, so meshes are
+    /// reproducible across runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fraction of nodes that get one extra random long-range edge
+    /// (default 2%).  Long edges create scattered nonlocal references.
+    pub fn long_edge_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+        self.long_edge_fraction = f;
+        self
+    }
+
+    /// Randomly renumber the nodes, destroying the locality of the natural
+    /// ordering (default off).
+    pub fn scramble_numbering(mut self, yes: bool) -> Self {
+        self.scramble_numbering = yes;
+        self
+    }
+
+    /// Generate the mesh.
+    pub fn build(&self) -> AdjacencyMesh {
+        let grid = RegularGrid::new(self.nx, self.ny);
+        let n = grid.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut neighbors: Vec<Vec<usize>> = (0..n).map(|i| grid.neighbors(i)).collect();
+
+        // One diagonal per cell: connect (r, c) to (r+1, c+1) or (r+1, c-1),
+        // chosen pseudo-randomly, as a triangulation would.
+        for r in 0..self.ny - 1 {
+            for c in 0..self.nx - 1 {
+                let (a, b) = if rng.gen_bool(0.5) {
+                    (grid.node(r, c), grid.node(r + 1, c + 1))
+                } else {
+                    (grid.node(r, c + 1), grid.node(r + 1, c))
+                };
+                add_edge(&mut neighbors, a, b);
+            }
+        }
+
+        // A sprinkling of long-range edges.
+        let extra = ((n as f64) * self.long_edge_fraction).round() as usize;
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                add_edge(&mut neighbors, a, b);
+            }
+        }
+
+        // Jacobi-style coefficients: 1/degree per incident edge.
+        let coefs: Vec<Vec<f64>> = neighbors
+            .iter()
+            .map(|nbrs| {
+                let d = nbrs.len().max(1) as f64;
+                vec![1.0 / d; nbrs.len()]
+            })
+            .collect();
+        let mesh = AdjacencyMesh::from_lists(&neighbors, &coefs);
+
+        if self.scramble_numbering {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            mesh.renumber(&perm)
+        } else {
+            mesh
+        }
+    }
+}
+
+fn add_edge(neighbors: &mut [Vec<usize>], a: usize, b: usize) {
+    if !neighbors[a].contains(&b) {
+        neighbors[a].push(b);
+        neighbors[b].push(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_is_symmetric_and_connected_degreewise() {
+        let m = UnstructuredMeshBuilder::new(16, 16).build();
+        assert_eq!(m.len(), 256);
+        assert!(m.is_symmetric());
+        // Every node keeps its grid neighbours, so no node is isolated.
+        for i in 0..m.len() {
+            assert!(m.degree(i) >= 2);
+        }
+    }
+
+    #[test]
+    fn average_degree_is_about_six() {
+        let m = UnstructuredMeshBuilder::new(32, 32).build();
+        let avg = m.average_degree();
+        assert!(avg > 5.0 && avg < 7.0, "average degree {avg} not ~6");
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = UnstructuredMeshBuilder::new(12, 9).seed(7).build();
+        let b = UnstructuredMeshBuilder::new(12, 9).seed(7).build();
+        assert_eq!(a, b);
+        let c = UnstructuredMeshBuilder::new(12, 9).seed(8).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scrambled_numbering_preserves_structure() {
+        let plain = UnstructuredMeshBuilder::new(10, 10).seed(3).build();
+        let scrambled = UnstructuredMeshBuilder::new(10, 10)
+            .seed(3)
+            .scramble_numbering(true)
+            .build();
+        assert_eq!(plain.edge_count(), scrambled.edge_count());
+        assert!(scrambled.is_symmetric());
+        // Degree multiset is preserved by renumbering.
+        let mut d1: Vec<usize> = (0..plain.len()).map(|i| plain.degree(i)).collect();
+        let mut d2: Vec<usize> = (0..scrambled.len()).map(|i| scrambled.degree(i)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn long_edge_fraction_increases_degree() {
+        let sparse = UnstructuredMeshBuilder::new(20, 20)
+            .long_edge_fraction(0.0)
+            .build();
+        let dense = UnstructuredMeshBuilder::new(20, 20)
+            .long_edge_fraction(0.5)
+            .build();
+        assert!(dense.average_degree() > sparse.average_degree());
+    }
+
+    #[test]
+    fn coefficients_sum_to_one_per_node() {
+        let m = UnstructuredMeshBuilder::new(8, 8).build();
+        for i in 0..m.len() {
+            let s: f64 = m.coefs(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "node {i}: coef sum {s}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # solvers — applications written against the Kali global name space
+//!
+//! The paper's running example (Figure 4) is a nearest-neighbour Jacobi
+//! relaxation over a mesh held in adjacency-list form.  This crate contains:
+//!
+//! * [`jacobi`] — that program, written against the `kali-core` API exactly
+//!   as the paper's compiler would have generated it: a fully local copy
+//!   `forall`, an inspector-planned relaxation `forall` with cached
+//!   schedules, and per-phase simulated timing.
+//! * [`experiment`] — the measurement driver that reproduces the paper's
+//!   evaluation: it builds a machine (NCUBE/7 or iPSC/2 cost model), builds
+//!   the mesh, runs the Kali Jacobi program SPMD, and reduces per-processor
+//!   clocks into the rows of Figures 7–10 (total / executor / inspector
+//!   time, inspector overhead, speedup).
+//! * [`report`] — the row/report types shared by the experiment driver, the
+//!   table binaries and the integration tests.
+
+pub mod experiment;
+pub mod jacobi;
+pub mod report;
+
+pub use experiment::{run_jacobi_experiment, sequential_executor_time, ExperimentParams};
+pub use jacobi::{jacobi_sweeps, JacobiConfig, JacobiOutcome};
+pub use report::{ExperimentRow, PhaseBreakdown};

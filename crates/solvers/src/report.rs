@@ -1,0 +1,128 @@
+//! Result rows for the paper's tables.
+
+/// The per-phase simulated-time breakdown of one run, as reported in the
+/// paper's tables: total time, executor time, inspector time and the
+/// inspector overhead ("the inspector time divided by the total time", §4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// Total simulated time of the timed region (seconds).
+    pub total: f64,
+    /// Simulated time spent in the executor (including communication).
+    pub executor: f64,
+    /// Simulated time spent in the inspector (locality checks + global
+    /// exchange).
+    pub inspector: f64,
+}
+
+impl PhaseBreakdown {
+    /// Inspector overhead as a fraction of total time (0.0 – 1.0).
+    pub fn inspector_overhead(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.inspector / self.total
+        }
+    }
+}
+
+/// One row of a reproduction table (one machine/processor-count/mesh-size
+/// configuration), in the same shape as Figures 7–10 of the paper.
+#[derive(Debug, Clone)]
+pub struct ExperimentRow {
+    /// Machine model name ("NCUBE/7", "iPSC/2", …).
+    pub machine: String,
+    /// Number of processors used.
+    pub nprocs: usize,
+    /// Mesh side length (the paper's meshes are `mesh_side × mesh_side`).
+    pub mesh_side: usize,
+    /// Number of nodes in the mesh.
+    pub mesh_nodes: usize,
+    /// Number of relaxation sweeps timed.
+    pub sweeps: usize,
+    /// Simulated-time breakdown (machine-wide: slowest processor).
+    pub times: PhaseBreakdown,
+    /// Speedup relative to the one-processor executor time (only filled in
+    /// by the mesh-size experiments, Figures 9 and 10).
+    pub speedup: Option<f64>,
+    /// Total messages sent by the executor+inspector across all processors.
+    pub messages: u64,
+    /// Total payload bytes sent across all processors.
+    pub bytes: u64,
+}
+
+impl ExperimentRow {
+    /// Format the row like the paper's tables (times in seconds, overhead in
+    /// percent).
+    pub fn to_table_line(&self) -> String {
+        let speedup = self
+            .speedup
+            .map(|s| format!("  {s:8.1}"))
+            .unwrap_or_default();
+        format!(
+            "{:>10}  {:>6}  {:>9}  {:>12.2}  {:>13.2}  {:>14.2}  {:>10.1}%{}",
+            self.machine,
+            self.nprocs,
+            format!("{0}x{0}", self.mesh_side),
+            self.times.total,
+            self.times.executor,
+            self.times.inspector,
+            self.times.inspector_overhead() * 100.0,
+            speedup
+        )
+    }
+
+    /// Header matching [`ExperimentRow::to_table_line`].
+    pub fn table_header(with_speedup: bool) -> String {
+        let mut h = format!(
+            "{:>10}  {:>6}  {:>9}  {:>12}  {:>13}  {:>14}  {:>11}",
+            "machine", "procs", "mesh", "total (s)", "executor (s)", "inspector (s)", "overhead"
+        );
+        if with_speedup {
+            h.push_str("   speedup");
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction() {
+        let p = PhaseBreakdown {
+            total: 10.0,
+            executor: 9.0,
+            inspector: 1.0,
+        };
+        assert!((p.inspector_overhead() - 0.1).abs() < 1e-12);
+        assert_eq!(PhaseBreakdown::default().inspector_overhead(), 0.0);
+    }
+
+    #[test]
+    fn table_line_contains_all_fields() {
+        let row = ExperimentRow {
+            machine: "NCUBE/7".to_string(),
+            nprocs: 16,
+            mesh_side: 128,
+            mesh_nodes: 16384,
+            sweeps: 100,
+            times: PhaseBreakdown {
+                total: 38.95,
+                executor: 37.88,
+                inspector: 1.07,
+            },
+            speedup: Some(37.3),
+            messages: 1000,
+            bytes: 100000,
+        };
+        let line = row.to_table_line();
+        assert!(line.contains("NCUBE/7"));
+        assert!(line.contains("128x128"));
+        assert!(line.contains("38.95"));
+        assert!(line.contains("37.3"));
+        let header = ExperimentRow::table_header(true);
+        assert!(header.contains("speedup"));
+        assert!(ExperimentRow::table_header(false).len() < header.len());
+    }
+}

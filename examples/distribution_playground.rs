@@ -1,0 +1,86 @@
+//! Distribution independence: the paper's central usability claim.
+//!
+//! "With our primitives a variety of distribution patterns can easily be
+//! tried by trivial modification of this program.  Such a modification in a
+//! message passing language would involve extensive rewriting of the
+//! communications statements." (§2.4)
+//!
+//! This example runs the *same* loop body — a 1-D three-point stencil
+//! `B[i] := (A[i-1] + A[i] + A[i+1]) / 3` — under block, cyclic,
+//! block-cyclic and a user-defined distribution, changing nothing but the
+//! `dist` declaration, and reports how much communication each distribution
+//! induces.  The numbers make the paper's point: the program text is
+//! distribution independent, the performance is not.
+//!
+//! Run with: `cargo run --example distribution_playground`
+
+use kali_repro::distrib::DimDist;
+use kali_repro::dmsim::{CostModel, Machine};
+use kali_repro::kali::{AffineMap, ExecutorConfig, Forall, ScheduleCache};
+
+fn main() {
+    const N: usize = 4096;
+    const P: usize = 16;
+
+    // A user-defined distribution: interleaved pairs, the kind of thing a
+    // load-balancing heuristic might produce.
+    let custom_owners: Vec<usize> = (0..N).map(|i| (i / 2) % P).collect();
+
+    let distributions: Vec<(&str, DimDist)> = vec![
+        ("block", DimDist::block(N, P)),
+        ("cyclic", DimDist::cyclic(N, P)),
+        ("block-cyclic(32)", DimDist::block_cyclic(N, P, 32)),
+        ("user-defined", DimDist::custom(custom_owners, P)),
+    ];
+
+    println!("three-point stencil over {N} elements on {P} processors (NCUBE/7 model)\n");
+    println!(
+        "{:>18}  {:>14}  {:>14}  {:>12}  {:>14}  {:>12}",
+        "distribution", "halo elements", "msgs / sweep", "local iters", "nonlocal iters", "sim time (s)"
+    );
+
+    for (name, dist) in distributions {
+        let machine = Machine::new(P, CostModel::ncube7());
+        let (rows, stats) = machine.run_stats(|proc| {
+            let dist = dist.clone();
+            let rank = proc.rank();
+            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| (g % 17) as f64).collect();
+            let mut local_b = local_a.clone();
+
+            // The loop body below is identical for every distribution.
+            let stencil = Forall::over(7, N, dist.clone()).range(1, N - 1);
+            let mut cache = ScheduleCache::new();
+            let refs = [AffineMap::shift(-1), AffineMap::identity(), AffineMap::shift(1)];
+            let schedule = stencil.plan_affine(proc, &mut cache, &dist, &refs, 0);
+            stencil.run(
+                proc,
+                ExecutorConfig::default(),
+                &schedule,
+                &dist,
+                &local_a,
+                |i, fetch| {
+                    let v = (fetch.fetch(i - 1) + fetch.fetch(i) + fetch.fetch(i + 1)) / 3.0;
+                    fetch.proc().charge_flops(3);
+                    local_b[dist.local_index(i)] = v;
+                },
+            );
+            (
+                schedule.recv_len,
+                schedule.recv_partner_count(),
+                schedule.local_iters.len(),
+                schedule.nonlocal_iters.len(),
+            )
+        });
+        let halo: usize = rows.iter().map(|r| r.0).sum();
+        let local: usize = rows.iter().map(|r| r.2).sum();
+        let nonlocal: usize = rows.iter().map(|r| r.3).sum();
+        println!(
+            "{:>18}  {:>14}  {:>14}  {:>12}  {:>14}  {:>12.4}",
+            name, halo, stats.totals.msgs_sent, local, nonlocal, stats.time
+        );
+    }
+
+    println!("\nSame loop body, four distributions: block keeps ~99% of iterations local,");
+    println!("cyclic makes every iteration nonlocal — the trade-off the paper leaves");
+    println!("in the programmer's hands while hiding the message passing.");
+}

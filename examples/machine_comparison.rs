@@ -1,0 +1,64 @@
+//! Run the paper's Figure 4 workload on different machine models.
+//!
+//! The paper's analysis of its own numbers hinges on machine characteristics
+//! (NCUBE/7: slow calls and expensive small messages; iPSC/2: cheap calls
+//! and cheap small messages).  This example runs the identical program on
+//! the NCUBE/7 model, the iPSC/2 model, and a "modern cluster" model, and
+//! shows how the inspector overhead and the executor scaling change — the
+//! kind of what-if the simulator substrate makes possible.
+//!
+//! Run with: `cargo run --release --example machine_comparison`
+
+use kali_repro::distrib::DimDist;
+use kali_repro::dmsim::{CostModel, Machine};
+use kali_repro::meshes::RegularGrid;
+use kali_repro::solvers::{jacobi_sweeps, JacobiConfig};
+
+fn main() {
+    let grid = RegularGrid::square(128);
+    let mesh = grid.five_point_mesh();
+    let initial = grid.initial_field();
+    let sweeps = 20;
+
+    println!(
+        "Jacobi, {}x{} mesh, {} sweeps, block distribution\n",
+        grid.nx(),
+        grid.ny(),
+        sweeps
+    );
+    println!(
+        "{:>10}  {:>6}  {:>12}  {:>14}  {:>10}  {:>12}",
+        "machine", "procs", "total (s)", "inspector (s)", "overhead", "imbalance"
+    );
+
+    for cost in [CostModel::ncube7(), CostModel::ipsc2(), CostModel::cluster()] {
+        for nprocs in [4usize, 16, 64] {
+            let machine = Machine::new(nprocs, cost.clone());
+            let (outcomes, stats) = machine.run_stats(|proc| {
+                let dist = DimDist::block(mesh.len(), proc.nprocs());
+                jacobi_sweeps(
+                    proc,
+                    &mesh,
+                    &dist,
+                    &initial,
+                    &JacobiConfig::with_sweeps(sweeps),
+                )
+            });
+            let total = outcomes.iter().map(|o| o.total_time).fold(0.0, f64::max);
+            let inspector = outcomes.iter().map(|o| o.inspector_time).fold(0.0, f64::max);
+            println!(
+                "{:>10}  {:>6}  {:>12.4}  {:>14.4}  {:>9.2}%  {:>12.3}",
+                cost.name,
+                nprocs,
+                total,
+                inspector,
+                inspector / total * 100.0,
+                stats.imbalance()
+            );
+        }
+        println!();
+    }
+    println!("The NCUBE/7's expensive global combine makes the inspector visible at high");
+    println!("processor counts; on the iPSC/2 and on a modern cluster it all but vanishes —");
+    println!("matching the paper's §4 discussion.");
+}

@@ -1,0 +1,24 @@
+//! # kali-repro — umbrella crate
+//!
+//! This crate re-exports the workspace members so that the repository-level
+//! examples (`examples/`) and integration tests (`tests/`) can use a single
+//! dependency.  The actual functionality lives in:
+//!
+//! * [`dmsim`] — distributed-memory machine simulator (processors, messages,
+//!   cost models for the NCUBE/7 and iPSC/2).
+//! * [`distrib`] — processor grids, index sets and data distributions
+//!   (block, cyclic, block-cyclic, replicated, user-defined).
+//! * [`kali`] (`kali-core`) — the paper's contribution: a global name space
+//!   over distributed arrays, `forall` loops, compile-time and run-time
+//!   (inspector/executor) communication analysis, and schedule caching.
+//! * [`meshes`] — regular and unstructured mesh workloads.
+//! * [`solvers`] — Jacobi relaxation and friends written against the Kali
+//!   API, plus the experiment driver that regenerates the paper's tables.
+//! * [`baseline`] — hand-coded message-passing and sequential comparators.
+
+pub use baseline;
+pub use distrib;
+pub use dmsim;
+pub use kali_core as kali;
+pub use meshes;
+pub use solvers;

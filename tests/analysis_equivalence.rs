@@ -1,0 +1,148 @@
+//! Property tests: the compile-time analysis and the run-time inspector
+//! must produce equivalent communication schedules whenever both apply
+//! (paper §3.2 presents them as two evaluations of the same formulas).
+
+use kali_repro::distrib::DimDist;
+use kali_repro::dmsim::{CostModel, Machine};
+use kali_repro::kali::analysis::{analyze, LoopSpec};
+use kali_repro::kali::{run_inspector, AffineMap};
+
+use proptest::prelude::*;
+
+/// Run both analyses for one loop spec and compare their signatures on
+/// every processor.
+fn assert_equivalent(spec: &LoopSpec) {
+    let nprocs = spec.on_dist.nprocs();
+    let machine = Machine::new(nprocs, CostModel::ideal());
+    let spec_clone = spec.clone();
+    let inspector_schedules = machine.run(|proc| {
+        let exec: Vec<usize> = spec_clone
+            .exec_set(proc.rank())
+            .iter()
+            .collect();
+        let maps = spec_clone.ref_maps.clone();
+        let data_n = spec_clone.data_dist.n();
+        run_inspector(proc, &spec_clone.data_dist, &exec, |i, refs| {
+            for g in &maps {
+                if let Some(v) = g.apply(i) {
+                    if v < data_n {
+                        refs.push(v);
+                    }
+                }
+            }
+        })
+        .signature()
+    });
+    for rank in 0..nprocs {
+        let ct = analyze(spec, rank)
+            .expect("unit-stride affine loops must have a closed form")
+            .signature();
+        assert_eq!(
+            ct, inspector_schedules[rank],
+            "rank {rank}: compile-time and inspector schedules disagree"
+        );
+    }
+}
+
+#[test]
+fn figure1_shift_is_equivalent_under_block_and_cyclic() {
+    for dist in [DimDist::block(100, 4), DimDist::cyclic(100, 4)] {
+        let spec = LoopSpec {
+            range: (0, 99),
+            on_dist: dist.clone(),
+            on_map: AffineMap::identity(),
+            data_dist: dist,
+            ref_maps: vec![AffineMap::shift(1)],
+        };
+        assert_equivalent(&spec);
+    }
+}
+
+#[test]
+fn three_point_stencil_is_equivalent_under_block_cyclic() {
+    let dist = DimDist::block_cyclic(120, 8, 7);
+    let spec = LoopSpec {
+        range: (1, 119),
+        on_dist: dist.clone(),
+        on_map: AffineMap::identity(),
+        data_dist: dist,
+        ref_maps: vec![AffineMap::shift(-1), AffineMap::identity(), AffineMap::shift(1)],
+    };
+    assert_equivalent(&spec);
+}
+
+/// Exhaustive executability check: for every iteration of `exec(p)`, every
+/// reference is either local or covered by the receive schedule, and the
+/// receive schedule contains nothing else.
+fn assert_schedule_is_exact(spec: &LoopSpec, rank: usize) {
+    let s = analyze(spec, rank).unwrap();
+    let recv = s.recv_index_set();
+    let mut needed = kali_repro::distrib::IndexSet::new();
+    for i in spec.exec_set(rank).iter() {
+        for g in &spec.ref_maps {
+            if let Some(v) = g.apply(i) {
+                if v < spec.data_dist.n() && !spec.data_dist.is_local(rank, v) {
+                    needed.insert(v);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        recv.iter().collect::<Vec<_>>(),
+        needed.iter().collect::<Vec<_>>(),
+        "rank {rank}: receive set is not exactly the set of nonlocal references"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compile_time_matches_inspector_for_random_affine_loops(
+        n in 16usize..160,
+        p_exp in 1u32..4,
+        shift_a in -3i64..4,
+        shift_b in -3i64..4,
+        kind in 0usize..3,
+        block in 1usize..9,
+    ) {
+        let p = 1usize << p_exp;
+        let dist = match kind {
+            0 => DimDist::block(n, p),
+            1 => DimDist::cyclic(n, p),
+            _ => DimDist::block_cyclic(n, p, block),
+        };
+        let spec = LoopSpec {
+            range: (0, n),
+            on_dist: dist.clone(),
+            on_map: AffineMap::identity(),
+            data_dist: dist,
+            ref_maps: vec![AffineMap::shift(shift_a), AffineMap::shift(shift_b)],
+        };
+        assert_equivalent(&spec);
+    }
+
+    #[test]
+    fn compile_time_schedules_are_exact_for_random_loops(
+        n in 16usize..200,
+        p in 2usize..10,
+        shift in -4i64..5,
+        kind in 0usize..3,
+    ) {
+        let dist = match kind {
+            0 => DimDist::block(n, p),
+            1 => DimDist::cyclic(n, p),
+            _ => DimDist::block_cyclic(n, p, 3),
+        };
+        let spec = LoopSpec {
+            range: (0, n),
+            on_dist: dist.clone(),
+            on_map: AffineMap::identity(),
+            data_dist: dist,
+            ref_maps: vec![AffineMap::shift(shift), AffineMap::identity()],
+        };
+        for rank in 0..p {
+            assert_schedule_is_exact(&spec, rank);
+        }
+    }
+}
