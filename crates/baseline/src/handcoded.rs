@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 
 use distrib::DimDist;
 use dmsim::{Counters, Proc};
+use kali_process::tags;
 use meshes::AdjacencyMesh;
 
 /// Per-processor result of the hand-coded run.
@@ -37,9 +38,6 @@ pub struct HandcodedOutcome {
     /// Number of neighbouring processors exchanged with.
     pub neighbor_count: usize,
 }
-
-/// Tag space for the hand-coded halo exchange.
-const HALO_TAG_BASE: u64 = 1 << 41;
 
 /// Run `sweeps` Jacobi sweeps with hand-written message passing.
 ///
@@ -136,7 +134,7 @@ pub fn handcoded_jacobi(
     let counters_start = proc.counters();
 
     for sweep in 0..sweeps {
-        let tag = HALO_TAG_BASE + sweep as u64;
+        let tag = tags::halo_tag(sweep as u64);
 
         // Copy the owned values into old_a.
         for l in 0..local_rows {
@@ -235,7 +233,11 @@ mod tests {
         let initial = grid.initial_field();
         let expected = sequential_jacobi(&mesh, &initial, 9);
         for nprocs in [1, 2, 4, 8] {
-            assert_eq!(gather(nprocs, &mesh, &initial, 9), expected, "nprocs={nprocs}");
+            assert_eq!(
+                gather(nprocs, &mesh, &initial, 9),
+                expected,
+                "nprocs={nprocs}"
+            );
         }
     }
 
@@ -253,7 +255,8 @@ mod tests {
         let mesh = grid.five_point_mesh();
         let initial = grid.initial_field();
         let machine = Machine::new(4, CostModel::ideal());
-        let (outcomes, stats) = machine.run_stats(|proc| handcoded_jacobi(proc, &mesh, &initial, 5));
+        let (outcomes, stats) =
+            machine.run_stats(|proc| handcoded_jacobi(proc, &mesh, &initial, 5));
         // Interior strips have 2 neighbours, boundary strips 1.
         assert_eq!(outcomes[0].neighbor_count, 1);
         assert_eq!(outcomes[1].neighbor_count, 2);
@@ -275,7 +278,10 @@ mod tests {
         let machine = Machine::new(2, CostModel::ncube7());
         let outcomes = machine.run(|proc| handcoded_jacobi(proc, &mesh, &initial, 0));
         for o in outcomes {
-            assert_eq!(o.total_time, 0.0, "zero sweeps must take zero simulated time");
+            assert_eq!(
+                o.total_time, 0.0,
+                "zero sweeps must take zero simulated time"
+            );
         }
     }
 }

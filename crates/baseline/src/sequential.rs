@@ -8,7 +8,11 @@ use meshes::AdjacencyMesh;
 /// order as both the hand-coded and the Kali versions, so all three produce
 /// bit-identical results.
 pub fn sequential_jacobi(mesh: &AdjacencyMesh, initial: &[f64], sweeps: usize) -> Vec<f64> {
-    assert_eq!(initial.len(), mesh.len(), "initial field must cover the mesh");
+    assert_eq!(
+        initial.len(),
+        mesh.len(),
+        "initial field must cover the mesh"
+    );
     let mut a = initial.to_vec();
     let mut old_a = vec![0.0f64; mesh.len()];
     for _ in 0..sweeps {
@@ -50,12 +54,16 @@ mod tests {
         let after = sequential_jacobi(&mesh, &initial, 200);
         let norm_before: f64 = initial.iter().map(|v| v * v).sum();
         let norm_after: f64 = after.iter().map(|v| v * v).sum();
-        assert!(norm_after < norm_before * 0.5, "{norm_after} vs {norm_before}");
+        assert!(
+            norm_after < norm_before * 0.5,
+            "{norm_after} vs {norm_before}"
+        );
     }
 
     #[test]
     fn isolated_nodes_keep_their_values() {
-        let mesh = AdjacencyMesh::from_lists(&[vec![], vec![2], vec![1]], &[vec![], vec![1.0], vec![1.0]]);
+        let mesh =
+            AdjacencyMesh::from_lists(&[vec![], vec![2], vec![1]], &[vec![], vec![1.0], vec![1.0]]);
         let out = sequential_jacobi(&mesh, &[5.0, 1.0, 3.0], 1);
         assert_eq!(out[0], 5.0);
         assert_eq!(out[1], 3.0);

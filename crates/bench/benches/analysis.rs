@@ -6,10 +6,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use distrib::DimDist;
-use kali_core::analysis::{analyze, LoopSpec};
-use kali_core::{run_inspector, AffineMap};
-use kali_core::inspector::owner_computes_iters;
 use dmsim::{CostModel, Machine};
+use kali_core::analysis::{analyze, LoopSpec};
+use kali_core::inspector::owner_computes_iters;
+use kali_core::{run_inspector, AffineMap};
 
 fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis");
@@ -22,16 +22,20 @@ fn bench_analysis(c: &mut Criterion) {
             DimDist::block(n, p),
             vec![AffineMap::shift(-1), AffineMap::shift(1)],
         );
-        group.bench_with_input(BenchmarkId::new("compile_time_closed_form", n), &n, |b, _| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for rank in 0..p {
-                    let s = analyze(black_box(&spec), rank).unwrap();
-                    total += s.recv_len;
-                }
-                total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile_time_closed_form", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for rank in 0..p {
+                        let s = analyze(black_box(&spec), rank).unwrap();
+                        total += s.recv_len;
+                    }
+                    total
+                })
+            },
+        );
         // Run-time inspector for the same references (per-element checking +
         // crystal-router exchange on the simulated machine).
         let machine = Machine::new(p, CostModel::ideal());

@@ -5,8 +5,8 @@
 //! Host wall-clock is what Criterion reports; the corresponding *simulated*
 //! times appear in the table binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use baseline::handcoded_jacobi;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use distrib::DimDist;
 use dmsim::{CostModel, Machine};
 use meshes::{RegularGrid, UnstructuredMeshBuilder};
@@ -50,9 +50,7 @@ fn bench_executor(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("handcoded", name), &(), |b, _| {
-            b.iter(|| {
-                machine.run(|proc| handcoded_jacobi(proc, mesh, initial, 5).total_time)
-            })
+            b.iter(|| machine.run(|proc| handcoded_jacobi(proc, mesh, initial, 5).total_time))
         });
     }
     group.finish();

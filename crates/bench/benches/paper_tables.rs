@@ -34,7 +34,11 @@ fn bench_tables(c: &mut Criterion) {
     ] {
         for &p in &procs {
             group.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
-                b.iter(|| run_jacobi_experiment(&row(cost.clone(), p, 128, false)).times.total)
+                b.iter(|| {
+                    run_jacobi_experiment(&row(cost.clone(), p, 128, false))
+                        .times
+                        .total
+                })
             });
         }
     }

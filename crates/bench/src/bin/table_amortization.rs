@@ -7,9 +7,16 @@ use solvers::{run_jacobi_experiment, ExperimentParams};
 
 fn main() {
     let quick = bench_tables::quick_mode();
-    let sweeps: Vec<usize> = if quick { vec![1, 5, 10] } else { vec![1, 10, 100, 1000] };
+    let sweeps: Vec<usize> = if quick {
+        vec![1, 5, 10]
+    } else {
+        vec![1, 10, 100, 1000]
+    };
     println!("\n=== Schedule-cache amortisation (NCUBE/7, 64x64 mesh, 16 processors) ===");
-    println!("{:>8}  {:>18}  {:>18}  {:>22}", "sweeps", "overhead (cached)", "overhead (no cache)", "inspector (no cache, s)");
+    println!(
+        "{:>8}  {:>18}  {:>18}  {:>22}",
+        "sweeps", "overhead (cached)", "overhead (no cache)", "inspector (no cache, s)"
+    );
     for &s in &sweeps {
         let base = ExperimentParams {
             cost: CostModel::ncube7(),

@@ -6,7 +6,11 @@ use dmsim::{CostModel, Machine};
 use kali_core::{AffineMap, Forall, ScheduleCache};
 
 fn main() {
-    let n = if bench_tables::quick_mode() { 4_096 } else { 65_536 };
+    let n = if bench_tables::quick_mode() {
+        4_096
+    } else {
+        65_536
+    };
     println!("\n=== Compile-time vs run-time analysis of the Figure 1 shift loop (N = {n}) ===");
     println!(
         "{:>10}  {:>6}  {:>24}  {:>24}",
@@ -39,7 +43,10 @@ fn main() {
             });
             let ct_max = ct.iter().cloned().fold(0.0, f64::max);
             let rt_max = rt.iter().cloned().fold(0.0, f64::max);
-            println!("{:>10}  {:>6}  {:>24.4}  {:>24.4}", cost.name, procs, ct_max, rt_max);
+            println!(
+                "{:>10}  {:>6}  {:>24.4}  {:>24.4}",
+                cost.name, procs, ct_max, rt_max
+            );
         }
     }
     println!("(compile-time planning performs no per-element checks and no communication)");

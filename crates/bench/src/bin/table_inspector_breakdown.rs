@@ -7,7 +7,10 @@ use solvers::{run_jacobi_experiment, ExperimentParams};
 
 fn main() {
     println!("\n=== Inspector time vs processor count (128x128 mesh) ===");
-    println!("{:>10}  {:>6}  {:>16}  {:>22}", "machine", "procs", "inspector (s)", "hypercube dimensions");
+    println!(
+        "{:>10}  {:>6}  {:>16}  {:>22}",
+        "machine", "procs", "inspector (s)", "hypercube dimensions"
+    );
     for (cost, procs) in [
         (CostModel::ncube7(), vec![2usize, 4, 8, 16, 32, 64, 128]),
         (CostModel::ipsc2(), vec![2, 4, 8, 16, 32]),
@@ -22,7 +25,10 @@ fn main() {
             };
             let row = run_jacobi_experiment(&params);
             let dims = (p as f64).log2() as u32;
-            println!("{:>10}  {:>6}  {:>16.3}  {:>22}", row.machine, p, row.times.inspector, dims);
+            println!(
+                "{:>10}  {:>6}  {:>16.3}  {:>22}",
+                row.machine, p, row.times.inspector, dims
+            );
             if row.times.inspector < minimum {
                 minimum = row.times.inspector;
                 minimum_at = p;

@@ -29,7 +29,13 @@ fn main() {
             let machine = Machine::new(procs, cost.clone());
             let kali = machine.run(|proc| {
                 let dist = DimDist::block(mesh.len(), proc.nprocs());
-                jacobi_sweeps(proc, &mesh, &dist, &initial, &JacobiConfig::with_sweeps(sweeps))
+                jacobi_sweeps(
+                    proc,
+                    &mesh,
+                    &dist,
+                    &initial,
+                    &JacobiConfig::with_sweeps(sweeps),
+                )
             });
             let hand = machine.run(|proc| handcoded_jacobi(proc, &mesh, &initial, sweeps));
             let kali_exec = kali.iter().map(|o| o.executor_time).fold(0.0, f64::max);

@@ -8,7 +8,10 @@ use solvers::{run_jacobi_experiment, ExperimentParams};
 
 fn main() {
     println!("\n=== Single-sweep (worst case) inspector overhead ===");
-    println!("{:>10}  {:>6}  {:>14}  {:>14}  {:>10}", "machine", "procs", "executor (s)", "inspector (s)", "overhead");
+    println!(
+        "{:>10}  {:>6}  {:>14}  {:>14}  {:>10}",
+        "machine", "procs", "executor (s)", "inspector (s)", "overhead"
+    );
     for (cost, procs) in [
         (CostModel::ncube7(), vec![2usize, 4, 8, 16, 32, 64, 128]),
         (CostModel::ipsc2(), vec![2, 4, 8, 16, 32]),
@@ -22,7 +25,10 @@ fn main() {
             let row = run_jacobi_experiment(&params);
             println!(
                 "{:>10}  {:>6}  {:>14.3}  {:>14.3}  {:>9.1}%",
-                row.machine, row.nprocs, row.times.executor, row.times.inspector,
+                row.machine,
+                row.nprocs,
+                row.times.executor,
+                row.times.inspector,
                 row.times.inspector_overhead() * 100.0
             );
         }

@@ -42,40 +42,194 @@ pub struct PaperRow {
 
 /// Figure 7: NCUBE/7, 100 sweeps, 128×128 mesh, varying processors.
 pub const PAPER_FIG7_NCUBE_PROCS: &[PaperRow] = &[
-    PaperRow { procs: 2, mesh_side: 128, total: 246.07, executor: 244.04, inspector: 2.03, speedup: 0.0 },
-    PaperRow { procs: 4, mesh_side: 128, total: 127.46, executor: 126.12, inspector: 1.34, speedup: 0.0 },
-    PaperRow { procs: 8, mesh_side: 128, total: 68.38, executor: 67.28, inspector: 1.10, speedup: 0.0 },
-    PaperRow { procs: 16, mesh_side: 128, total: 38.95, executor: 37.88, inspector: 1.07, speedup: 0.0 },
-    PaperRow { procs: 32, mesh_side: 128, total: 24.36, executor: 23.21, inspector: 1.15, speedup: 0.0 },
-    PaperRow { procs: 64, mesh_side: 128, total: 17.71, executor: 16.42, inspector: 1.29, speedup: 0.0 },
-    PaperRow { procs: 128, mesh_side: 128, total: 12.64, executor: 11.19, inspector: 1.45, speedup: 0.0 },
+    PaperRow {
+        procs: 2,
+        mesh_side: 128,
+        total: 246.07,
+        executor: 244.04,
+        inspector: 2.03,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 4,
+        mesh_side: 128,
+        total: 127.46,
+        executor: 126.12,
+        inspector: 1.34,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 8,
+        mesh_side: 128,
+        total: 68.38,
+        executor: 67.28,
+        inspector: 1.10,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 16,
+        mesh_side: 128,
+        total: 38.95,
+        executor: 37.88,
+        inspector: 1.07,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 32,
+        mesh_side: 128,
+        total: 24.36,
+        executor: 23.21,
+        inspector: 1.15,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 64,
+        mesh_side: 128,
+        total: 17.71,
+        executor: 16.42,
+        inspector: 1.29,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 128,
+        mesh_side: 128,
+        total: 12.64,
+        executor: 11.19,
+        inspector: 1.45,
+        speedup: 0.0,
+    },
 ];
 
 /// Figure 8: iPSC/2, 100 sweeps, 128×128 mesh, varying processors.
 pub const PAPER_FIG8_IPSC_PROCS: &[PaperRow] = &[
-    PaperRow { procs: 2, mesh_side: 128, total: 60.69, executor: 60.34, inspector: 0.34, speedup: 0.0 },
-    PaperRow { procs: 4, mesh_side: 128, total: 31.20, executor: 31.02, inspector: 0.18, speedup: 0.0 },
-    PaperRow { procs: 8, mesh_side: 128, total: 16.23, executor: 16.13, inspector: 0.10, speedup: 0.0 },
-    PaperRow { procs: 16, mesh_side: 128, total: 8.88, executor: 8.82, inspector: 0.06, speedup: 0.0 },
-    PaperRow { procs: 32, mesh_side: 128, total: 5.27, executor: 5.23, inspector: 0.04, speedup: 0.0 },
+    PaperRow {
+        procs: 2,
+        mesh_side: 128,
+        total: 60.69,
+        executor: 60.34,
+        inspector: 0.34,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 4,
+        mesh_side: 128,
+        total: 31.20,
+        executor: 31.02,
+        inspector: 0.18,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 8,
+        mesh_side: 128,
+        total: 16.23,
+        executor: 16.13,
+        inspector: 0.10,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 16,
+        mesh_side: 128,
+        total: 8.88,
+        executor: 8.82,
+        inspector: 0.06,
+        speedup: 0.0,
+    },
+    PaperRow {
+        procs: 32,
+        mesh_side: 128,
+        total: 5.27,
+        executor: 5.23,
+        inspector: 0.04,
+        speedup: 0.0,
+    },
 ];
 
 /// Figure 9: NCUBE/7, 100 sweeps on 128 processors, varying mesh size.
 pub const PAPER_FIG9_NCUBE_MESH: &[PaperRow] = &[
-    PaperRow { procs: 128, mesh_side: 64, total: 4.97, executor: 3.56, inspector: 1.38, speedup: 23.9 },
-    PaperRow { procs: 128, mesh_side: 128, total: 12.64, executor: 11.19, inspector: 1.45, speedup: 37.3 },
-    PaperRow { procs: 128, mesh_side: 256, total: 34.13, executor: 32.52, inspector: 1.61, speedup: 55.2 },
-    PaperRow { procs: 128, mesh_side: 512, total: 93.78, executor: 91.68, inspector: 2.10, speedup: 80.4 },
-    PaperRow { procs: 128, mesh_side: 1024, total: 305.03, executor: 301.31, inspector: 3.72, speedup: 98.9 },
+    PaperRow {
+        procs: 128,
+        mesh_side: 64,
+        total: 4.97,
+        executor: 3.56,
+        inspector: 1.38,
+        speedup: 23.9,
+    },
+    PaperRow {
+        procs: 128,
+        mesh_side: 128,
+        total: 12.64,
+        executor: 11.19,
+        inspector: 1.45,
+        speedup: 37.3,
+    },
+    PaperRow {
+        procs: 128,
+        mesh_side: 256,
+        total: 34.13,
+        executor: 32.52,
+        inspector: 1.61,
+        speedup: 55.2,
+    },
+    PaperRow {
+        procs: 128,
+        mesh_side: 512,
+        total: 93.78,
+        executor: 91.68,
+        inspector: 2.10,
+        speedup: 80.4,
+    },
+    PaperRow {
+        procs: 128,
+        mesh_side: 1024,
+        total: 305.03,
+        executor: 301.31,
+        inspector: 3.72,
+        speedup: 98.9,
+    },
 ];
 
 /// Figure 10: iPSC/2, 100 sweeps on 32 processors, varying mesh size.
 pub const PAPER_FIG10_IPSC_MESH: &[PaperRow] = &[
-    PaperRow { procs: 32, mesh_side: 64, total: 1.88, executor: 1.86, inspector: 0.02, speedup: 15.7 },
-    PaperRow { procs: 32, mesh_side: 128, total: 5.27, executor: 5.23, inspector: 0.04, speedup: 22.5 },
-    PaperRow { procs: 32, mesh_side: 256, total: 17.65, executor: 17.54, inspector: 0.11, speedup: 26.8 },
-    PaperRow { procs: 32, mesh_side: 512, total: 65.17, executor: 64.79, inspector: 0.38, speedup: 29.1 },
-    PaperRow { procs: 32, mesh_side: 1024, total: 249.75, executor: 248.34, inspector: 1.41, speedup: 30.3 },
+    PaperRow {
+        procs: 32,
+        mesh_side: 64,
+        total: 1.88,
+        executor: 1.86,
+        inspector: 0.02,
+        speedup: 15.7,
+    },
+    PaperRow {
+        procs: 32,
+        mesh_side: 128,
+        total: 5.27,
+        executor: 5.23,
+        inspector: 0.04,
+        speedup: 22.5,
+    },
+    PaperRow {
+        procs: 32,
+        mesh_side: 256,
+        total: 17.65,
+        executor: 17.54,
+        inspector: 0.11,
+        speedup: 26.8,
+    },
+    PaperRow {
+        procs: 32,
+        mesh_side: 512,
+        total: 65.17,
+        executor: 64.79,
+        inspector: 0.38,
+        speedup: 29.1,
+    },
+    PaperRow {
+        procs: 32,
+        mesh_side: 1024,
+        total: 249.75,
+        executor: 248.34,
+        inspector: 1.41,
+        speedup: 30.3,
+    },
 ];
 
 /// Print one reproduced table with the paper's numbers interleaved.
@@ -120,7 +274,9 @@ pub fn print_table(title: &str, rows: &[ExperimentRow], paper: &[PaperRow]) {
 /// binaries shrink sweeps / mesh sizes so the whole suite finishes in
 /// seconds (useful in CI); the shape of every trend is preserved.
 pub fn quick_mode() -> bool {
-    std::env::var("KALI_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("KALI_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Measure Figure 7 (NCUBE/7 processor sweep).
@@ -163,7 +319,8 @@ fn measure_mesh_sweep(cost: dmsim::CostModel, nprocs: usize) -> Vec<ExperimentRo
     sides
         .iter()
         .map(|&side| {
-            let mut params = solvers::ExperimentParams::paper_meshsize_row(cost.clone(), nprocs, side);
+            let mut params =
+                solvers::ExperimentParams::paper_meshsize_row(cost.clone(), nprocs, side);
             if quick || side >= 256 {
                 params.extrapolate_from = Some(2);
             }

@@ -31,7 +31,10 @@ impl AffineMap {
 
     /// A general affine map `g(i) = a·i + b`.
     pub fn new(a: i64, b: i64) -> Self {
-        assert!(a != 0, "a degenerate subscript (a = 0) references a single element");
+        assert!(
+            a != 0,
+            "a degenerate subscript (a = 0) references a single element"
+        );
         AffineMap { a, b }
     }
 
@@ -63,15 +66,9 @@ impl AffineMap {
             return IndexRange::new(0, 0);
         }
         let (lo, hi) = if self.a == 1 {
-            (
-                self.b + r.start as i64,
-                self.b + (r.end as i64 - 1),
-            )
+            (self.b + r.start as i64, self.b + (r.end as i64 - 1))
         } else {
-            (
-                self.b - (r.end as i64 - 1),
-                self.b - r.start as i64,
-            )
+            (self.b - (r.end as i64 - 1), self.b - r.start as i64)
         };
         clip(lo, hi, bound)
     }

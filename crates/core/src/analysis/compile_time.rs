@@ -119,8 +119,7 @@ pub fn analyze(spec: &LoopSpec, rank: usize) -> Option<CommSchedule> {
         }
         *slot = referenced.intersect(&spec.data_dist.local_set(q));
     }
-    let mut schedule =
-        CommSchedule::from_recv_sets(rank, &recv_sets, local_iters, nonlocal_iters);
+    let mut schedule = CommSchedule::from_recv_sets(rank, &recv_sets, local_iters, nonlocal_iters);
 
     // out(p,q) = (∪_k g_k(exec(q))) ∩ local_data(p) = in(q,p): computable
     // locally because exec(q) has a closed form too.
@@ -182,7 +181,10 @@ mod tests {
                 assert_eq!(ranges[0].len(), 1);
                 assert_eq!(ranges[0].start, (rank + 1) * 25);
             } else {
-                assert!(sig.recv_by_proc.is_empty(), "last processor receives nothing");
+                assert!(
+                    sig.recv_by_proc.is_empty(),
+                    "last processor receives nothing"
+                );
             }
             if rank > 0 {
                 assert_eq!(sig.send_by_proc.len(), 1);
@@ -203,7 +205,10 @@ mod tests {
                 seen[i] = true;
             }
         }
-        assert!(seen.into_iter().all(|s| s), "an iteration was never executed");
+        assert!(
+            seen.into_iter().all(|s| s),
+            "an iteration was never executed"
+        );
     }
 
     #[test]
@@ -253,8 +258,7 @@ mod tests {
             data_dist: DimDist::block(200, 8),
             ref_maps: vec![AffineMap::shift(-1), AffineMap::shift(1)],
         };
-        let schedules: Vec<CommSchedule> =
-            (0..8).map(|r| analyze(&spec, r).unwrap()).collect();
+        let schedules: Vec<CommSchedule> = (0..8).map(|r| analyze(&spec, r).unwrap()).collect();
         let total_recv: usize = schedules.iter().map(|s| s.recv_len).sum();
         let total_send: usize = schedules.iter().map(|s| s.send_len()).sum();
         assert_eq!(total_recv, total_send);
@@ -295,10 +299,7 @@ mod tests {
     #[test]
     fn block_cyclic_and_custom_distributions_are_supported() {
         let owners: Vec<usize> = (0..60).map(|i| (i / 7) % 3).collect();
-        for dist in [
-            DimDist::block_cyclic(60, 3, 5),
-            DimDist::custom(owners, 3),
-        ] {
+        for dist in [DimDist::block_cyclic(60, 3, 5), DimDist::custom(owners, 3)] {
             let spec = LoopSpec {
                 range: (0, 59),
                 on_dist: dist.clone(),

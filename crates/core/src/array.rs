@@ -10,8 +10,8 @@
 //! of that dimension, 1 for ordinary one-dimensional arrays.
 
 use distrib::DimDist;
-use dmsim::collectives;
-use dmsim::Proc;
+
+use crate::process::Process;
 
 /// The local portion of a distributed array on one processor.
 #[derive(Debug, Clone)]
@@ -108,14 +108,22 @@ impl<T: Clone> DistArray<T> {
 
     /// Read element `(global row, column)`; panics if the row is not owned.
     pub fn get(&self, i: usize, j: usize) -> &T {
-        assert!(self.owns(i), "rank {} does not own global row {i}", self.rank);
+        assert!(
+            self.owns(i),
+            "rank {} does not own global row {i}",
+            self.rank
+        );
         debug_assert!(j < self.row_width);
         &self.local[self.dist.local_index(i) * self.row_width + j]
     }
 
     /// Write element `(global row, column)`; panics if the row is not owned.
     pub fn set(&mut self, i: usize, j: usize, value: T) {
-        assert!(self.owns(i), "rank {} does not own global row {i}", self.rank);
+        assert!(
+            self.owns(i),
+            "rank {} does not own global row {i}",
+            self.rank
+        );
         debug_assert!(j < self.row_width);
         let l = self.dist.local_index(i) * self.row_width + j;
         self.local[l] = value;
@@ -123,7 +131,11 @@ impl<T: Clone> DistArray<T> {
 
     /// The owned slice of global row `i`.
     pub fn row(&self, i: usize) -> &[T] {
-        assert!(self.owns(i), "rank {} does not own global row {i}", self.rank);
+        assert!(
+            self.owns(i),
+            "rank {} does not own global row {i}",
+            self.rank
+        );
         let l = self.dist.local_index(i) * self.row_width;
         &self.local[l..l + self.row_width]
     }
@@ -147,7 +159,7 @@ impl<T: Clone + Send + Default + 'static> DistArray<T> {
     ///
     /// Only used for verification and small demos — production code never
     /// needs the whole array in one place, which is the point of the paper.
-    pub fn gather(&self, proc: &mut Proc) -> Vec<T> {
+    pub fn gather<P: Process>(&self, proc: &mut P) -> Vec<T> {
         let n = self.dist.n();
         let mut payload: Vec<(usize, T)> = Vec::with_capacity(self.local.len());
         for l in 0..self.local_rows() {
@@ -159,8 +171,7 @@ impl<T: Clone + Send + Default + 'static> DistArray<T> {
                 ));
             }
         }
-        let bytes = payload.len() * std::mem::size_of::<(usize, T)>();
-        let pieces = collectives::allgather(proc, payload, bytes);
+        let pieces = proc.allgather(payload);
         let mut out = vec![T::default(); n * self.row_width];
         for piece in pieces {
             for (flat, value) in piece {

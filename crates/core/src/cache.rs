@@ -46,7 +46,12 @@ impl ScheduleCache {
     /// The builder typically runs the inspector, which is a *collective*
     /// operation — all processors must therefore miss or hit together, which
     /// they do because they execute the same program on the same versions.
-    pub fn get_or_build<F>(&mut self, loop_id: u64, data_version: u64, build: F) -> Arc<CommSchedule>
+    pub fn get_or_build<F>(
+        &mut self,
+        loop_id: u64,
+        data_version: u64,
+        build: F,
+    ) -> Arc<CommSchedule>
     where
         F: FnOnce() -> CommSchedule,
     {

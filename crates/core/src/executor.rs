@@ -19,14 +19,9 @@
 //! records of the [`CommSchedule`].
 
 use distrib::DimDist;
-use dmsim::{Proc, Tag};
 
+use crate::process::{tags, Process, Tag};
 use crate::schedule::CommSchedule;
-
-/// Tag space reserved for executor data messages; the caller supplies a
-/// per-execution offset (e.g. the sweep number) to keep successive sweeps
-/// distinct.
-const EXECUTOR_TAG_BASE: Tag = 1 << 40;
 
 /// Knobs for the executor, mostly used by the ablation benchmarks.
 #[derive(Debug, Clone, Copy)]
@@ -62,8 +57,8 @@ impl ExecutorConfig {
 /// appropriate access costs: local accesses translate the index, nonlocal
 /// accesses binary-search the communication buffer (the "search overhead …
 /// unique to our system", §4).
-pub struct Fetcher<'a, T> {
-    proc: &'a mut Proc,
+pub struct Fetcher<'a, T, P: Process> {
+    proc: &'a mut P,
     dist: &'a DimDist,
     rank: usize,
     ranges: usize,
@@ -72,7 +67,7 @@ pub struct Fetcher<'a, T> {
     schedule: &'a CommSchedule,
 }
 
-impl<'a, T: Copy> Fetcher<'a, T> {
+impl<'a, T: Copy, P: Process> Fetcher<'a, T, P> {
     /// Fetch the value of global element `g` of the referenced array.
     ///
     /// Panics if `g` is neither owned nor covered by the schedule — that
@@ -80,11 +75,10 @@ impl<'a, T: Copy> Fetcher<'a, T> {
     /// is a correctness bug (the paper's system would read garbage).
     pub fn fetch(&mut self, g: usize) -> T {
         if self.dist.is_local(self.rank, g) {
-            self.proc.charge_seconds(self.proc.cost().local_access());
+            self.proc.charge_local_access();
             self.local_data[self.dist.local_index(g)]
         } else {
-            self.proc
-                .charge_seconds(self.proc.cost().nonlocal_access(self.ranges));
+            self.proc.charge_nonlocal_access(self.ranges);
             let pos = self.schedule.find(g).unwrap_or_else(|| {
                 panic!(
                     "global index {g} is neither local to rank {} nor in its receive schedule",
@@ -100,9 +94,9 @@ impl<'a, T: Copy> Fetcher<'a, T> {
         self.dist.is_local(self.rank, g)
     }
 
-    /// Access the underlying processor handle, e.g. to charge the cost of
+    /// Access the underlying process handle, e.g. to charge the cost of
     /// the loop body's own arithmetic.
-    pub fn proc(&mut self) -> &mut Proc {
+    pub fn proc(&mut self) -> &mut P {
         self.proc
     }
 }
@@ -117,8 +111,8 @@ impl<'a, T: Copy> Fetcher<'a, T> {
 ///
 /// Every processor must call this collectively.  Returns the number of
 /// iterations executed locally (for reporting).
-pub fn execute_sweep<T, F>(
-    proc: &mut Proc,
+pub fn execute_sweep<P, T, F>(
+    proc: &mut P,
     config: ExecutorConfig,
     schedule: &CommSchedule,
     data_dist: &DimDist,
@@ -126,12 +120,16 @@ pub fn execute_sweep<T, F>(
     mut body: F,
 ) -> usize
 where
+    P: Process,
     T: Copy + Send + 'static,
-    F: FnMut(usize, &mut Fetcher<'_, T>),
+    F: FnMut(usize, &mut Fetcher<'_, T, P>),
 {
     let rank = proc.rank();
-    debug_assert_eq!(schedule.rank, rank, "schedule belongs to a different processor");
-    let tag = EXECUTOR_TAG_BASE + config.tag;
+    debug_assert_eq!(
+        schedule.rank, rank,
+        "schedule belongs to a different processor"
+    );
+    let tag = tags::executor_tag(config.tag);
 
     // ---- Send phase --------------------------------------------------------
     for (to_proc, records) in schedule.send_messages() {
@@ -194,8 +192,8 @@ where
 }
 
 /// Run a list of iterations of the loop body with the given receive buffer.
-fn run_iters<T, F>(
-    proc: &mut Proc,
+fn run_iters<P, T, F>(
+    proc: &mut P,
     iters: &[usize],
     schedule: &CommSchedule,
     data_dist: &DimDist,
@@ -203,8 +201,9 @@ fn run_iters<T, F>(
     recv_buf: &[T],
     body: &mut F,
 ) where
+    P: Process,
     T: Copy,
-    F: FnMut(usize, &mut Fetcher<'_, T>),
+    F: FnMut(usize, &mut Fetcher<'_, T, P>),
 {
     let rank = schedule.rank;
     for &i in iters {
@@ -224,13 +223,14 @@ fn run_iters<T, F>(
 
 /// Receive every scheduled message and scatter it into the communication
 /// buffer according to the range records' buffer offsets.
-fn receive_all<T>(proc: &mut Proc, schedule: &CommSchedule, tag: Tag) -> Vec<T>
+fn receive_all<P, T>(proc: &mut P, schedule: &CommSchedule, tag: Tag) -> Vec<T>
 where
+    P: Process,
     T: Copy + Send + 'static,
 {
     let mut recv_buf: Vec<Option<T>> = vec![None; schedule.recv_len];
     for (from_proc, records) in schedule.recv_messages() {
-        let (_, payload): (usize, Vec<T>) = proc.recv_from(from_proc, tag);
+        let payload: Vec<T> = proc.recv_vec(from_proc, tag);
         let expected: usize = records.iter().map(|r| r.len()).sum();
         assert_eq!(
             payload.len(),
@@ -266,11 +266,7 @@ mod tests {
             let dist = DimDist::block(n, proc.nprocs());
             let rank = proc.rank();
             // Local pieces of A, initialised to the global values i*1.0.
-            let local_a: Vec<f64> = dist
-                .local_set(rank)
-                .iter()
-                .map(|g| g as f64)
-                .collect();
+            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| g as f64).collect();
             let exec = owner_computes_iters(&dist, rank, n - 1);
             let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
             let mut new_a = local_a.clone();
@@ -304,10 +300,8 @@ mod tests {
             for overlap in [true, false] {
                 let n = 64;
                 let got = run_shift(nprocs, n, overlap);
-                let mut expected: Vec<f64> = (0..n).map(|i| i as f64).collect();
-                for i in 0..n - 1 {
-                    expected[i] = (i + 1) as f64;
-                }
+                let mut expected: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+                expected[n - 1] = (n - 1) as f64;
                 assert_eq!(got, expected, "nprocs={nprocs} overlap={overlap}");
             }
         }

@@ -19,12 +19,12 @@
 use std::sync::Arc;
 
 use distrib::DimDist;
-use dmsim::Proc;
 
 use crate::analysis::{self, AffineMap, LoopSpec};
 use crate::cache::ScheduleCache;
 use crate::executor::{execute_sweep, ExecutorConfig, Fetcher};
 use crate::inspector::{owner_computes_iters, run_inspector};
+use crate::process::Process;
 use crate::schedule::CommSchedule;
 
 /// A `forall i in range on OWNER[i].loc` loop description.
@@ -66,9 +66,9 @@ impl Forall {
     /// Obtain a communication schedule for references `DATA[g_k(i)]` with
     /// affine subscripts, using the compile-time analysis when possible and
     /// the (cached) inspector otherwise.
-    pub fn plan_affine(
+    pub fn plan_affine<P: Process>(
         &self,
-        proc: &mut Proc,
+        proc: &mut P,
         cache: &mut ScheduleCache,
         data_dist: &DimDist,
         ref_maps: &[AffineMap],
@@ -106,15 +106,16 @@ impl Forall {
     ///
     /// `refs_of` enumerates, for an iteration, the global indices of the
     /// `data_dist`-distributed array it references.
-    pub fn plan_indirect<F>(
+    pub fn plan_indirect<P, F>(
         &self,
-        proc: &mut Proc,
+        proc: &mut P,
         cache: &mut ScheduleCache,
         data_dist: &DimDist,
         data_version: u64,
         refs_of: F,
     ) -> Arc<CommSchedule>
     where
+        P: Process,
         F: FnMut(usize, &mut Vec<usize>),
     {
         let exec = self.exec_iters(proc.rank());
@@ -125,9 +126,9 @@ impl Forall {
     }
 
     /// Execute the loop body under a previously planned schedule.
-    pub fn run<T, F>(
+    pub fn run<P, T, F>(
         &self,
-        proc: &mut Proc,
+        proc: &mut P,
         config: ExecutorConfig,
         schedule: &CommSchedule,
         data_dist: &DimDist,
@@ -135,8 +136,9 @@ impl Forall {
         body: F,
     ) -> usize
     where
+        P: Process,
         T: Copy + Send + 'static,
-        F: FnMut(usize, &mut Fetcher<'_, T>),
+        F: FnMut(usize, &mut Fetcher<'_, T, P>),
     {
         execute_sweep(proc, config, schedule, data_dist, local_data, body)
     }
@@ -146,8 +148,9 @@ impl Forall {
 /// the `old_a[i] := a[i]` copy loop of Figure 4.  Charges the loop-control
 /// cost and hands the body each owned global index; no schedule, no
 /// messages.
-pub fn forall_local<F>(proc: &mut Proc, on_dist: &DimDist, n: usize, mut body: F)
+pub fn forall_local<P, F>(proc: &mut P, on_dist: &DimDist, n: usize, mut body: F)
 where
+    P: Process,
     F: FnMut(usize),
 {
     for i in owner_computes_iters(on_dist, proc.rank(), n) {
@@ -182,9 +185,12 @@ mod tests {
             let dist = DimDist::block(64, proc.nprocs());
             let loop_ = Forall::over(1, 63, dist.clone());
             let mut cache = ScheduleCache::new();
-            let schedule =
-                loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
-            assert_eq!(cache.misses(), 0, "compile-time analysis must bypass the cache");
+            let schedule = loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            assert_eq!(
+                cache.misses(),
+                0,
+                "compile-time analysis must bypass the cache"
+            );
             schedule.recv_len
         });
         // Compile-time planning alone must not send a single message.
@@ -214,11 +220,14 @@ mod tests {
         let results = machine.run(|proc| {
             let dist = DimDist::block(n, proc.nprocs());
             let rank = proc.rank();
-            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| (g * g) as f64).collect();
+            let local_a: Vec<f64> = dist
+                .local_set(rank)
+                .iter()
+                .map(|g| (g * g) as f64)
+                .collect();
             let loop_ = Forall::over(2, n - 1, dist.clone());
             let mut cache = ScheduleCache::new();
-            let schedule =
-                loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            let schedule = loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
             let mut out = local_a.clone();
             loop_.run(
                 proc,
@@ -236,7 +245,11 @@ mod tests {
         for (rank, out) in results {
             for (l, v) in out.iter().enumerate() {
                 let g = dist.global_index(rank, l);
-                let expected = if g < n - 1 { ((g + 1) * (g + 1)) as f64 } else { (g * g) as f64 };
+                let expected = if g < n - 1 {
+                    ((g + 1) * (g + 1)) as f64
+                } else {
+                    (g * g) as f64
+                };
                 assert_eq!(*v, expected, "global index {g}");
             }
         }

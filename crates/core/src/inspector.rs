@@ -19,9 +19,8 @@
 //! subsequent execution of the same `forall` (see [`crate::cache`]).
 
 use distrib::{DimDist, IndexSet};
-use dmsim::collectives;
-use dmsim::Proc;
 
+use crate::process::Process;
 use crate::schedule::{CommSchedule, RangeRecord};
 
 /// Run the inspector for one `forall` on the calling processor.
@@ -37,13 +36,14 @@ use crate::schedule::{CommSchedule, RangeRecord};
 ///
 /// Every processor of the machine must call this collectively — the final
 /// step is a global exchange.
-pub fn run_inspector<F>(
-    proc: &mut Proc,
+pub fn run_inspector<P, F>(
+    proc: &mut P,
     data_dist: &DimDist,
     exec_iters: &[usize],
     mut refs_of: F,
 ) -> CommSchedule
 where
+    P: Process,
     F: FnMut(usize, &mut Vec<usize>),
 {
     let rank = proc.rank();
@@ -67,7 +67,7 @@ where
         for &g in &refs {
             // "The inspector only checks whether references to distributed
             // arrays are local" — one owner computation per reference.
-            proc.charge_seconds(proc.cost().locality_check());
+            proc.charge_locality_check();
             let home = data_dist.owner(g);
             if home != rank {
                 all_local = false;
@@ -87,7 +87,7 @@ where
         .map(|v| {
             // Charge the paper's insertion/sort cost: one record-handling
             // charge per element placed into the sorted list.
-            proc.charge_seconds(proc.cost().record_handling() * v.len() as f64);
+            proc.charge_record_handling(v.len());
             IndexSet::from_indices(v)
         })
         .collect();
@@ -96,14 +96,16 @@ where
     // ---- Phase 3: global exchange to build the send lists ------------------
     // Each receive record is routed to its home processor, where it becomes a
     // send record ("Form send_list using recv_lists from all processors
-    // (requires global communication)", Figure 6).
+    // (requires global communication)", Figure 6).  On the simulator the
+    // exchange is the paper's crystal router; other backends provide their
+    // own all-to-all.
     let outgoing: Vec<(usize, RangeRecord)> = schedule
         .recv_records
         .iter()
         .map(|r| (r.from_proc, *r))
         .collect();
-    let incoming = collectives::crystal_router(proc, outgoing);
-    proc.charge_seconds(proc.cost().record_handling() * incoming.len() as f64);
+    let incoming = proc.exchange(outgoing);
+    proc.charge_record_handling(incoming.len());
     schedule.set_send_records(incoming);
     schedule
 }

@@ -8,7 +8,12 @@
 //!
 //! The paper's Kali compiler translated `forall` loops into the structure
 //! below; here the same structure is provided as a library API ("the output
-//! of the compiler"), running on the [`dmsim`] machine simulator:
+//! of the compiler").  The whole runtime is generic over the [`process`]
+//! abstraction — a [`Process`](process::Process) is one SPMD process with
+//! typed sends/receives and a few collectives — so the same program runs
+//! unchanged on the `dmsim` machine simulator (with the paper's cost
+//! accounting) or on the `kali-native` threaded backend (at wall-clock
+//! speed):
 //!
 //! * [`array::DistArray`] — the local piece of a distributed array plus its
 //!   distribution, giving owner tests and global↔local index translation.
@@ -32,6 +37,9 @@
 //! * [`redistribute`] — an extension: move a live distributed array from one
 //!   distribution to another with a closed-form schedule, supporting the
 //!   paper's "just change the dist clause" workflow across program phases.
+//! * [`process`] — the backend contract: what the above needs from a
+//!   machine.  Message tags used by the components are partitioned in
+//!   [`process::tags`] so the ranges can never collide.
 
 pub mod analysis;
 pub mod array;
@@ -39,6 +47,7 @@ pub mod cache;
 pub mod executor;
 pub mod forall;
 pub mod inspector;
+pub mod process;
 pub mod redistribute;
 pub mod schedule;
 
@@ -48,5 +57,6 @@ pub use cache::ScheduleCache;
 pub use executor::{execute_sweep, ExecutorConfig, Fetcher};
 pub use forall::{forall_local, Forall};
 pub use inspector::run_inspector;
+pub use process::Process;
 pub use redistribute::{redistribute, redistribution_schedule};
 pub use schedule::{CommSchedule, RangeRecord};

@@ -1,0 +1,23 @@
+//! The machine-backend abstraction the runtime is written against.
+//!
+//! Every runtime component of this crate (inspector, executor, `forall`,
+//! redistribution, distributed arrays) is generic over [`Process`]: an SPMD
+//! process handle providing ranks, typed point-to-point messages matched on
+//! `(source, tag)`, the collective shapes of §3.3 (barrier, personalised
+//! all-to-all, allgather, sum-allreduce), and optional cost-charging hooks.
+//!
+//! Two backends implement the trait:
+//!
+//! * **`dmsim::Proc`** — the deterministic machine simulator.  Its cost
+//!   hooks advance a logical clock priced by the NCUBE/7 / iPSC/2 cost
+//!   models, reproducing the paper's measurements; its all-to-all is the
+//!   paper's crystal router.
+//! * **`kali_native::NativeProc`** — real OS threads and channels, for
+//!   wall-clock execution.  Cost hooks stay at their no-op defaults.
+//!
+//! The trait (and the [`tags`] module partitioning the tag space between
+//! the runtime components) lives in the dependency-free `kali-process`
+//! crate so backends can implement it without pulling in the analysis
+//! layer; this module re-exports it as the crate's official path.
+
+pub use kali_process::{tags, Counters, Process, Tag};

@@ -12,18 +12,19 @@
 //! distributions, so no inspector is needed.
 
 use distrib::{DimDist, IndexSet};
-use dmsim::{Proc, Tag};
 
+use crate::process::{tags, Process};
 use crate::schedule::{CommSchedule, RangeRecord};
-
-/// Tag space reserved for redistribution traffic.
-const REDIST_TAG_BASE: Tag = 1 << 42;
 
 /// Build the redistribution schedule for the calling processor: what it
 /// receives (elements it owns under `to` but not under `from`) and what it
 /// sends.  Pure local computation — both distributions are known everywhere.
 pub fn redistribution_schedule(rank: usize, from: &DimDist, to: &DimDist) -> CommSchedule {
-    assert_eq!(from.n(), to.n(), "distributions must cover the same index space");
+    assert_eq!(
+        from.n(),
+        to.n(),
+        "distributions must cover the same index space"
+    );
     assert_eq!(
         from.nprocs(),
         to.nprocs(),
@@ -69,13 +70,9 @@ pub fn redistribution_schedule(rank: usize, from: &DimDist, to: &DimDist) -> Com
 ///
 /// Must be called collectively.  Elements whose owner does not change are
 /// copied locally without communication.
-pub fn redistribute<T>(
-    proc: &mut Proc,
-    from: &DimDist,
-    to: &DimDist,
-    local_data: &[T],
-) -> Vec<T>
+pub fn redistribute<P, T>(proc: &mut P, from: &DimDist, to: &DimDist, local_data: &[T]) -> Vec<T>
 where
+    P: Process,
     T: Copy + Default + Send + 'static,
 {
     let rank = proc.rank();
@@ -85,7 +82,7 @@ where
         "local data does not match the source distribution"
     );
     let schedule = redistribution_schedule(rank, from, to);
-    let tag = REDIST_TAG_BASE;
+    let tag = tags::redistribute_tag(0);
 
     // Send phase.
     for (to_proc, records) in schedule.send_messages() {
@@ -109,9 +106,13 @@ where
 
     // Receive phase.
     for (from_proc, records) in schedule.recv_messages() {
-        let (_, payload): (usize, Vec<T>) = proc.recv_from(from_proc, tag);
+        let payload: Vec<T> = proc.recv_vec(from_proc, tag);
         let expected: usize = records.iter().map(|r| r.len()).sum();
-        assert_eq!(payload.len(), expected, "redistribution message size mismatch");
+        assert_eq!(
+            payload.len(),
+            expected,
+            "redistribution message size mismatch"
+        );
         let mut cursor = 0usize;
         for record in records {
             for g in record.low..record.high {

@@ -224,7 +224,9 @@ impl CommSchedule {
             .map(|(q, recs)| {
                 (
                     q,
-                    recs.iter().map(|r| IndexRange::new(r.low, r.high)).collect(),
+                    recs.iter()
+                        .map(|r| IndexRange::new(r.low, r.high))
+                        .collect(),
                 )
             })
             .collect();
@@ -235,7 +237,9 @@ impl CommSchedule {
             .map(|(q, recs)| {
                 (
                     q,
-                    recs.iter().map(|r| IndexRange::new(r.low, r.high)).collect(),
+                    recs.iter()
+                        .map(|r| IndexRange::new(r.low, r.high))
+                        .collect(),
                 )
             })
             .collect();

@@ -200,9 +200,7 @@ impl DimDist {
                 let hi = ((rank + 1) * b).min(*n);
                 IndexSet::from_range(lo, hi)
             }
-            DimDist::Cyclic { n, p } => {
-                IndexSet::from_indices((rank..*n).step_by(*p))
-            }
+            DimDist::Cyclic { n, p } => IndexSet::from_indices((rank..*n).step_by(*p)),
             DimDist::BlockCyclic { n, p, block } => {
                 let nblocks = n.div_ceil(*block);
                 let mut ranges = Vec::new();
@@ -241,7 +239,11 @@ mod tests {
         let mut seen = vec![false; n];
         for rank in 0..p {
             let set = d.local_set(rank);
-            assert_eq!(set.len(), d.local_count(rank), "count vs set for rank {rank}");
+            assert_eq!(
+                set.len(),
+                d.local_count(rank),
+                "count vs set for rank {rank}"
+            );
             for i in set.iter() {
                 assert!(!seen[i], "index {i} owned twice");
                 seen[i] = true;

@@ -31,7 +31,10 @@ impl ProcGrid {
 
     /// A processor array with arbitrary dimensions.
     pub fn new(dims: &[usize]) -> Self {
-        assert!(!dims.is_empty(), "processor array needs at least one dimension");
+        assert!(
+            !dims.is_empty(),
+            "processor array needs at least one dimension"
+        );
         assert!(
             dims.iter().all(|&d| d > 0),
             "every processor-array dimension must be positive"
@@ -72,7 +75,11 @@ impl ProcGrid {
 
     /// Convert a linear rank to grid coordinates (row-major).
     pub fn coords(&self, rank: usize) -> Vec<usize> {
-        assert!(rank < self.len(), "rank {rank} outside grid of {}", self.len());
+        assert!(
+            rank < self.len(),
+            "rank {rank} outside grid of {}",
+            self.len()
+        );
         let mut rest = rank;
         let mut coords = vec![0; self.dims.len()];
         for (i, &d) in self.dims.iter().enumerate().rev() {

@@ -123,18 +123,17 @@ impl IndexSet {
 
     /// Membership test by binary search over the ranges — O(log r).
     pub fn contains(&self, i: usize) -> bool {
-        match self.ranges.binary_search_by(|r| {
-            if i < r.start {
-                std::cmp::Ordering::Greater
-            } else if i >= r.end {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.ranges
+            .binary_search_by(|r| {
+                if i < r.start {
+                    std::cmp::Ordering::Greater
+                } else if i >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Insert one range, merging with neighbours as needed.
@@ -296,10 +295,7 @@ mod tests {
     fn union_intersection_difference_small_cases() {
         let a = IndexSet::from_ranges([IndexRange::new(0, 10), IndexRange::new(20, 30)]);
         let b = IndexSet::from_ranges([IndexRange::new(5, 25)]);
-        assert_eq!(
-            a.union(&b).ranges(),
-            &[IndexRange::new(0, 30)]
-        );
+        assert_eq!(a.union(&b).ranges(), &[IndexRange::new(0, 30)]);
         assert_eq!(
             a.intersect(&b).ranges(),
             &[IndexRange::new(5, 10), IndexRange::new(20, 25)]
@@ -308,10 +304,7 @@ mod tests {
             a.difference(&b).ranges(),
             &[IndexRange::new(0, 5), IndexRange::new(25, 30)]
         );
-        assert_eq!(
-            b.difference(&a).ranges(),
-            &[IndexRange::new(10, 20)]
-        );
+        assert_eq!(b.difference(&a).ranges(), &[IndexRange::new(10, 20)]);
     }
 
     #[test]

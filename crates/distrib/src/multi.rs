@@ -151,7 +151,7 @@ impl ArrayDist {
     /// True when processor `rank` stores the element at `index` (always true
     /// for replicated arrays).
     pub fn is_local(&self, rank: usize, index: &[usize]) -> bool {
-        self.owner(index).map_or(true, |o| o == rank)
+        self.owner(index).is_none_or(|o| o == rank)
     }
 
     /// Shape of the local piece stored on `rank`.
@@ -282,7 +282,7 @@ mod tests {
         // Element (4, 5): row block 1, column 5 % 3 = 2 -> rank 1*3+2 = 5.
         assert_eq!(a.owner(&[4, 5]), Some(5));
         // Every element has exactly one owner and roundtrips.
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for i in 0..6 {
             for j in 0..6 {
                 let o = a.owner(&[i, j]).unwrap();

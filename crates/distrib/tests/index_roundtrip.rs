@@ -1,0 +1,128 @@
+//! Round-trip property tests for index translation:
+//! `global → (owner, local) → global` must be the identity for every
+//! distribution pattern, including the edge sizes that historically break
+//! ownership arithmetic (`N < P`, `N % P ≠ 0`, single processor, block
+//! sizes that do not divide `N`), plus the replicated multi-dimensional
+//! case where every processor holds the full array.
+
+use distrib::{ArrayDist, DimDist, ProcGrid};
+use proptest::prelude::*;
+
+/// Exhaustive round-trip check of one distribution.
+fn assert_roundtrips(d: &DimDist) {
+    let n = d.n();
+    let p = d.nprocs();
+    for g in 0..n {
+        let owner = d.owner(g);
+        assert!(owner < p, "owner {owner} of index {g} outside 0..{p}");
+        assert!(d.is_local(owner, g));
+        let l = d.local_index(g);
+        assert!(
+            l < d.local_count(owner),
+            "local index {l} outside the owner's {} elements",
+            d.local_count(owner)
+        );
+        assert_eq!(
+            d.global_index(owner, l),
+            g,
+            "global {g} -> (owner {owner}, local {l}) does not round-trip"
+        );
+    }
+
+    // The reverse direction: every (rank, local) pair names a distinct
+    // global index whose translation leads back to the same pair.
+    let total: usize = (0..p).map(|r| d.local_count(r)).sum();
+    assert_eq!(total, n, "local counts must partition the index space");
+    for rank in 0..p {
+        for l in 0..d.local_count(rank) {
+            let g = d.global_index(rank, l);
+            assert!(g < n, "global index {g} out of bounds");
+            assert_eq!(d.owner(g), rank);
+            assert_eq!(d.local_index(g), l);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn block_roundtrips(n in 1usize..300, p in 1usize..24) {
+        assert_roundtrips(&DimDist::block(n, p));
+    }
+
+    #[test]
+    fn cyclic_roundtrips(n in 1usize..300, p in 1usize..24) {
+        assert_roundtrips(&DimDist::cyclic(n, p));
+    }
+
+    #[test]
+    fn block_cyclic_roundtrips(n in 1usize..300, p in 1usize..24, block in 1usize..12) {
+        assert_roundtrips(&DimDist::block_cyclic(n, p, block));
+    }
+
+    #[test]
+    fn custom_roundtrips(n in 1usize..200, p in 1usize..16, mult in 1usize..30, add in 0usize..30) {
+        // Deterministic but irregular owner table.
+        let owners = (0..n).map(|i| (i * mult + add) % p).collect();
+        assert_roundtrips(&DimDist::custom(owners, p));
+    }
+
+    #[test]
+    fn replicated_arrays_roundtrip_on_every_rank(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        p in 1usize..9,
+    ) {
+        // A replicated array has no owner; instead, local and global
+        // coordinates coincide on every processor.
+        let a = ArrayDist::replicated(ProcGrid::new_1d(p), &[rows, cols]);
+        prop_assert!(a.is_replicated());
+        prop_assert_eq!(a.owner(&[0, 0]), None);
+        for rank in 0..p {
+            prop_assert_eq!(a.local_shape(rank), vec![rows, cols]);
+            for r in [0, rows / 2, rows - 1] {
+                for c in [0, cols / 2, cols - 1] {
+                    let local = a.global_to_local(&[r, c]);
+                    prop_assert_eq!(a.local_to_global(rank, &local), vec![r, c]);
+                    prop_assert!(a.is_local(rank, &[r, c]), "replicated => local everywhere");
+                }
+            }
+        }
+    }
+}
+
+/// The specific degenerate shapes named in the issue, checked explicitly so
+/// a property-sampler can never rotate past them.
+#[test]
+fn edge_sizes_roundtrip() {
+    for p in [1usize, 2, 3, 7, 8, 16] {
+        for n in [
+            1usize,
+            2,
+            3,
+            p.saturating_sub(1).max(1),
+            p,
+            p + 1,
+            2 * p + 3,
+        ] {
+            assert_roundtrips(&DimDist::block(n, p));
+            assert_roundtrips(&DimDist::cyclic(n, p));
+            for block in [1usize, 2, 5] {
+                assert_roundtrips(&DimDist::block_cyclic(n, p, block));
+            }
+        }
+    }
+}
+
+#[test]
+fn fewer_elements_than_processors_leaves_tail_ranks_empty() {
+    let d = DimDist::block(3, 8);
+    assert_roundtrips(&d);
+    let nonempty: Vec<usize> = (0..8).filter(|&r| d.local_count(r) > 0).collect();
+    assert!(!nonempty.is_empty());
+    assert_eq!((0..8).map(|r| d.local_count(r)).sum::<usize>(), 3);
+
+    let c = DimDist::cyclic(3, 8);
+    assert_roundtrips(&c);
+    assert_eq!((0..3).map(|r| c.local_count(r)).sum::<usize>(), 3);
+    assert!((3..8).all(|r| c.local_count(r) == 0));
+}

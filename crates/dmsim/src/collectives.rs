@@ -29,7 +29,7 @@ pub fn barrier(proc: &mut Proc) {
     let mut k = 1usize;
     while k < n {
         let to = (me + k) % n;
-        let from = (me + n - k % n) % n;
+        let from = (me + n - k) % n;
         proc.send(to, tag + ((k as u64) << 32), 0u8);
         let _: (usize, u8) = proc.recv_from(from, tag + ((k as u64) << 32));
         k <<= 1;
@@ -344,10 +344,17 @@ mod tests {
             for root in 0..n {
                 let m = Machine::new(n, CostModel::ideal());
                 let r = m.run(|p| {
-                    let value = if p.rank() == root { Some(42u64 + root as u64) } else { None };
+                    let value = if p.rank() == root {
+                        Some(42u64 + root as u64)
+                    } else {
+                        None
+                    };
                     broadcast(p, root, value, 8)
                 });
-                assert!(r.iter().all(|&v| v == 42 + root as u64), "n={n} root={root}");
+                assert!(
+                    r.iter().all(|&v| v == 42 + root as u64),
+                    "n={n} root={root}"
+                );
             }
         }
     }
@@ -426,8 +433,7 @@ mod tests {
     fn non_power_of_two_falls_back_to_direct_exchange() {
         let m = Machine::new(6, CostModel::ideal());
         let r = m.run(|p| {
-            let items: Vec<Routed<usize>> =
-                (0..p.nprocs()).map(|d| (d, p.rank())).collect();
+            let items: Vec<Routed<usize>> = (0..p.nprocs()).map(|d| (d, p.rank())).collect();
             let mut got = crystal_router(p, items);
             got.sort_unstable();
             got

@@ -111,7 +111,13 @@ impl Machine {
             let mut handles = Vec::with_capacity(p);
             for (rank, rx) in receivers.iter_mut().enumerate() {
                 let rx = rx.take().expect("receiver taken twice");
-                let senders = senders.clone();
+                let mut senders = senders.clone();
+                // Self-sends bypass the channel (they go to the pending
+                // buffer), so replace this rank's own sender with a
+                // disconnected one — otherwise a blocked receiver would
+                // hold its own channel open and the "all peers hung up"
+                // fail-fast path could never trigger.
+                senders[rank] = unbounded().0;
                 let topology = self.topology.clone();
                 let cost = self.cost.clone();
                 let f = &f;
@@ -132,6 +138,10 @@ impl Machine {
                     (rank, result, proc.clock, proc.counters)
                 }));
             }
+            // Release the parent's sender clones so a receiver blocked on
+            // a message that never comes sees a disconnect once its peers
+            // exit, instead of hanging the join forever.
+            drop(senders);
             for h in handles {
                 let (rank, result, clock, counters) = h.join().expect("SPMD worker panicked");
                 slots[rank] = Some((result, clock, counters));
@@ -257,13 +267,7 @@ impl Proc {
 
     /// Send an arbitrary payload with an explicitly specified simulated
     /// wire size in bytes.
-    pub fn send_bytes<T: Send + 'static>(
-        &mut self,
-        dst: usize,
-        tag: Tag,
-        bytes: usize,
-        value: T,
-    ) {
+    pub fn send_bytes<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: usize, value: T) {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         // Sender-side CPU overhead.
         self.clock += self.cost.send_overhead;
@@ -311,7 +315,10 @@ impl Proc {
             .iter()
             .position(|e| e.tag == tag && src.is_none_or(|s| e.src == s))
         {
-            let env = self.pending.swap_remove(pos);
+            // Plain remove, not swap_remove: the pending buffer must keep
+            // same-(src, tag) messages in arrival order so delivery stays
+            // FIFO per (source, tag), as the Process contract promises.
+            let env = self.pending.remove(pos);
             return self.complete_recv(env);
         }
         // Otherwise block on the incoming channel, buffering non-matching
@@ -330,10 +337,11 @@ impl Proc {
 
     /// Reserve a fresh tag for one collective operation.
     ///
-    /// Collective tags live in the upper half of the tag space so they can
-    /// never collide with reasonable user tags.
+    /// Collective tags live in the upper half of the tag space (see
+    /// [`kali_process::tags`]) so they can never collide with user,
+    /// executor or redistribution tags.
     pub(crate) fn next_collective_tag(&mut self) -> Tag {
-        let tag = (1u64 << 63) | self.coll_seq;
+        let tag = kali_process::tags::collective_tag(self.coll_seq);
         self.coll_seq += 1;
         tag
     }
@@ -402,6 +410,26 @@ mod tests {
             }
         });
         assert_eq!(r[1], 100);
+    }
+
+    #[test]
+    fn buffered_same_tag_messages_stay_fifo() {
+        // Three same-(src, tag) messages parked in the pending buffer by an
+        // out-of-order receive must still be delivered in send order.
+        let m = Machine::new(2, CostModel::ideal());
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                for v in [1u64, 2, 3] {
+                    p.send(1, 5, v);
+                }
+                p.send(1, 6, 99u64);
+                Vec::new()
+            } else {
+                let _: (usize, u64) = p.recv_from(0, 6); // buffers the tag-5 messages
+                (0..3).map(|_| p.recv_from::<u64>(0, 5).1).collect()
+            }
+        });
+        assert_eq!(r[1], vec![1, 2, 3], "same-(src, tag) delivery must be FIFO");
     }
 
     #[test]
@@ -483,6 +511,19 @@ mod tests {
         });
         assert_eq!(stats.totals.bytes_sent, 800);
         assert_eq!(stats.totals.bytes_recv, 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn mismatched_receive_fails_fast_when_peers_exit() {
+        // Rank 1 waits for a message rank 0 never sends; once rank 0 exits
+        // the channel disconnects and the recv fails instead of hanging.
+        let m = Machine::new(2, CostModel::ideal());
+        m.run(|p| {
+            if p.rank() == 1 {
+                let _: (usize, u64) = p.recv_from(0, 1);
+            }
+        });
     }
 
     #[test]

@@ -24,10 +24,14 @@
 //!   overhead ratios, crossover points).  [`CostModel::ideal`] charges no
 //!   communication costs and is useful in tests.
 //!
-//! The crate is deliberately independent of the Kali layer: it only knows
-//! about processors, messages and time.  Everything specific to global name
-//! spaces, distributions and inspector/executor analysis lives in the
-//! `distrib` and `kali-core` crates.
+//! The crate is deliberately independent of the Kali analysis layer: it
+//! only knows about processors, messages and time.  Everything specific to
+//! global name spaces, distributions and inspector/executor analysis lives
+//! in the `distrib` and `kali-core` crates.  The one contract shared with
+//! that layer is the backend-neutral [`Process`](kali_process::Process)
+//! trait (from `kali-process`), which [`Proc`] implements so the runtime
+//! can run SPMD programs on this simulator or on the native threaded
+//! backend interchangeably — with the cost accounting preserved here.
 //!
 //! ## Example
 //!
@@ -51,6 +55,7 @@ pub mod collectives;
 pub mod cost;
 pub mod engine;
 pub mod message;
+mod process_impl;
 pub mod stats;
 pub mod topology;
 
@@ -60,6 +65,10 @@ pub use engine::{Machine, Proc};
 pub use message::{payload_bytes, Envelope, Tag};
 pub use stats::{Counters, RunStats};
 pub use topology::Topology;
+
+/// The backend contract [`Proc`] implements (re-exported from
+/// `kali-process` for convenience).
+pub use kali_process::Process;
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {

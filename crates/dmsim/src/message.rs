@@ -35,18 +35,15 @@ impl Envelope {
     /// programming error in the SPMD program (the equivalent of an MPI type
     /// error) and never recoverable.
     pub fn into_payload<T: 'static>(self) -> T {
-        *self
-            .payload
-            .downcast::<T>()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "message payload type mismatch: src={} dst={} tag={} expected {}",
-                    self.src,
-                    self.dst,
-                    self.tag,
-                    std::any::type_name::<T>()
-                )
-            })
+        *self.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "message payload type mismatch: src={} dst={} tag={} expected {}",
+                self.src,
+                self.dst,
+                self.tag,
+                std::any::type_name::<T>()
+            )
+        })
     }
 }
 

@@ -6,41 +6,12 @@
 //! volume).
 
 /// Operation counters accumulated by one virtual processor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Counters {
-    /// Number of point-to-point messages sent.
-    pub msgs_sent: u64,
-    /// Number of point-to-point messages received.
-    pub msgs_recv: u64,
-    /// Total simulated payload bytes sent.
-    pub bytes_sent: u64,
-    /// Total simulated payload bytes received.
-    pub bytes_recv: u64,
-    /// Floating-point operations charged.
-    pub flops: u64,
-    /// Local memory references charged.
-    pub mem_refs: u64,
-    /// Loop iterations charged.
-    pub loop_iters: u64,
-    /// Procedure calls charged.
-    pub calls: u64,
-}
-
-impl Counters {
-    /// Element-wise sum of two counter sets.
-    pub fn merge(&self, other: &Counters) -> Counters {
-        Counters {
-            msgs_sent: self.msgs_sent + other.msgs_sent,
-            msgs_recv: self.msgs_recv + other.msgs_recv,
-            bytes_sent: self.bytes_sent + other.bytes_sent,
-            bytes_recv: self.bytes_recv + other.bytes_recv,
-            flops: self.flops + other.flops,
-            mem_refs: self.mem_refs + other.mem_refs,
-            loop_iters: self.loop_iters + other.loop_iters,
-            calls: self.calls + other.calls,
-        }
-    }
-}
+///
+/// The struct itself lives in `kali-process` (it is part of the
+/// backend-neutral [`Process`](kali_process::Process) contract); the
+/// simulator re-exports it so existing `dmsim::Counters` users keep
+/// working and the two types stay identical.
+pub use kali_process::Counters;
 
 /// Machine-wide statistics assembled after an SPMD run.
 ///

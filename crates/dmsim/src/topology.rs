@@ -83,9 +83,7 @@ impl Topology {
     /// Direct neighbors of a node.
     pub fn neighbors(&self, node: usize) -> Vec<usize> {
         match *self {
-            Topology::Hypercube { dim } => {
-                (0..dim).map(|d| node ^ (1usize << d)).collect()
-            }
+            Topology::Hypercube { dim } => (0..dim).map(|d| node ^ (1usize << d)).collect(),
             Topology::Mesh2D { rows, cols } => {
                 let (r, c) = (node / cols, node % cols);
                 let mut out = Vec::with_capacity(4);
@@ -103,9 +101,7 @@ impl Topology {
                 }
                 out
             }
-            Topology::FullyConnected { nodes } => {
-                (0..nodes).filter(|&n| n != node).collect()
-            }
+            Topology::FullyConnected { nodes } => (0..nodes).filter(|&n| n != node).collect(),
         }
     }
 

@@ -98,16 +98,16 @@ impl RegularGrid {
     /// An initial field with a hot interior and cold boundary, handy for
     /// convergence demos.
     pub fn initial_field(&self) -> Vec<f64> {
-        let mut v = vec![0.0f64; self.len()];
-        for node in 0..self.len() {
-            let (r, c) = self.coords(node);
-            if r == 0 || c == 0 || r == self.ny - 1 || c == self.nx - 1 {
-                v[node] = 0.0;
-            } else {
-                v[node] = 1.0 + ((r * 31 + c * 17) % 97) as f64 / 97.0;
-            }
-        }
-        v
+        (0..self.len())
+            .map(|node| {
+                let (r, c) = self.coords(node);
+                if r == 0 || c == 0 || r == self.ny - 1 || c == self.nx - 1 {
+                    0.0
+                } else {
+                    1.0 + ((r * 31 + c * 17) % 97) as f64 / 97.0
+                }
+            })
+            .collect()
     }
 }
 

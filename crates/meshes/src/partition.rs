@@ -83,9 +83,9 @@ mod tests {
     fn strip_partition_keeps_rows_together() {
         let g = RegularGrid::new(8, 8);
         let owners = strip_partition_rows(&g, 4);
-        for node in 0..g.len() {
+        for (node, &owner) in owners.iter().enumerate() {
             let (r, _) = g.coords(node);
-            assert_eq!(owners[node], r / 2);
+            assert_eq!(owner, r / 2);
         }
     }
 

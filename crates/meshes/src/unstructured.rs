@@ -39,7 +39,10 @@ impl UnstructuredMeshBuilder {
     /// Start from an `nx × ny` point cloud (the mesh will have `nx · ny`
     /// nodes).
     pub fn new(nx: usize, ny: usize) -> Self {
-        assert!(nx >= 2 && ny >= 2, "unstructured mesh needs at least 2x2 points");
+        assert!(
+            nx >= 2 && ny >= 2,
+            "unstructured mesh needs at least 2x2 points"
+        );
         UnstructuredMeshBuilder {
             nx,
             ny,

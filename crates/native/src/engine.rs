@@ -1,0 +1,518 @@
+//! The native SPMD engine: threads, channels, and the [`Process`] impl.
+//!
+//! The engine mirrors `dmsim`'s shape — every process owns the sending
+//! halves of all channels and the receiving half of its own, with a pending
+//! buffer for out-of-order arrivals — minus everything related to simulated
+//! time.  Payloads are type-erased boxes, so a program can exchange any
+//! `Send + 'static` value; a type mismatch between a send and the matching
+//! receive panics with the offending ranks and tag, exactly like an MPI
+//! type error would be fatal.
+
+use std::any::Any;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kali_process::{tags, Process, Tag};
+
+/// Tag of the poison packet a panicking worker broadcasts so that peers
+/// blocked in `recv` fail fast instead of deadlocking the scoped join.
+/// `u64::MAX` is unreachable by any real tag: user/executor/redistribute
+/// tags live below bit 63, and collective tags are `2^63 | seq` with
+/// `seq < 2^32` plus a stage offset in bits 32..40.
+const POISON_TAG: Tag = Tag::MAX;
+
+/// A message in flight between two native processes.
+#[derive(Debug)]
+struct Packet {
+    src: usize,
+    tag: Tag,
+    payload: Box<dyn Any + Send>,
+}
+
+/// A native shared-nothing machine: `nprocs` SPMD processes, each on its
+/// own OS thread, connected by unbounded channels.
+#[derive(Debug, Clone)]
+pub struct NativeMachine {
+    nprocs: usize,
+}
+
+impl NativeMachine {
+    /// A machine with `nprocs` processes.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "a machine needs at least one process");
+        NativeMachine { nprocs }
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Run an SPMD program: `f` is executed once per process, in parallel,
+    /// and the per-process return values are collected in rank order.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut NativeProc) -> R + Sync,
+    {
+        let p = self.nprocs;
+        let mut senders: Vec<Sender<Packet>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Option<Receiver<Packet>>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+
+        let mut slots: Vec<Option<R>> = (0..p).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.iter_mut().enumerate() {
+                let rx = rx.take().expect("receiver taken twice");
+                let mut senders = senders.clone();
+                // Self-sends bypass the channel (they go to the pending
+                // buffer), so replace this rank's own sender with a
+                // disconnected one: a live clone of one's own sender would
+                // keep the channel from ever disconnecting, making the
+                // "all peers hung up" fail-fast path unreachable.
+                senders[rank] = unbounded().0;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut proc = NativeProc {
+                        rank,
+                        nprocs: p,
+                        senders,
+                        receiver: rx,
+                        pending: Vec::new(),
+                        coll_seq: 0,
+                    };
+                    // Catch panics so peers blocked in `recv` can be woken
+                    // with a poison packet — otherwise the scoped join
+                    // would wait forever on them and turn a worker panic
+                    // into a deadlock.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut proc))) {
+                        Ok(result) => (rank, result),
+                        Err(cause) => {
+                            proc.broadcast_poison();
+                            std::panic::resume_unwind(cause);
+                        }
+                    }
+                }));
+            }
+            // Release the parent's sender clones: once the other workers
+            // exit, a receiver blocked on a message that will never come
+            // sees a disconnect and panics instead of hanging the join.
+            drop(senders);
+            for h in handles {
+                let (rank, result) = h.join().expect("SPMD worker panicked");
+                slots[rank] = Some(result);
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("missing worker result"))
+            .collect()
+    }
+}
+
+/// Per-process handle passed to the SPMD program — the native
+/// implementation of [`Process`].
+pub struct NativeProc {
+    rank: usize,
+    nprocs: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    pending: Vec<Packet>,
+    /// Monotonic counter deriving unique tags for collective operations
+    /// (all processes call collectives in the same order in an SPMD
+    /// program, so the counters stay in lock step).
+    coll_seq: u64,
+}
+
+impl NativeProc {
+    fn send_packet<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        let packet = Packet {
+            src: self.rank,
+            tag,
+            payload: Box::new(value),
+        };
+        if dst == self.rank {
+            self.pending.push(packet);
+        } else {
+            self.senders[dst]
+                .send(packet)
+                .expect("destination process hung up");
+        }
+    }
+
+    fn recv_packet<T: 'static>(&mut self, src: usize, tag: Tag) -> T {
+        let packet = if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.tag == tag && m.src == src)
+        {
+            // Plain remove, not swap_remove: the pending buffer must keep
+            // same-(src, tag) packets in arrival order to honour the
+            // trait's FIFO delivery guarantee.
+            self.pending.remove(pos)
+        } else {
+            loop {
+                let packet = self
+                    .receiver
+                    .recv()
+                    .expect("all peer processes hung up while waiting for a message");
+                if packet.tag == POISON_TAG {
+                    panic!("peer process {} panicked mid-run", packet.src);
+                }
+                if packet.tag == tag && packet.src == src {
+                    break packet;
+                }
+                self.pending.push(packet);
+            }
+        };
+        let src = packet.src;
+        *packet.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "message payload type mismatch: src={} dst={} tag={} expected {}",
+                src,
+                self.rank,
+                tag,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    fn next_collective_tag(&mut self) -> Tag {
+        let tag = tags::collective_tag(self.coll_seq);
+        self.coll_seq += 1;
+        tag
+    }
+
+    /// Best-effort poison broadcast on panic: wake every peer that may be
+    /// blocked in `recv`.  Send errors are ignored — a peer that already
+    /// exited has dropped its receiver and needs no waking.
+    fn broadcast_poison(&self) {
+        for dst in 0..self.nprocs {
+            if dst != self.rank {
+                let _ = self.senders[dst].send(Packet {
+                    src: self.rank,
+                    tag: POISON_TAG,
+                    payload: Box::new(()),
+                });
+            }
+        }
+    }
+}
+
+impl Process for NativeProc {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+        self.send_packet(dst, tag, value);
+    }
+
+    fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
+        self.send_packet(dst, tag, values);
+    }
+
+    fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        self.recv_packet(src, tag)
+    }
+
+    /// Dissemination barrier: `⌈log2 P⌉` rounds of shifted sends.
+    fn barrier(&mut self) {
+        let n = self.nprocs;
+        if n == 1 {
+            return;
+        }
+        let tag = self.next_collective_tag();
+        let me = self.rank;
+        let mut k = 1usize;
+        while k < n {
+            let to = (me + k) % n;
+            let from = (me + n - k) % n;
+            let round_tag = tag + ((k as u64) << 32);
+            self.send_packet(to, round_tag, 0u8);
+            let _: u8 = self.recv_packet(from, round_tag);
+            k <<= 1;
+        }
+    }
+
+    /// Direct personalised all-to-all: one message (possibly empty) to every
+    /// peer, received and concatenated in rank order, own items in rank
+    /// position — a deterministic item order regardless of thread timing.
+    fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+        let n = self.nprocs;
+        let me = self.rank;
+        let tag = self.next_collective_tag();
+        let mut buckets: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        for (dst, item) in items {
+            assert!(dst < n, "routed item addressed to rank {dst} of {n}");
+            buckets[dst].push(item);
+        }
+        let mut mine = Some(std::mem::take(&mut buckets[me]));
+        for (dst, bucket) in buckets.into_iter().enumerate() {
+            if dst != me {
+                self.send_packet(dst, tag, bucket);
+            }
+        }
+        // Rank-ordered merge (own contribution spliced in at `me`).
+        let mut out: Vec<T> = Vec::new();
+        for src in 0..n {
+            if src == me {
+                out.extend(mine.take().expect("own bucket consumed twice"));
+            } else {
+                let incoming: Vec<T> = self.recv_packet(src, tag);
+                out.extend(incoming);
+            }
+        }
+        out
+    }
+
+    fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+        let n = self.nprocs;
+        let me = self.rank;
+        let tag = self.next_collective_tag();
+        for dst in 0..n {
+            if dst != me {
+                self.send_packet(dst, tag, items.clone());
+            }
+        }
+        let mut mine = Some(items);
+        (0..n)
+            .map(|src| {
+                if src == me {
+                    mine.take().expect("own contribution consumed twice")
+                } else {
+                    self.recv_packet(src, tag)
+                }
+            })
+            .collect()
+    }
+
+    fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+        let n = self.nprocs;
+        let me = self.rank;
+        let tag = self.next_collective_tag();
+        for dst in 0..n {
+            if dst != me {
+                self.send_packet(dst, tag, value);
+            }
+        }
+        // Sum in rank order so every rank rounds identically.
+        let mut sum = 0.0f64;
+        for src in 0..n {
+            if src == me {
+                sum += value;
+            } else {
+                let v: f64 = self.recv_packet(src, tag);
+                sum += v;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_runs() {
+        let m = NativeMachine::new(1);
+        let r = m.run(|p| p.rank() * 10 + p.nprocs());
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    fn ring_shift_delivers_values_in_rank_order() {
+        let m = NativeMachine::new(8);
+        let r = m.run(|p| {
+            let right = (p.rank() + 1) % p.nprocs();
+            let left = (p.rank() + p.nprocs() - 1) % p.nprocs();
+            p.send(right, 1, p.rank() as u64);
+            let v: u64 = p.recv(left, 1);
+            v
+        });
+        assert_eq!(r, vec![7, 0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        let m = NativeMachine::new(2);
+        let r = m.run(|p| {
+            p.send(p.rank(), 9, 123u32);
+            let v: u32 = p.recv(p.rank(), 9);
+            v
+        });
+        assert_eq!(r, vec![123, 123]);
+    }
+
+    #[test]
+    fn tags_demultiplex_messages() {
+        let m = NativeMachine::new(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                p.send(1, 10, 100u64);
+                p.send(1, 20, 200u64);
+                0
+            } else {
+                // Receive out of order: tag 20 first even though sent second.
+                let b: u64 = p.recv(0, 20);
+                let a: u64 = p.recv(0, 10);
+                (b - a) as usize
+            }
+        });
+        assert_eq!(r[1], 100);
+    }
+
+    #[test]
+    fn barrier_completes_on_various_sizes() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let m = NativeMachine::new(n);
+            let r = m.run(|p| {
+                p.barrier();
+                p.barrier();
+                p.rank()
+            });
+            assert_eq!(r.len(), n);
+        }
+    }
+
+    #[test]
+    fn exchange_delivers_all_items_in_rank_order() {
+        for n in [1usize, 2, 4, 6, 8] {
+            let m = NativeMachine::new(n);
+            let r = m.run(|p| {
+                let items: Vec<(usize, (usize, usize))> =
+                    (0..p.nprocs()).map(|dst| (dst, (p.rank(), dst))).collect();
+                p.exchange(items)
+            });
+            for (rank, got) in r.into_iter().enumerate() {
+                // Rank-ordered merge: items arrive sorted by source rank.
+                let expected: Vec<(usize, usize)> = (0..n).map(|src| (src, rank)).collect();
+                assert_eq!(got, expected, "n={n} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for n in [1, 3, 4, 8] {
+            let m = NativeMachine::new(n);
+            let r = m.run(|p| p.allgather(vec![p.rank() as u64 * 10]));
+            let expected: Vec<Vec<u64>> = (0..n as u64).map(|r| vec![r * 10]).collect();
+            for v in r {
+                assert_eq!(v, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_is_identical_on_all_ranks() {
+        let m = NativeMachine::new(16);
+        let r = m.run(|p| p.allreduce_sum_f64(0.1 * (p.rank() as f64 + 1.0)));
+        for w in r.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits(), "bitwise identical sums");
+        }
+        assert!((r[0] - 13.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let run = || {
+            let m = NativeMachine::new(8);
+            m.run(|p| {
+                let items: Vec<(usize, u64)> = (0..p.nprocs())
+                    .map(|d| (d, (p.rank() * 100 + d) as u64))
+                    .collect();
+                let exchanged = p.exchange(items);
+                let sum = p.allreduce_sum_f64(exchanged.iter().sum::<u64>() as f64);
+                (exchanged, sum)
+            })
+        };
+        assert_eq!(run(), run(), "results must not depend on thread timing");
+    }
+
+    #[test]
+    fn buffered_same_tag_messages_stay_fifo() {
+        // Three same-(src, tag) packets are parked in the pending buffer by
+        // an out-of-order receive; they must still come out in send order
+        // (a swap_remove-based buffer would return 1, 3, 2).
+        let m = NativeMachine::new(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                for v in [1u64, 2, 3] {
+                    p.send(1, 5, v);
+                }
+                p.send(1, 6, 99u64);
+                Vec::new()
+            } else {
+                let _: u64 = p.recv(0, 6); // buffers the three tag-5 packets
+                (0..3).map(|_| p.recv::<u64>(0, 5)).collect()
+            }
+        });
+        assert_eq!(r[1], vec![1, 2, 3], "same-(src, tag) delivery must be FIFO");
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn mismatched_receive_fails_fast_when_peers_exit() {
+        // Rank 1 waits for a message rank 0 never sends.  Once rank 0
+        // exits, every sender for rank 1's channel is gone, so the recv
+        // must fail fast instead of deadlocking the join.
+        let m = NativeMachine::new(2);
+        m.run(|p| {
+            if p.rank() == 1 {
+                let _: u64 = p.recv(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn worker_panic_propagates_while_peers_block_in_recv() {
+        // Rank 0 panics while ranks 1 and 2 are blocked waiting for it; the
+        // poison broadcast must wake them so the panic propagates instead
+        // of deadlocking the scoped join.
+        let m = NativeMachine::new(3);
+        m.run(|p| {
+            if p.rank() == 0 {
+                panic!("deliberate worker failure");
+            }
+            let _: u64 = p.recv(0, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn wrong_receive_type_panics() {
+        let m = NativeMachine::new(2);
+        m.run(|p| {
+            if p.rank() == 0 {
+                p.send(1, 5, 1u64);
+            } else {
+                let _: Vec<f64> = p.recv(0, 5);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn send_out_of_range_panics() {
+        let m = NativeMachine::new(2);
+        m.run(|p| {
+            if p.rank() == 0 {
+                p.send(5, 0, 1u8);
+            }
+        });
+    }
+}

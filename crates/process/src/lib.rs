@@ -1,0 +1,277 @@
+//! # kali-process — the backend abstraction of the Kali runtime
+//!
+//! The runtime layer of the Kali reproduction (inspector, executor,
+//! redistribution, distributed arrays in `kali-core`) needs exactly one
+//! thing from the machine it runs on: an SPMD *process* handle that can
+//! exchange typed messages with its peers and take part in a few
+//! collectives.  This crate defines that contract — the [`Process`] trait —
+//! so the runtime can be written once and executed on any backend:
+//!
+//! * `dmsim::Proc` — the deterministic machine **simulator** with logical
+//!   clocks and the paper's NCUBE/7 / iPSC/2 cost models.  It implements the
+//!   cost-charging hooks by advancing its simulated clock, which is how the
+//!   paper's tables are reproduced.
+//! * `kali_native::NativeProc` — a **native** backend running one OS thread
+//!   per process with channel-based messaging, for wall-clock execution.
+//!   It leaves the cost hooks at their no-op defaults.
+//!
+//! The trait is deliberately minimal: ranks, typed point-to-point
+//! `send`/`recv` matched on `(source, tag)`, the three collective shapes the
+//! runtime needs (barrier, personalised all-to-all, allgather, plus an `f64`
+//! sum-allreduce for convergence tests), and *optional* cost hooks that
+//! default to no-ops so native backends pay nothing for the simulator's
+//! accounting.
+//!
+//! The [`tags`] module centralises the tag-space layout shared by every
+//! runtime component so tag ranges are disjoint by construction.
+
+pub mod tags;
+
+/// Message tag, used to match sends with receives (like MPI tags).
+///
+/// See [`tags`] for how the 64-bit tag space is partitioned between the
+/// runtime components.
+pub type Tag = u64;
+
+/// Operation counters accumulated by one process.
+///
+/// Counters are pure bookkeeping — backends that do not meter operations
+/// simply leave them at zero (the trait's default).  The simulator uses them
+/// for the paper's message/volume tables; tests use them to assert
+/// communication shapes ("one message per neighbour pair").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Number of point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Number of point-to-point messages received.
+    pub msgs_recv: u64,
+    /// Total payload bytes sent (simulated wire size).
+    pub bytes_sent: u64,
+    /// Total payload bytes received (simulated wire size).
+    pub bytes_recv: u64,
+    /// Floating-point operations charged.
+    pub flops: u64,
+    /// Local memory references charged.
+    pub mem_refs: u64,
+    /// Loop iterations charged.
+    pub loop_iters: u64,
+    /// Procedure calls charged.
+    pub calls: u64,
+}
+
+impl Counters {
+    /// Element-wise sum of two counter sets.
+    pub fn merge(&self, other: &Counters) -> Counters {
+        Counters {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+            flops: self.flops + other.flops,
+            mem_refs: self.mem_refs + other.mem_refs,
+            loop_iters: self.loop_iters + other.loop_iters,
+            calls: self.calls + other.calls,
+        }
+    }
+
+    /// Element-wise difference `self - earlier`, for measuring a timed
+    /// region from two snapshots.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            msgs_recv: self.msgs_recv - earlier.msgs_recv,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_recv: self.bytes_recv - earlier.bytes_recv,
+            flops: self.flops - earlier.flops,
+            mem_refs: self.mem_refs - earlier.mem_refs,
+            loop_iters: self.loop_iters - earlier.loop_iters,
+            calls: self.calls - earlier.calls,
+        }
+    }
+}
+
+/// One SPMD process of a distributed-memory run.
+///
+/// Every method is called collectively or pairwise by the SPMD program; the
+/// contract is MPI-flavoured:
+///
+/// * **Point-to-point.**  `send*` is asynchronous (never blocks on the
+///   receiver); `recv*` blocks until a message matching `(src, tag)`
+///   arrives.  Messages between the same pair with the same tag are
+///   delivered in send order; a process may send to itself.
+/// * **Collectives.**  Every process must call the same collective in the
+///   same order.  Implementations must be *deterministic*: the returned
+///   values depend only on the inputs and ranks, never on thread timing.
+/// * **Cost hooks.**  The `charge_*` family lets the runtime meter the
+///   abstract operations the paper's cost model prices (flops, memory
+///   references, locality checks, binary-search steps, record handling).
+///   They default to no-ops, so a wall-clock backend pays nothing; the
+///   simulator overrides them to advance its logical clock.
+pub trait Process {
+    /// This process's rank, in `0..nprocs`.
+    fn rank(&self) -> usize;
+
+    /// Number of processes taking part in the run.
+    fn nprocs(&self) -> usize;
+
+    // ----------------------------------------------------------------
+    // Point-to-point messaging
+    // ----------------------------------------------------------------
+
+    /// Send a single value to `dst` with the given tag.
+    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T);
+
+    /// Send an owned vector to `dst`; the accounted wire size is
+    /// `len · size_of::<T>()`.
+    fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>);
+
+    /// Receive a single value with the given tag from `src`.  Blocks until
+    /// a matching message arrives.
+    fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T;
+
+    /// Receive a vector with the given tag from `src`.
+    fn recv_vec<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Vec<T> {
+        self.recv::<Vec<T>>(src, tag)
+    }
+
+    // ----------------------------------------------------------------
+    // Collectives
+    // ----------------------------------------------------------------
+
+    /// Synchronise all processes.
+    fn barrier(&mut self);
+
+    /// All-to-all personalised exchange: contribute `(destination, item)`
+    /// pairs, receive every item addressed to this rank.
+    ///
+    /// The order of the returned items is backend-defined; callers that
+    /// need a canonical order must sort (the inspector does — its send
+    /// records are sorted by `(to_proc, low)` after the exchange).
+    fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T>;
+
+    /// Gather one vector from every process onto every process, indexed by
+    /// rank.  (`Clone` because the contribution is fanned out to `P − 1`
+    /// peers.)
+    fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>>;
+
+    /// Sum an `f64` across all processes; every process receives a result
+    /// that is bitwise identical across ranks.
+    ///
+    /// The combining order (and therefore the exact rounding) is
+    /// backend-defined; callers must not rely on bitwise agreement *between*
+    /// backends, only between ranks of one run.
+    fn allreduce_sum_f64(&mut self, value: f64) -> f64;
+
+    // ----------------------------------------------------------------
+    // Cost-charging hooks (no-ops unless the backend meters them)
+    // ----------------------------------------------------------------
+
+    /// Charge `n` floating-point operations.
+    fn charge_flops(&mut self, _n: usize) {}
+
+    /// Charge `n` local memory references.
+    fn charge_mem_refs(&mut self, _n: usize) {}
+
+    /// Charge `n` loop iterations of control overhead.
+    fn charge_loop_iters(&mut self, _n: usize) {}
+
+    /// Charge `n` procedure calls.
+    fn charge_calls(&mut self, _n: usize) {}
+
+    /// Charge one local distributed-array access (index translation + load).
+    fn charge_local_access(&mut self) {}
+
+    /// Charge one nonlocal access resolved by binary search over `ranges`
+    /// range records (the paper's "search overhead").
+    fn charge_nonlocal_access(&mut self, _ranges: usize) {}
+
+    /// Charge one inspector locality check (owner computation for one
+    /// reference).
+    fn charge_locality_check(&mut self) {}
+
+    /// Charge the handling of `n` schedule records (sort/merge/route work).
+    fn charge_record_handling(&mut self, _n: usize) {}
+
+    // ----------------------------------------------------------------
+    // Introspection
+    // ----------------------------------------------------------------
+
+    /// Elapsed process-local time in seconds: *simulated* seconds on a
+    /// metering backend, `0.0` on backends that do not keep a clock.
+    fn time(&self) -> f64 {
+        0.0
+    }
+
+    /// Operation counters accumulated so far (all-zero on backends that do
+    /// not meter).
+    fn counters(&self) -> Counters {
+        Counters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_and_since_are_inverse() {
+        let a = Counters {
+            msgs_sent: 3,
+            bytes_sent: 100,
+            flops: 7,
+            ..Counters::default()
+        };
+        let b = Counters {
+            msgs_sent: 2,
+            bytes_sent: 50,
+            mem_refs: 9,
+            ..Counters::default()
+        };
+        let sum = a.merge(&b);
+        assert_eq!(sum.since(&b), a);
+        assert_eq!(sum.since(&a), b);
+    }
+
+    /// A minimal single-rank Process exercising the trait defaults.
+    struct Solo;
+
+    impl Process for Solo {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn nprocs(&self) -> usize {
+            1
+        }
+        fn send<T: Send + 'static>(&mut self, _dst: usize, _tag: Tag, _value: T) {
+            panic!("solo process has no peers");
+        }
+        fn send_vec<T: Send + 'static>(&mut self, _dst: usize, _tag: Tag, _values: Vec<T>) {
+            panic!("solo process has no peers");
+        }
+        fn recv<T: Send + 'static>(&mut self, _src: usize, _tag: Tag) -> T {
+            panic!("solo process has no peers");
+        }
+        fn barrier(&mut self) {}
+        fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+            items.into_iter().map(|(_, item)| item).collect()
+        }
+        fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+            vec![items]
+        }
+        fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+            value
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops_and_introspection_is_zero() {
+        let mut p = Solo;
+        p.charge_flops(100);
+        p.charge_nonlocal_access(64);
+        p.charge_locality_check();
+        assert_eq!(p.time(), 0.0);
+        assert_eq!(p.counters(), Counters::default());
+        assert_eq!(p.allreduce_sum_f64(2.5), 2.5);
+        assert_eq!(p.exchange(vec![(0, 1u8), (0, 2)]), vec![1, 2]);
+    }
+}

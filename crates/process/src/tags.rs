@@ -1,0 +1,132 @@
+//! Centralised tag-space layout.
+//!
+//! Every runtime component that exchanges point-to-point messages derives
+//! its tags from this module, so the ranges are disjoint *by construction*
+//! and documented in one place.  The 64-bit [`Tag`](crate::Tag) space is
+//! partitioned as:
+//!
+//! | range (half-open)        | owner                                          |
+//! |--------------------------|------------------------------------------------|
+//! | `[0, 2^40)`              | user programs (free-form tags)                 |
+//! | `[2^40, 2^41)`           | executor data messages, offset by sweep number |
+//! | `[2^41, 2^42)`           | hand-coded baseline halo exchange              |
+//! | `[2^42, 2^43)`           | array redistribution traffic                   |
+//! | `[2^43, 2^63)`           | reserved (unused)                              |
+//! | `[2^63, 2^64)`           | collectives (per-invocation sequence numbers)  |
+//!
+//! Collective tags additionally embed a per-stage offset in bits 32..40
+//! (dissemination-barrier round, reduction dimension), which stays inside
+//! the collective range because bit 63 is always set.
+//!
+//! The previous layout let callers pick magic constants per file
+//! (`1 << 40`, `1 << 41`, `1 << 42`, `1 << 63`) with nothing checking
+//! disjointness; a sweep counter larger than 2^41 − 2^40 would have walked
+//! the executor range into the baseline's.  [`executor_tag`] and
+//! [`redistribute_tag`] now bounds-check their offsets in debug builds.
+
+use crate::Tag;
+
+/// Exclusive upper bound of the tag range user programs may use freely.
+pub const USER_LIMIT: Tag = 1 << 40;
+
+/// Base of the executor data-message range (`[EXECUTOR_BASE,
+/// EXECUTOR_BASE + SPAN)`).
+pub const EXECUTOR_BASE: Tag = 1 << 40;
+
+/// Base of the hand-coded baseline halo-exchange range.
+pub const HALO_BASE: Tag = 1 << 41;
+
+/// Base of the redistribution-traffic range.
+pub const REDIST_BASE: Tag = 1 << 42;
+
+/// Base of the collective-operation range (top half of the tag space).
+pub const COLLECTIVE_BASE: Tag = 1 << 63;
+
+/// Width of each non-collective component range.
+pub const SPAN: Tag = 1 << 40;
+
+/// Tag of the executor's data messages for one execution (sweep) of a
+/// `forall`.
+///
+/// Successive executions must use distinct offsets so a fast neighbour's
+/// sweep `s + 1` sends cannot be confused with its sweep `s` sends.
+pub fn executor_tag(offset: Tag) -> Tag {
+    debug_assert!(
+        offset < SPAN,
+        "executor tag offset {offset} exceeds the range span"
+    );
+    EXECUTOR_BASE + offset
+}
+
+/// Tag of one redistribution's traffic.  `offset` distinguishes concurrent
+/// or back-to-back redistributions (0 when there is only one).
+pub fn redistribute_tag(offset: Tag) -> Tag {
+    debug_assert!(
+        offset < SPAN,
+        "redistribute tag offset {offset} exceeds the range span"
+    );
+    REDIST_BASE + offset
+}
+
+/// Tag of the hand-coded baseline's halo messages for one sweep.
+pub fn halo_tag(offset: Tag) -> Tag {
+    debug_assert!(
+        offset < SPAN,
+        "halo tag offset {offset} exceeds the range span"
+    );
+    HALO_BASE + offset
+}
+
+/// Tag of the `seq`-th collective operation of a run.
+///
+/// SPMD programs call collectives in the same order on every rank, so a
+/// per-process monotonic sequence number yields matching tags machine-wide.
+/// Bits 32..40 are left for the collective's internal stage offset.
+pub fn collective_tag(seq: u64) -> Tag {
+    debug_assert!(
+        seq < 1 << 32,
+        "collective sequence number {seq} overflows its field"
+    );
+    COLLECTIVE_BASE | seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_ranges_are_pairwise_disjoint() {
+        let ranges: &[(Tag, Tag)] = &[
+            (0, USER_LIMIT),
+            (EXECUTOR_BASE, EXECUTOR_BASE + SPAN),
+            (HALO_BASE, HALO_BASE + SPAN),
+            (REDIST_BASE, REDIST_BASE + SPAN),
+            (COLLECTIVE_BASE, Tag::MAX),
+        ];
+        for (i, a) in ranges.iter().enumerate() {
+            for b in ranges.iter().skip(i + 1) {
+                assert!(a.1 <= b.0 || b.1 <= a.0, "ranges {a:?} and {b:?} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_land_in_their_ranges() {
+        assert_eq!(executor_tag(0), EXECUTOR_BASE);
+        assert!(executor_tag(SPAN - 1) < HALO_BASE);
+        assert_eq!(halo_tag(3), HALO_BASE + 3);
+        assert!(halo_tag(SPAN - 1) < REDIST_BASE);
+        assert_eq!(redistribute_tag(0), REDIST_BASE);
+        assert!(redistribute_tag(SPAN - 1) < COLLECTIVE_BASE);
+        assert!(collective_tag(0) >= COLLECTIVE_BASE);
+        // Stage offsets (bits 32..40) stay inside the collective range.
+        assert!(collective_tag(u32::MAX as u64) + (0xFFu64 << 32) >= COLLECTIVE_BASE);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the range span")]
+    fn oversized_executor_offset_is_rejected() {
+        let _ = executor_tag(SPAN);
+    }
+}

@@ -1,0 +1,224 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the micro-benchmarks
+//! run on this shim: the same `criterion_group!` / `criterion_main!` /
+//! `benchmark_group` / `bench_with_input` / `iter` surface, implemented as a
+//! plain warm-up + timed-sample loop that prints mean and min wall-clock
+//! time per iteration.  There is no statistical analysis, outlier detection
+//! or HTML report — the numbers are indicative, which is all the ablation
+//! benches need (the *simulated* times in the table binaries are the
+//! reproducible quantities).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times one closure; handed to the user's benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample durations in seconds, filled in by [`Bencher::iter`].
+    result: Option<Vec<f64>>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let mut durations = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            durations.push(start.elapsed().as_secs_f64());
+        }
+        self.result = Some(durations);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        body(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        body(&mut bencher);
+        self.report(name, &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &str, bencher: &Bencher) {
+        match &bencher.result {
+            Some(durations) if !durations.is_empty() => {
+                let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+                let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+                println!(
+                    "{}/{}: mean {} min {} ({} samples)",
+                    self.name,
+                    id,
+                    format_duration(mean),
+                    format_duration(min),
+                    durations.len()
+                );
+            }
+            _ => println!(
+                "{}/{}: no measurement (iter was never called)",
+                self.name, id
+            ),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== benchmark group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function("bench", body);
+        self
+    }
+
+    /// Number of benchmarks executed so far (used by the harness macros).
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner (shim: a plain function).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            eprintln!("(criterion shim: {} benchmarks, wall-clock only)", criterion.benchmarks_run());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_and_counts() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            let mut calls = 0usize;
+            group.bench_with_input(BenchmarkId::new("f", 1), &2usize, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+            assert_eq!(calls, 4, "1 warm-up + 3 samples");
+        }
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(2.5), "2.500 s");
+        assert_eq!(format_duration(2.5e-3), "2.500 ms");
+        assert_eq!(format_duration(2.5e-6), "2.500 us");
+        assert_eq!(format_duration(2.5e-8), "25.0 ns");
+    }
+}

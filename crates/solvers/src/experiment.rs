@@ -164,7 +164,8 @@ pub fn sequential_executor_time(cost: &CostModel, mesh: &AdjacencyMesh, sweeps: 
     let outer = n * (cost.loop_iter + cost.mem_ref) + nodes_with_neighbors * cost.mem_ref;
     // Relaxation forall, inner part: per edge one loop iteration, adj/coef
     // reads, multiply-accumulate, and one local fetch of old_a.
-    let inner = edges * (cost.loop_iter + 2.0 * cost.mem_ref + 2.0 * cost.flop + cost.local_access());
+    let inner =
+        edges * (cost.loop_iter + 2.0 * cost.mem_ref + 2.0 * cost.flop + cost.local_access());
 
     sweeps as f64 * (copy + outer + inner)
 }

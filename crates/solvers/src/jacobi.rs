@@ -14,12 +14,15 @@
 //!
 //! The reference `old_a[adj[i,j]]` is data dependent, so the communication
 //! schedule comes from the run-time inspector; it is computed once and
-//! cached across sweeps (§3.3).  Every per-operation cost is charged to the
-//! machine's cost model so the simulated clocks reproduce the paper's
-//! measurements.
+//! cached across sweeps (§3.3).  The program is generic over the
+//! [`Process`] backend: on the `dmsim` simulator every per-operation cost
+//! is charged to the machine's cost model so the simulated clocks reproduce
+//! the paper's measurements; on the `kali-native` backend the cost hooks
+//! are no-ops and the sweeps run at wall-clock speed, with bit-identical
+//! array contents (the arithmetic order is backend-independent).
 
 use distrib::DimDist;
-use dmsim::{collectives, Counters, Proc};
+use kali_core::process::{Counters, Process};
 use kali_core::{execute_sweep, ExecutorConfig, Forall, ScheduleCache};
 use meshes::AdjacencyMesh;
 
@@ -63,6 +66,9 @@ impl JacobiConfig {
 }
 
 /// Per-processor result of a Jacobi run.
+///
+/// The time fields are **simulated seconds** on the `dmsim` backend and 0.0
+/// on backends that keep no clock (the native backend).
 #[derive(Debug, Clone)]
 pub struct JacobiOutcome {
     /// Final values of the locally owned mesh nodes (in local-index order).
@@ -93,8 +99,8 @@ const RELAXATION_LOOP_ID: u64 = 0x4A41_434F_4249; // "JACOBI"
 /// Run `config.sweeps` Jacobi sweeps over `mesh` with node arrays
 /// distributed by `dist`, starting from the globally replicated `initial`
 /// field.  Must be called collectively by every processor of the machine.
-pub fn jacobi_sweeps(
-    proc: &mut Proc,
+pub fn jacobi_sweeps<P: Process>(
+    proc: &mut P,
     mesh: &AdjacencyMesh,
     dist: &DimDist,
     initial: &[f64],
@@ -134,7 +140,7 @@ pub fn jacobi_sweeps(
     let relaxation = Forall::over(RELAXATION_LOOP_ID, n, dist.clone());
     let exec_iters = relaxation.exec_iters(rank);
 
-    let start_clock = proc.clock();
+    let start_clock = proc.time();
     let counters_start = proc.counters();
     let mut inspector_time = 0.0f64;
     let mut schedule_ranges = 0usize;
@@ -151,7 +157,7 @@ pub fn jacobi_sweeps(
         }
 
         // -- plan the relaxation forall (inspector, first sweep only) --------
-        let before_inspector = proc.clock();
+        let before_inspector = proc.time();
         let data_version = if config.disable_schedule_cache {
             sweep as u64
         } else {
@@ -164,7 +170,7 @@ pub fn jacobi_sweeps(
                 refs.push(adj[l * width + j] as usize);
             }
         });
-        inspector_time += proc.clock() - before_inspector;
+        inspector_time += proc.time() - before_inspector;
         schedule_ranges = schedule.range_count();
         recv_elements = schedule.recv_len;
         recv_partners = schedule.recv_partner_count();
@@ -212,23 +218,13 @@ pub fn jacobi_sweeps(
                     let d = a[l] - old_a[l];
                     local_change += d * d;
                 }
-                let _global_change = collectives::allreduce_sum_f64(proc, local_change);
+                let _global_change = proc.allreduce_sum_f64(local_change);
             }
         }
     }
 
-    let total_time = proc.clock() - start_clock;
-    let counters_end = proc.counters();
-    let counters = Counters {
-        msgs_sent: counters_end.msgs_sent - counters_start.msgs_sent,
-        msgs_recv: counters_end.msgs_recv - counters_start.msgs_recv,
-        bytes_sent: counters_end.bytes_sent - counters_start.bytes_sent,
-        bytes_recv: counters_end.bytes_recv - counters_start.bytes_recv,
-        flops: counters_end.flops - counters_start.flops,
-        mem_refs: counters_end.mem_refs - counters_start.mem_refs,
-        loop_iters: counters_end.loop_iters - counters_start.loop_iters,
-        calls: counters_end.calls - counters_start.calls,
-    };
+    let total_time = proc.time() - start_clock;
+    let counters = proc.counters().since(&counters_start);
     let local_norm = a.iter().map(|v| v * v).sum();
 
     JacobiOutcome {
@@ -349,7 +345,10 @@ mod tests {
         assert_eq!(got, expected);
         // Scrambled numbering produces many more ranges than the tidy grid.
         let ranges: usize = outcomes.iter().map(|o| o.schedule_ranges).sum();
-        assert!(ranges > 8, "expected fragmented schedules, got {ranges} ranges");
+        assert!(
+            ranges > 8,
+            "expected fragmented schedules, got {ranges} ranges"
+        );
     }
 
     #[test]
@@ -426,13 +425,7 @@ mod tests {
         let machine = Machine::new(4, CostModel::ncube7());
         let outcomes = machine.run(|proc| {
             let dist = DimDist::block(mesh.len(), proc.nprocs());
-            jacobi_sweeps(
-                proc,
-                &mesh,
-                &dist,
-                &initial,
-                &JacobiConfig::with_sweeps(50),
-            )
+            jacobi_sweeps(proc, &mesh, &dist, &initial, &JacobiConfig::with_sweeps(50))
         });
         for o in outcomes {
             assert!(o.total_time > 0.0);

@@ -20,5 +20,5 @@ pub mod jacobi;
 pub mod report;
 
 pub use experiment::{run_jacobi_experiment, sequential_executor_time, ExperimentParams};
-pub use jacobi::{jacobi_sweeps, JacobiConfig, JacobiOutcome};
+pub use jacobi::{jacobi_sequential, jacobi_sweeps, JacobiConfig, JacobiOutcome};
 pub use report::{ExperimentRow, PhaseBreakdown};

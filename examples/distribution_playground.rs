@@ -36,7 +36,12 @@ fn main() {
     println!("three-point stencil over {N} elements on {P} processors (NCUBE/7 model)\n");
     println!(
         "{:>18}  {:>14}  {:>14}  {:>12}  {:>14}  {:>12}",
-        "distribution", "halo elements", "msgs / sweep", "local iters", "nonlocal iters", "sim time (s)"
+        "distribution",
+        "halo elements",
+        "msgs / sweep",
+        "local iters",
+        "nonlocal iters",
+        "sim time (s)"
     );
 
     for (name, dist) in distributions {
@@ -44,13 +49,21 @@ fn main() {
         let (rows, stats) = machine.run_stats(|proc| {
             let dist = dist.clone();
             let rank = proc.rank();
-            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| (g % 17) as f64).collect();
+            let local_a: Vec<f64> = dist
+                .local_set(rank)
+                .iter()
+                .map(|g| (g % 17) as f64)
+                .collect();
             let mut local_b = local_a.clone();
 
             // The loop body below is identical for every distribution.
             let stencil = Forall::over(7, N, dist.clone()).range(1, N - 1);
             let mut cache = ScheduleCache::new();
-            let refs = [AffineMap::shift(-1), AffineMap::identity(), AffineMap::shift(1)];
+            let refs = [
+                AffineMap::shift(-1),
+                AffineMap::identity(),
+                AffineMap::shift(1),
+            ];
             let schedule = stencil.plan_affine(proc, &mut cache, &dist, &refs, 0);
             stencil.run(
                 proc,

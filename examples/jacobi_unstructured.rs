@@ -22,7 +22,9 @@ fn main() {
         .seed(1990)
         .scramble_numbering(true)
         .build();
-    let initial: Vec<f64> = (0..mesh.len()).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+    let initial: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 37) % 101) as f64 / 101.0)
+        .collect();
     let sweeps = 25;
     println!(
         "mesh: {} nodes, {} directed edges, average degree {:.2}",
@@ -57,7 +59,10 @@ fn main() {
             let correct = global == expected;
 
             let total = outcomes.iter().map(|o| o.total_time).fold(0.0, f64::max);
-            let inspector = outcomes.iter().map(|o| o.inspector_time).fold(0.0, f64::max);
+            let inspector = outcomes
+                .iter()
+                .map(|o| o.inspector_time)
+                .fold(0.0, f64::max);
             let ghosts: usize = outcomes.iter().map(|o| o.recv_elements).sum();
             let ranges: usize = outcomes.iter().map(|o| o.schedule_ranges).sum();
             println!(

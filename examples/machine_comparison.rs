@@ -31,7 +31,11 @@ fn main() {
         "machine", "procs", "total (s)", "inspector (s)", "overhead", "imbalance"
     );
 
-    for cost in [CostModel::ncube7(), CostModel::ipsc2(), CostModel::cluster()] {
+    for cost in [
+        CostModel::ncube7(),
+        CostModel::ipsc2(),
+        CostModel::cluster(),
+    ] {
         for nprocs in [4usize, 16, 64] {
             let machine = Machine::new(nprocs, cost.clone());
             let (outcomes, stats) = machine.run_stats(|proc| {
@@ -45,7 +49,10 @@ fn main() {
                 )
             });
             let total = outcomes.iter().map(|o| o.total_time).fold(0.0, f64::max);
-            let inspector = outcomes.iter().map(|o| o.inspector_time).fold(0.0, f64::max);
+            let inspector = outcomes
+                .iter()
+                .map(|o| o.inspector_time)
+                .fold(0.0, f64::max);
             println!(
                 "{:>10}  {:>6}  {:>12.4}  {:>14.4}  {:>9.2}%  {:>12.3}",
                 cost.name,

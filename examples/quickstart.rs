@@ -15,8 +15,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use kali_repro::dmsim::{CostModel, Machine};
 use kali_repro::distrib::DimDist;
+use kali_repro::dmsim::{CostModel, Machine};
 use kali_repro::kali::{AffineMap, ExecutorConfig, Forall, ScheduleCache};
 
 fn main() {

@@ -16,10 +16,7 @@ fn assert_equivalent(spec: &LoopSpec) {
     let machine = Machine::new(nprocs, CostModel::ideal());
     let spec_clone = spec.clone();
     let inspector_schedules = machine.run(|proc| {
-        let exec: Vec<usize> = spec_clone
-            .exec_set(proc.rank())
-            .iter()
-            .collect();
+        let exec: Vec<usize> = spec_clone.exec_set(proc.rank()).iter().collect();
         let maps = spec_clone.ref_maps.clone();
         let data_n = spec_clone.data_dist.n();
         run_inspector(proc, &spec_clone.data_dist, &exec, |i, refs| {
@@ -33,12 +30,12 @@ fn assert_equivalent(spec: &LoopSpec) {
         })
         .signature()
     });
-    for rank in 0..nprocs {
+    for (rank, inspector_schedule) in inspector_schedules.iter().enumerate().take(nprocs) {
         let ct = analyze(spec, rank)
             .expect("unit-stride affine loops must have a closed form")
             .signature();
         assert_eq!(
-            ct, inspector_schedules[rank],
+            &ct, inspector_schedule,
             "rank {rank}: compile-time and inspector schedules disagree"
         );
     }
@@ -66,7 +63,11 @@ fn three_point_stencil_is_equivalent_under_block_cyclic() {
         on_dist: dist.clone(),
         on_map: AffineMap::identity(),
         data_dist: dist,
-        ref_maps: vec![AffineMap::shift(-1), AffineMap::identity(), AffineMap::shift(1)],
+        ref_maps: vec![
+            AffineMap::shift(-1),
+            AffineMap::identity(),
+            AffineMap::shift(1),
+        ],
     };
     assert_equivalent(&spec);
 }

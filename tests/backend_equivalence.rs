@@ -1,0 +1,179 @@
+//! Backend equivalence: the same Kali program must produce **bit-identical**
+//! results on the `dmsim` simulator and on the `kali-native` threaded
+//! backend.
+//!
+//! This is the contract that makes the `Process` abstraction trustworthy:
+//! the runtime layer (inspector, executor, redistribution) fixes the
+//! iteration order and the communication schedule, so the floating-point
+//! arithmetic happens in exactly the same order on every backend — only the
+//! notion of time differs (simulated seconds vs wall-clock).
+
+use kali_repro::baseline::sequential_jacobi;
+use kali_repro::distrib::DimDist;
+use kali_repro::dmsim::{CostModel, Machine};
+use kali_repro::kali::inspector::owner_computes_iters;
+use kali_repro::kali::{execute_sweep, redistribute, run_inspector, ExecutorConfig};
+use kali_repro::meshes::{AdjacencyMesh, RegularGrid, UnstructuredMeshBuilder};
+use kali_repro::native::NativeMachine;
+use kali_repro::process::Process;
+use kali_repro::solvers::{jacobi_sweeps, JacobiConfig};
+
+/// Gather a distributed solution back into global numbering.
+fn gather(dist: &DimDist, locals: &[Vec<f64>]) -> Vec<f64> {
+    let mut global = vec![0.0f64; dist.n()];
+    for (rank, local) in locals.iter().enumerate() {
+        for (l, v) in local.iter().enumerate() {
+            global[dist.global_index(rank, l)] = *v;
+        }
+    }
+    global
+}
+
+/// The Figure 4 Jacobi program, expressed once over any backend.
+fn jacobi_on<P: Process>(
+    proc: &mut P,
+    mesh: &AdjacencyMesh,
+    initial: &[f64],
+    sweeps: usize,
+    dist_of: impl Fn(usize) -> DimDist,
+) -> Vec<f64> {
+    let dist = dist_of(proc.nprocs());
+    jacobi_sweeps(
+        proc,
+        mesh,
+        &dist,
+        initial,
+        &JacobiConfig::with_sweeps(sweeps),
+    )
+    .local_a
+}
+
+fn assert_backends_agree(
+    mesh: &AdjacencyMesh,
+    initial: &[f64],
+    sweeps: usize,
+    nprocs: usize,
+    dist_of: impl Fn(usize) -> DimDist + Sync,
+) {
+    let simulated = Machine::new(nprocs, CostModel::ideal())
+        .run(|proc| jacobi_on(proc, mesh, initial, sweeps, &dist_of));
+    let native =
+        NativeMachine::new(nprocs).run(|proc| jacobi_on(proc, mesh, initial, sweeps, &dist_of));
+
+    let dist = dist_of(nprocs);
+    let simulated = gather(&dist, &simulated);
+    let native = gather(&dist, &native);
+    // Bitwise, not approximate: same iteration order, same schedules, same
+    // arithmetic — the backends may only differ in timing.
+    assert_eq!(
+        simulated.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "dmsim and native Jacobi results diverge ({nprocs} procs)"
+    );
+
+    let sequential = sequential_jacobi(mesh, initial, sweeps);
+    assert_eq!(native, sequential, "native backend vs sequential reference");
+}
+
+#[test]
+fn jacobi_is_bit_identical_across_backends_on_the_paper_grid() {
+    let grid = RegularGrid::square(24);
+    let mesh = grid.five_point_mesh();
+    let initial = grid.initial_field();
+    for nprocs in [1usize, 2, 4, 8] {
+        assert_backends_agree(&mesh, &initial, 10, nprocs, |p| {
+            DimDist::block(mesh.len(), p)
+        });
+    }
+}
+
+#[test]
+fn jacobi_is_bit_identical_across_backends_on_scrambled_unstructured_mesh() {
+    // Scrambled numbering fragments the schedules, exercising the
+    // binary-search receive path and multi-partner exchanges.
+    let mesh = UnstructuredMeshBuilder::new(12, 12)
+        .seed(41)
+        .scramble_numbering(true)
+        .build();
+    let initial: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 31) % 17) as f64 * 0.5)
+        .collect();
+    for dist_kind in 0..3usize {
+        let n = mesh.len();
+        assert_backends_agree(&mesh, &initial, 6, 4, move |p| match dist_kind {
+            0 => DimDist::block(n, p),
+            1 => DimDist::cyclic(n, p),
+            _ => DimDist::block_cyclic(n, p, 7),
+        });
+    }
+}
+
+#[test]
+fn convergence_checks_do_not_break_backend_agreement() {
+    let grid = RegularGrid::square(12);
+    let mesh = grid.five_point_mesh();
+    let initial = grid.initial_field();
+    let config = JacobiConfig {
+        sweeps: 8,
+        convergence_check_every: Some(2),
+        ..JacobiConfig::default()
+    };
+    let dist_of = |p| DimDist::block(mesh.len(), p);
+    let simulated = Machine::new(4, CostModel::ideal())
+        .run(|proc| jacobi_sweeps(proc, &mesh, &dist_of(proc.nprocs()), &initial, &config).local_a);
+    let native = NativeMachine::new(4)
+        .run(|proc| jacobi_sweeps(proc, &mesh, &dist_of(proc.nprocs()), &initial, &config).local_a);
+    assert_eq!(
+        gather(&dist_of(4), &simulated),
+        gather(&dist_of(4), &native)
+    );
+}
+
+/// One inspector/executor shift sweep (Figure 1), on any backend.
+fn shift_on<P: Process>(proc: &mut P, n: usize) -> Vec<f64> {
+    let dist = DimDist::block(n, proc.nprocs());
+    let rank = proc.rank();
+    let local_a: Vec<f64> = dist
+        .local_set(rank)
+        .iter()
+        .map(|g| (g * g) as f64)
+        .collect();
+    let exec = owner_computes_iters(&dist, rank, n - 1);
+    let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
+    let mut out = local_a.clone();
+    execute_sweep(
+        proc,
+        ExecutorConfig::default(),
+        &schedule,
+        &dist,
+        &local_a,
+        |i, fetch| {
+            out[dist.local_index(i)] = fetch.fetch(i + 1);
+        },
+    );
+    out
+}
+
+#[test]
+fn inspector_executor_shift_matches_across_backends() {
+    let n = 96;
+    let simulated = Machine::new(8, CostModel::ideal()).run(|proc| shift_on(proc, n));
+    let native = NativeMachine::new(8).run(|proc| shift_on(proc, n));
+    assert_eq!(simulated, native);
+}
+
+#[test]
+fn redistribution_works_on_the_native_backend() {
+    let n = 97;
+    let native = NativeMachine::new(4).run(|proc| {
+        let from = DimDist::block(n, proc.nprocs());
+        let to = DimDist::cyclic(n, proc.nprocs());
+        let rank = proc.rank();
+        let local: Vec<u64> = from.local_set(rank).iter().map(|g| g as u64).collect();
+        let moved = redistribute(proc, &from, &to, &local);
+        let expected: Vec<u64> = to.local_set(rank).iter().map(|g| g as u64).collect();
+        assert_eq!(moved, expected, "rank {rank}");
+        moved.len()
+    });
+    assert_eq!(native.iter().sum::<usize>(), n);
+}

@@ -58,7 +58,10 @@ fn kali_handcoded_and_sequential_agree_bitwise_on_the_paper_workload() {
         let machine = Machine::new(nprocs, CostModel::ideal());
         let hand = machine.run(|proc| handcoded_jacobi(proc, &mesh, &initial, sweeps).local_a);
         let hand = gather(&DimDist::block(mesh.len(), nprocs), &hand);
-        assert_eq!(hand, expected, "hand-coded vs sequential, {nprocs} processors");
+        assert_eq!(
+            hand, expected,
+            "hand-coded vs sequential, {nprocs} processors"
+        );
     }
 }
 
@@ -142,7 +145,10 @@ fn single_processor_runs_need_no_communication() {
     assert_eq!(stats.totals.msgs_sent, 0);
     assert_eq!(outcomes[0].recv_elements, 0);
     assert_eq!(
-        gather(&DimDist::block(mesh.len(), 1), &[outcomes[0].local_a.clone()]),
+        gather(
+            &DimDist::block(mesh.len(), 1),
+            &[outcomes[0].local_a.clone()]
+        ),
         sequential_jacobi(&mesh, &initial, 5)
     );
 }

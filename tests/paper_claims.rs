@@ -70,7 +70,10 @@ fn ncube_inspector_time_is_u_shaped_in_processor_count() {
     let at16 = inspector(16);
     let at64 = inspector(64);
     assert!(at2 > at16, "inspector(2) = {at2}, inspector(16) = {at16}");
-    assert!(at64 > at16, "inspector(64) = {at64}, inspector(16) = {at16}");
+    assert!(
+        at64 > at16,
+        "inspector(64) = {at64}, inspector(16) = {at16}"
+    );
 }
 
 #[test]
@@ -93,8 +96,12 @@ fn ipsc_inspector_time_decreases_monotonically_to_32_processors() {
 #[test]
 fn executor_time_scales_close_to_linearly_on_both_machines() {
     for cost in [CostModel::ncube7(), CostModel::ipsc2()] {
-        let t4 = run_jacobi_experiment(&row(cost.clone(), 4, 64, 100)).times.executor;
-        let t16 = run_jacobi_experiment(&row(cost.clone(), 16, 64, 100)).times.executor;
+        let t4 = run_jacobi_experiment(&row(cost.clone(), 4, 64, 100))
+            .times
+            .executor;
+        let t16 = run_jacobi_experiment(&row(cost.clone(), 16, 64, 100))
+            .times
+            .executor;
         let ratio = t4 / t16;
         assert!(
             ratio > 3.0 && ratio < 4.6,
@@ -121,7 +128,11 @@ fn speedup_grows_with_problem_size() {
             "{}: speedup should grow with mesh size ({small:.1} -> {large:.1})",
             cost.name
         );
-        assert!(large <= p as f64 + 0.1, "{}: speedup {large} exceeds P", cost.name);
+        assert!(
+            large <= p as f64 + 0.1,
+            "{}: speedup {large} exceeds P",
+            cost.name
+        );
     }
 }
 
