@@ -185,17 +185,7 @@ pub fn handcoded_jacobi(
     }
 
     let total_time = proc.clock() - start_clock;
-    let counters_end = proc.counters();
-    let counters = Counters {
-        msgs_sent: counters_end.msgs_sent - counters_start.msgs_sent,
-        msgs_recv: counters_end.msgs_recv - counters_start.msgs_recv,
-        bytes_sent: counters_end.bytes_sent - counters_start.bytes_sent,
-        bytes_recv: counters_end.bytes_recv - counters_start.bytes_recv,
-        flops: counters_end.flops - counters_start.flops,
-        mem_refs: counters_end.mem_refs - counters_start.mem_refs,
-        loop_iters: counters_end.loop_iters - counters_start.loop_iters,
-        calls: counters_end.calls - counters_start.calls,
-    };
+    let counters = proc.counters().since(&counters_start);
 
     HandcodedOutcome {
         local_a: a,

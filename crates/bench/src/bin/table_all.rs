@@ -20,4 +20,7 @@ fn main() {
         &bench_tables::measure_fig10(),
         bench_tables::PAPER_FIG10_IPSC_MESH,
     );
+    if !bench_tables::run_partition_locality() {
+        std::process::exit(1);
+    }
 }

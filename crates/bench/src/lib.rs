@@ -19,6 +19,7 @@
 //! | `table_inspector_breakdown` | §4 narrative | U-shaped inspector curve |
 //! | `table_amortization`     | §3.2 claim | schedule-cache amortisation |
 //! | `table_kali_vs_handcoded`| §1 claim | Kali vs hand-written message passing |
+//! | `table_partition_locality` | extension | block vs partitioned placement on scrambled meshes |
 //! | `table_all`              | everything above in one run |
 
 use solvers::ExperimentRow;
@@ -277,6 +278,88 @@ pub fn quick_mode() -> bool {
     std::env::var("KALI_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// Run the block-vs-partitioned locality experiment
+/// (`table_partition_locality`) and print its table: the same Jacobi
+/// program on a scrambled unstructured mesh under both placements, with the
+/// dmsim locality counters cited via [`solvers::CommReport`].
+///
+/// Returns `true` when the partitioned placement is strictly lower on both
+/// nonlocal references and message volume (the experiment's acceptance
+/// criterion); callers decide whether that is fatal.
+pub fn run_partition_locality() -> bool {
+    use solvers::{ExperimentParams, Placement};
+
+    let quick = quick_mode();
+    let (side, nprocs, sweeps) = if quick { (24, 8, 10) } else { (48, 16, 100) };
+    let mesh = meshes::UnstructuredMeshBuilder::new(side, side)
+        .seed(1990)
+        .scramble_numbering(true)
+        .build();
+    let initial: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 29) % 23) as f64 * 0.1)
+        .collect();
+
+    println!(
+        "\n=== Node placement on a scrambled {side}x{side} unstructured mesh \
+         (NCUBE/7, {nprocs} processors, {sweeps} sweeps) ==="
+    );
+    let owners = meshes::greedy_partition(&mesh, nprocs);
+    let block_owners: Vec<usize> = meshes::block_partition(mesh.len(), nprocs);
+    println!(
+        "mesh: {} nodes, {} directed edges; cut edges: block {}, partitioned {}",
+        mesh.len(),
+        mesh.edge_count(),
+        meshes::cut_edges(&mesh, &block_owners),
+        meshes::cut_edges(&mesh, &owners),
+    );
+
+    let params = ExperimentParams {
+        cost: dmsim::CostModel::ncube7(),
+        nprocs,
+        mesh_side: side,
+        sweeps,
+        compute_speedup: false,
+        extrapolate_from: None,
+        overlap: true,
+        disable_schedule_cache: false,
+    };
+
+    println!(
+        "\n{:>12}  {:>12}  {}",
+        "placement",
+        "total (s)",
+        solvers::CommReport::table_header()
+    );
+    let mut rows = Vec::new();
+    for placement in [Placement::Block, Placement::Partitioned] {
+        let row = solvers::run_jacobi_experiment_placed(&params, &mesh, &initial, placement);
+        println!(
+            "{:>12}  {:>12.4}  {}",
+            placement.name(),
+            row.times.total,
+            row.comm.to_table_line()
+        );
+        rows.push(row);
+    }
+
+    let (block, part) = (&rows[0].comm, &rows[1].comm);
+    let lower = part.nonlocal_refs < block.nonlocal_refs && part.bytes < block.bytes;
+    println!(
+        "\npartitioned vs block: nonlocal refs x{:.2}, bytes x{:.2}, simulated time x{:.2}",
+        part.nonlocal_refs as f64 / block.nonlocal_refs as f64,
+        part.bytes as f64 / block.bytes as f64,
+        rows[1].times.total / rows[0].times.total,
+    );
+    if lower {
+        println!(
+            "OK: partitioned placement strictly reduces nonlocal references and message volume"
+        );
+    } else {
+        println!("FAIL: partitioned placement did not reduce communication");
+    }
+    lower
 }
 
 /// Measure Figure 7 (NCUBE/7 processor sweep).

@@ -5,11 +5,21 @@
 //! later loop executions.  This amortizes the cost of the run-time analysis
 //! over many repetitions of the forall."
 //!
-//! A [`ScheduleCache`] is a per-processor map from `(loop id, data version)`
-//! to the schedule built by the inspector (or the compile-time analyser).
-//! The *data version* captures the paper's observation that the schedule
-//! stays valid only while the data controlling the subscripts (the `adj`
-//! array) is unchanged; bumping the version forces re-inspection.
+//! A [`ScheduleCache`] is a per-processor map from a [`LoopKey`] to the
+//! schedule built by the inspector (or the compile-time analyser).  The key
+//! has three parts:
+//!
+//! * the *loop id* — static identity of the `forall` in the program text;
+//! * the *data version* — the paper's observation that the schedule stays
+//!   valid only while the data controlling the subscripts (the `adj` array)
+//!   is unchanged; bumping the version forces re-inspection;
+//! * the *distribution fingerprint* — the identity of the distributions the
+//!   schedule was built under.  A schedule is a function of the placement:
+//!   after redistributing an array (or swapping the on-clause distribution)
+//!   the cached `in`/`out` sets describe the *old* placement, so reusing
+//!   them would silently move the wrong elements.  Keying on the
+//!   fingerprint makes redistribution invalidate stale schedules without
+//!   any explicit bookkeeping by the program.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,6 +33,20 @@ pub struct LoopKey {
     pub loop_id: u64,
     /// Version of the run-time data controlling the subscripts.
     pub data_version: u64,
+    /// Fingerprint of the distributions the schedule depends on (see
+    /// [`distrib::Distribution::fingerprint`]).
+    pub dist_fingerprint: u64,
+}
+
+impl LoopKey {
+    /// Assemble a key from its parts.
+    pub fn new(loop_id: u64, data_version: u64, dist_fingerprint: u64) -> Self {
+        LoopKey {
+            loop_id,
+            data_version,
+            dist_fingerprint,
+        }
+    }
 }
 
 /// A per-processor cache of communication schedules.
@@ -39,26 +63,18 @@ impl ScheduleCache {
         Self::default()
     }
 
-    /// Fetch the schedule for `(loop_id, data_version)`, building it with
-    /// `build` on the first request ("the conditional is only executed once
-    /// and the results saved for future executions of the forall").
+    /// Fetch the schedule for `key`, building it with `build` on the first
+    /// request ("the conditional is only executed once and the results
+    /// saved for future executions of the forall").
     ///
     /// The builder typically runs the inspector, which is a *collective*
     /// operation — all processors must therefore miss or hit together, which
-    /// they do because they execute the same program on the same versions.
-    pub fn get_or_build<F>(
-        &mut self,
-        loop_id: u64,
-        data_version: u64,
-        build: F,
-    ) -> Arc<CommSchedule>
+    /// they do because they execute the same program on the same versions
+    /// and distributions.
+    pub fn get_or_build<F>(&mut self, key: LoopKey, build: F) -> Arc<CommSchedule>
     where
         F: FnOnce() -> CommSchedule,
     {
-        let key = LoopKey {
-            loop_id,
-            data_version,
-        };
         if let Some(found) = self.map.get(&key) {
             self.hits += 1;
             return Arc::clone(found);
@@ -114,7 +130,7 @@ mod tests {
         let mut cache = ScheduleCache::new();
         let mut builds = 0;
         for _sweep in 0..100 {
-            let s = cache.get_or_build(1, 0, || {
+            let s = cache.get_or_build(LoopKey::new(1, 0, 7), || {
                 builds += 1;
                 dummy_schedule(3)
             });
@@ -128,13 +144,13 @@ mod tests {
     #[test]
     fn different_loops_and_versions_are_distinct() {
         let mut cache = ScheduleCache::new();
-        cache.get_or_build(1, 0, || dummy_schedule(0));
-        cache.get_or_build(2, 0, || dummy_schedule(1));
-        cache.get_or_build(1, 1, || dummy_schedule(2));
+        cache.get_or_build(LoopKey::new(1, 0, 7), || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(2, 0, 7), || dummy_schedule(1));
+        cache.get_or_build(LoopKey::new(1, 1, 7), || dummy_schedule(2));
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 3);
         // Same keys hit.
-        cache.get_or_build(2, 0, || unreachable!("must hit the cache"));
+        cache.get_or_build(LoopKey::new(2, 0, 7), || unreachable!("must hit the cache"));
         assert_eq!(cache.hits(), 1);
     }
 
@@ -144,7 +160,7 @@ mod tests {
         let mut builds = 0;
         for version in 0..5u64 {
             for _sweep in 0..10 {
-                cache.get_or_build(7, version, || {
+                cache.get_or_build(LoopKey::new(7, version, 7), || {
                     builds += 1;
                     dummy_schedule(0)
                 });
@@ -154,10 +170,27 @@ mod tests {
     }
 
     #[test]
+    fn changing_the_distribution_forces_reinspection() {
+        // The bug this key field fixes: redistributing an array changes the
+        // placement but not the loop id or data version; the cached schedule
+        // would silently describe the old placement.
+        let mut cache = ScheduleCache::new();
+        let mut builds = 0;
+        for fingerprint in [10u64, 20, 10, 20] {
+            cache.get_or_build(LoopKey::new(1, 0, fingerprint), || {
+                builds += 1;
+                dummy_schedule(0)
+            });
+        }
+        assert_eq!(builds, 2, "one build per distinct distribution");
+        assert_eq!(cache.hits(), 2, "revisiting a distribution hits its entry");
+    }
+
+    #[test]
     fn invalidate_and_clear() {
         let mut cache = ScheduleCache::new();
-        cache.get_or_build(1, 0, || dummy_schedule(0));
-        cache.get_or_build(2, 0, || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(1, 0, 7), || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(2, 0, 7), || dummy_schedule(0));
         cache.invalidate_loop(1);
         assert_eq!(cache.len(), 1);
         cache.clear();

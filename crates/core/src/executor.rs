@@ -18,7 +18,7 @@
 //! communication buffer addressed through the binary-searchable range
 //! records of the [`CommSchedule`].
 
-use distrib::DimDist;
+use distrib::Distribution;
 
 use crate::process::{tags, Process, Tag};
 use crate::schedule::CommSchedule;
@@ -57,9 +57,9 @@ impl ExecutorConfig {
 /// appropriate access costs: local accesses translate the index, nonlocal
 /// accesses binary-search the communication buffer (the "search overhead …
 /// unique to our system", §4).
-pub struct Fetcher<'a, T, P: Process> {
+pub struct Fetcher<'a, T, P: Process, D: Distribution + ?Sized = dyn Distribution> {
     proc: &'a mut P,
-    dist: &'a DimDist,
+    dist: &'a D,
     rank: usize,
     ranges: usize,
     local_data: &'a [T],
@@ -67,7 +67,7 @@ pub struct Fetcher<'a, T, P: Process> {
     schedule: &'a CommSchedule,
 }
 
-impl<'a, T: Copy, P: Process> Fetcher<'a, T, P> {
+impl<'a, T: Copy, P: Process, D: Distribution + ?Sized> Fetcher<'a, T, P, D> {
     /// Fetch the value of global element `g` of the referenced array.
     ///
     /// Panics if `g` is neither owned nor covered by the schedule — that
@@ -111,18 +111,19 @@ impl<'a, T: Copy, P: Process> Fetcher<'a, T, P> {
 ///
 /// Every processor must call this collectively.  Returns the number of
 /// iterations executed locally (for reporting).
-pub fn execute_sweep<P, T, F>(
+pub fn execute_sweep<P, D, T, F>(
     proc: &mut P,
     config: ExecutorConfig,
     schedule: &CommSchedule,
-    data_dist: &DimDist,
+    data_dist: &D,
     local_data: &[T],
     mut body: F,
 ) -> usize
 where
     P: Process,
+    D: Distribution + ?Sized,
     T: Copy + Send + 'static,
-    F: FnMut(usize, &mut Fetcher<'_, T, P>),
+    F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
 {
     let rank = proc.rank();
     debug_assert_eq!(
@@ -192,18 +193,19 @@ where
 }
 
 /// Run a list of iterations of the loop body with the given receive buffer.
-fn run_iters<P, T, F>(
+fn run_iters<P, D, T, F>(
     proc: &mut P,
     iters: &[usize],
     schedule: &CommSchedule,
-    data_dist: &DimDist,
+    data_dist: &D,
     local_data: &[T],
     recv_buf: &[T],
     body: &mut F,
 ) where
     P: Process,
+    D: Distribution + ?Sized,
     T: Copy,
-    F: FnMut(usize, &mut Fetcher<'_, T, P>),
+    F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
 {
     let rank = schedule.rank;
     for &i in iters {
@@ -257,6 +259,7 @@ where
 mod tests {
     use super::*;
     use crate::inspector::{owner_computes_iters, run_inspector};
+    use distrib::DimDist;
     use dmsim::{CostModel, Machine};
 
     /// Distributed array shift (Figure 1): A[i] := A[i+1].

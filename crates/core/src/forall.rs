@@ -18,10 +18,10 @@
 
 use std::sync::Arc;
 
-use distrib::DimDist;
+use distrib::{combine_fingerprints, DimDist, Distribution};
 
 use crate::analysis::{self, AffineMap, LoopSpec};
-use crate::cache::ScheduleCache;
+use crate::cache::{LoopKey, ScheduleCache};
 use crate::executor::{execute_sweep, ExecutorConfig, Fetcher};
 use crate::inspector::{owner_computes_iters, run_inspector};
 use crate::process::Process;
@@ -88,7 +88,8 @@ impl Forall {
         let exec = self.exec_iters(proc.rank());
         let maps = ref_maps.to_vec();
         let range_hi = data_dist.n();
-        cache.get_or_build(self.loop_id, data_version, || {
+        let key = self.cache_key(data_dist, data_version);
+        cache.get_or_build(key, || {
             run_inspector(proc, data_dist, &exec, |i, refs| {
                 for g in &maps {
                     if let Some(v) = g.apply(i) {
@@ -101,44 +102,58 @@ impl Forall {
         })
     }
 
+    /// The schedule-cache key for this loop referencing `data_dist`-placed
+    /// data: loop id, data version, and the fingerprints of *both*
+    /// distributions the schedule depends on.  Redistributing either array
+    /// changes the fingerprint, so stale schedules are never reused (they
+    /// would route elements according to the old placement).
+    pub fn cache_key<D: Distribution + ?Sized>(&self, data_dist: &D, data_version: u64) -> LoopKey {
+        LoopKey::new(
+            self.loop_id,
+            data_version,
+            combine_fingerprints(self.on_dist.fingerprint(), data_dist.fingerprint()),
+        )
+    }
+
     /// Obtain a communication schedule for data-dependent references by
     /// running the inspector (once per `(loop_id, data_version)`).
     ///
     /// `refs_of` enumerates, for an iteration, the global indices of the
     /// `data_dist`-distributed array it references.
-    pub fn plan_indirect<P, F>(
+    pub fn plan_indirect<P, D, F>(
         &self,
         proc: &mut P,
         cache: &mut ScheduleCache,
-        data_dist: &DimDist,
+        data_dist: &D,
         data_version: u64,
         refs_of: F,
     ) -> Arc<CommSchedule>
     where
         P: Process,
+        D: Distribution + ?Sized,
         F: FnMut(usize, &mut Vec<usize>),
     {
         let exec = self.exec_iters(proc.rank());
         let mut refs_of = refs_of;
-        cache.get_or_build(self.loop_id, data_version, || {
-            run_inspector(proc, data_dist, &exec, &mut refs_of)
-        })
+        let key = self.cache_key(data_dist, data_version);
+        cache.get_or_build(key, || run_inspector(proc, data_dist, &exec, &mut refs_of))
     }
 
     /// Execute the loop body under a previously planned schedule.
-    pub fn run<P, T, F>(
+    pub fn run<P, D, T, F>(
         &self,
         proc: &mut P,
         config: ExecutorConfig,
         schedule: &CommSchedule,
-        data_dist: &DimDist,
+        data_dist: &D,
         local_data: &[T],
         body: F,
     ) -> usize
     where
         P: Process,
+        D: Distribution + ?Sized,
         T: Copy + Send + 'static,
-        F: FnMut(usize, &mut Fetcher<'_, T, P>),
+        F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
     {
         execute_sweep(proc, config, schedule, data_dist, local_data, body)
     }
@@ -148,9 +163,10 @@ impl Forall {
 /// the `old_a[i] := a[i]` copy loop of Figure 4.  Charges the loop-control
 /// cost and hands the body each owned global index; no schedule, no
 /// messages.
-pub fn forall_local<P, F>(proc: &mut P, on_dist: &DimDist, n: usize, mut body: F)
+pub fn forall_local<P, D, F>(proc: &mut P, on_dist: &D, n: usize, mut body: F)
 where
     P: Process,
+    D: Distribution + ?Sized,
     F: FnMut(usize),
 {
     for i in owner_computes_iters(on_dist, proc.rank(), n) {
@@ -210,6 +226,34 @@ mod tests {
             let s2 = loop_.plan_affine(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
             assert_eq!(cache.hits(), 1, "second plan must hit the cache");
             assert_eq!(s1.signature(), s2.signature());
+        });
+    }
+
+    #[test]
+    fn redistributing_the_data_invalidates_cached_schedules() {
+        // The stale-schedule bug: same loop id, same data version, but the
+        // referenced array has moved to a new distribution.  The fingerprint
+        // in the cache key must force re-inspection.
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let on = DimDist::block(32, proc.nprocs());
+            let loop_ = Forall::over(11, 32, on.clone());
+            let mut cache = ScheduleCache::new();
+            let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 5) % 32);
+            let s1 = loop_.plan_indirect(proc, &mut cache, &on, 0, refs);
+            assert_eq!(cache.misses(), 1);
+            let moved = DimDist::cyclic(32, proc.nprocs());
+            let s2 = loop_.plan_indirect(proc, &mut cache, &moved, 0, refs);
+            assert_eq!(cache.misses(), 2, "stale schedule must not be reused");
+            assert_ne!(
+                s1.signature(),
+                s2.signature(),
+                "the schedules really do differ between placements"
+            );
+            // Planning again under either distribution now hits.
+            loop_.plan_indirect(proc, &mut cache, &on, 0, refs);
+            loop_.plan_indirect(proc, &mut cache, &moved, 0, refs);
+            assert_eq!(cache.hits(), 2);
         });
     }
 

@@ -18,7 +18,7 @@
 //! The output is a [`CommSchedule`] which the executor uses for every
 //! subsequent execution of the same `forall` (see [`crate::cache`]).
 
-use distrib::{DimDist, IndexSet};
+use distrib::{Distribution, IndexSet};
 
 use crate::process::Process;
 use crate::schedule::{CommSchedule, RangeRecord};
@@ -26,7 +26,9 @@ use crate::schedule::{CommSchedule, RangeRecord};
 /// Run the inspector for one `forall` on the calling processor.
 ///
 /// * `data_dist` — distribution of the array being referenced with
-///   data-dependent subscripts (the paper's `old_a`).
+///   data-dependent subscripts (the paper's `old_a`).  Any
+///   [`Distribution`] implementation works — regular pattern, irregular
+///   owner map, or the type-erased `DimDist` handle.
 /// * `exec_iters` — the iterations this processor executes (`exec(p)`
 ///   intersected with the loop range), in ascending order.
 /// * `refs_of` — called once per iteration; it must push the global indices
@@ -36,14 +38,15 @@ use crate::schedule::{CommSchedule, RangeRecord};
 ///
 /// Every processor of the machine must call this collectively — the final
 /// step is a global exchange.
-pub fn run_inspector<P, F>(
+pub fn run_inspector<P, D, F>(
     proc: &mut P,
-    data_dist: &DimDist,
+    data_dist: &D,
     exec_iters: &[usize],
     mut refs_of: F,
 ) -> CommSchedule
 where
     P: Process,
+    D: Distribution + ?Sized,
     F: FnMut(usize, &mut Vec<usize>),
 {
     let rank = proc.rank();
@@ -112,7 +115,11 @@ where
 
 /// Convenience: the iterations of `0..n` this processor executes under an
 /// owner-computes on-clause (`on A[i].loc`), in ascending order.
-pub fn owner_computes_iters(dist: &DimDist, rank: usize, n: usize) -> Vec<usize> {
+pub fn owner_computes_iters<D: Distribution + ?Sized>(
+    dist: &D,
+    rank: usize,
+    n: usize,
+) -> Vec<usize> {
     dist.local_set(rank)
         .intersect(&IndexSet::from_range(0, n))
         .iter()
@@ -122,6 +129,7 @@ pub fn owner_computes_iters(dist: &DimDist, rank: usize, n: usize) -> Vec<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use distrib::DimDist;
     use dmsim::{CostModel, Machine};
 
     /// A tiny indirect-access workload: iteration i references data[idx[i]].

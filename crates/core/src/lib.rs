@@ -9,7 +9,7 @@
 //! The paper's Kali compiler translated `forall` loops into the structure
 //! below; here the same structure is provided as a library API ("the output
 //! of the compiler").  The whole runtime is generic over the [`process`]
-//! abstraction — a [`Process`](process::Process) is one SPMD process with
+//! abstraction — a [`Process`] is one SPMD process with
 //! typed sends/receives and a few collectives — so the same program runs
 //! unchanged on the `dmsim` machine simulator (with the paper's cost
 //! accounting) or on the `kali-native` threaded backend (at wall-clock
@@ -34,9 +34,14 @@
 //!   `forall`, the amortisation that makes the inspector affordable (§3.2).
 //! * [`forall`] — a small convenience layer tying the pieces together for
 //!   the common loop shapes (`forall i in 1..N on A[i].loc`).
-//! * [`redistribute`] — an extension: move a live distributed array from one
+//! * [`mod@redistribute`] — an extension: move a live distributed array from one
 //!   distribution to another with a closed-form schedule, supporting the
 //!   paper's "just change the dist clause" workflow across program phases.
+//! * [`ownermap`] — distributed owner maps for irregular distributions:
+//!   translation tables that are themselves block-distributed over the
+//!   machine, resolved with a collective lookup or assembled with one
+//!   allgather into a [`distrib::IrregularDist`] (the run-time equivalent of
+//!   the paper's compile-time `owner` functions).
 //! * [`process`] — the backend contract: what the above needs from a
 //!   machine.  Message tags used by the components are partitioned in
 //!   [`process::tags`] so the ranges can never collide.
@@ -47,16 +52,18 @@ pub mod cache;
 pub mod executor;
 pub mod forall;
 pub mod inspector;
+pub mod ownermap;
 pub mod process;
 pub mod redistribute;
 pub mod schedule;
 
 pub use analysis::affine::AffineMap;
 pub use array::DistArray;
-pub use cache::ScheduleCache;
+pub use cache::{LoopKey, ScheduleCache};
 pub use executor::{execute_sweep, ExecutorConfig, Fetcher};
 pub use forall::{forall_local, Forall};
 pub use inspector::run_inspector;
+pub use ownermap::DistOwnerMap;
 pub use process::Process;
 pub use redistribute::{redistribute, redistribution_schedule};
 pub use schedule::{CommSchedule, RangeRecord};

@@ -1,0 +1,260 @@
+//! Distributed owner maps: translation tables that are themselves
+//! distributed, with collective resolution.
+//!
+//! A regular distribution answers `owner(i)` with arithmetic; an irregular
+//! one needs a table.  On a real distributed-memory machine that table is
+//! *itself* a distributed array — no processor holds the whole mapping while
+//! it is being produced (a mesh partitioner emits each node's owner next to
+//! the node's data).  This module provides the two operations the runtime
+//! needs on such a table, both collective, in the run-time-translation-table
+//! style of the PARTI/CHAOS inspector–executor systems that extended the
+//! paper's approach to general distributions:
+//!
+//! * [`DistOwnerMap::lookup`] — resolve the owners of arbitrary global
+//!   indices by routing each query to the processor holding that table
+//!   entry and routing the answer back (two all-to-all exchanges — the
+//!   run-time equivalent of evaluating the paper's compile-time `owner`
+//!   function);
+//! * [`DistOwnerMap::assemble`] — replicate the table with one allgather
+//!   and build an [`IrregularDist`] whose translation tables are then
+//!   consulted locally.  This is the right trade-off for the runtime's
+//!   hot paths (the inspector calls `owner` once per reference), and is the
+//!   path the partitioned solvers use.
+
+use distrib::{DimDist, IrregularDist};
+
+use crate::process::{tags, Process};
+
+/// One processor's slice of a distributed owner map.
+///
+/// The table for `n` elements is block-distributed over the machine: rank
+/// `r` holds the owners of the global indices in `block(n, p).local_set(r)`.
+/// Block layout keeps the slices contiguous and in rank order, so assembly
+/// is a plain concatenation.
+#[derive(Debug, Clone)]
+pub struct DistOwnerMap {
+    /// Distribution of the table itself (always block).
+    table_dist: DimDist,
+    /// Owners of this rank's slice of the index space, in ascending global
+    /// index order.
+    local_entries: Vec<usize>,
+    rank: usize,
+}
+
+impl DistOwnerMap {
+    /// Wrap this rank's slice of the owner map.  `local_entries[k]` is the
+    /// owner of global index `block(n, nprocs).global_index(rank, k)`.
+    pub fn new(rank: usize, nprocs: usize, n: usize, local_entries: Vec<usize>) -> Self {
+        let table_dist = DimDist::block(n, nprocs);
+        assert_eq!(
+            local_entries.len(),
+            table_dist.local_count(rank),
+            "owner-map slice does not match the block layout of the table"
+        );
+        assert!(
+            local_entries.iter().all(|&o| o < nprocs),
+            "owner-map slice references a processor outside 0..{nprocs}"
+        );
+        DistOwnerMap {
+            table_dist,
+            local_entries,
+            rank,
+        }
+    }
+
+    /// Take this rank's block slice out of a full owner map (useful when a
+    /// deterministic partitioner has been run redundantly on every rank, or
+    /// in tests).
+    pub fn from_global(rank: usize, nprocs: usize, owners: &[usize]) -> Self {
+        let table_dist = DimDist::block(owners.len(), nprocs);
+        let local_entries = table_dist
+            .local_set(rank)
+            .iter()
+            .map(|g| owners[g])
+            .collect();
+        DistOwnerMap::new(rank, nprocs, owners.len(), local_entries)
+    }
+
+    /// Number of elements the owner map covers.
+    pub fn n(&self) -> usize {
+        self.table_dist.n()
+    }
+
+    /// Resolve the owners of `queries` (arbitrary global indices) with a
+    /// collective lookup.  Must be called by every processor of the machine
+    /// (with possibly different, possibly empty query lists).
+    ///
+    /// Round 1 routes each query to the processor holding that table entry
+    /// (an all-to-all exchange — the crystal router on the simulator); round
+    /// 2 sends each origin one answer message per consulted home.  Both
+    /// sides derive the message pattern from the same block layout of the
+    /// table, so no handshaking is needed.  Results are returned in query
+    /// order.
+    pub fn lookup<P: Process>(&self, proc: &mut P, queries: &[usize]) -> Vec<usize> {
+        let rank = proc.rank();
+        debug_assert_eq!(rank, self.rank, "owner map belongs to a different rank");
+        let n = self.n();
+
+        // Round 1: (home of table entry, (origin, position, query)).  Record
+        // which homes we consult — they will each answer with one message.
+        let mut expect_from: Vec<usize> = Vec::new();
+        let outgoing: Vec<(usize, (usize, usize, usize))> = queries
+            .iter()
+            .enumerate()
+            .map(|(pos, &g)| {
+                assert!(g < n, "query index {g} out of bounds (n = {n})");
+                let home = self.table_dist.owner(g);
+                expect_from.push(home);
+                (home, (rank, pos, g))
+            })
+            .collect();
+        expect_from.sort_unstable();
+        expect_from.dedup();
+        let incoming = proc.exchange(outgoing);
+        proc.charge_record_handling(incoming.len());
+
+        // Round 2: answer each query from the local slice and send the
+        // answers back, one message per origin, in ascending origin order.
+        let mut per_origin: Vec<Vec<(usize, usize)>> = vec![Vec::new(); proc.nprocs()];
+        for (origin, pos, g) in incoming {
+            let owner = self.local_entries[self.table_dist.local_index(g)];
+            per_origin[origin].push((pos, owner));
+        }
+        let tag = tags::ownermap_tag(0);
+        for (origin, answers) in per_origin.into_iter().enumerate() {
+            if !answers.is_empty() {
+                proc.send_vec(origin, tag, answers);
+            }
+        }
+        let mut owners = vec![usize::MAX; queries.len()];
+        for home in expect_from {
+            let answers: Vec<(usize, usize)> = proc.recv_vec(home, tag);
+            for (pos, owner) in answers {
+                owners[pos] = owner;
+            }
+        }
+        debug_assert!(
+            owners.iter().all(|&o| o != usize::MAX),
+            "a query went unanswered"
+        );
+        owners
+    }
+
+    /// Replicate the distributed table onto every processor (one allgather)
+    /// and build the [`IrregularDist`] it describes.
+    ///
+    /// Must be called collectively; every rank receives an identical
+    /// distribution (same fingerprint), which is what the schedule cache
+    /// and the SPMD hit/miss lockstep rely on.
+    pub fn assemble<P: Process>(&self, proc: &mut P) -> IrregularDist {
+        let pieces = proc.allgather(self.local_entries.clone());
+        // Block slices are contiguous and ordered by rank: concatenate.
+        let mut owners = Vec::with_capacity(self.n());
+        for piece in pieces {
+            owners.extend(piece);
+        }
+        assert_eq!(owners.len(), self.n(), "assembled table has wrong length");
+        proc.charge_record_handling(owners.len());
+        IrregularDist::from_owners(owners, proc.nprocs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrib::Distribution;
+    use dmsim::{CostModel, Machine};
+
+    fn scrambled_owners(n: usize, p: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 13 + 5) % p).collect()
+    }
+
+    #[test]
+    fn assemble_reconstructs_the_full_table_on_every_rank() {
+        let n = 53;
+        let p = 4;
+        let owners = scrambled_owners(n, p);
+        let machine = Machine::new(p, CostModel::ideal());
+        let expected = owners.clone();
+        let dists = machine.run(|proc| {
+            let map = DistOwnerMap::from_global(proc.rank(), proc.nprocs(), &owners);
+            map.assemble(proc)
+        });
+        for (rank, d) in dists.iter().enumerate() {
+            assert_eq!(d.owners(), &expected[..], "rank {rank}");
+            assert_eq!(d.nprocs(), p);
+        }
+        // Identical fingerprints on every rank — the SPMD lockstep property.
+        let fp = dists[0].fingerprint();
+        assert!(dists.iter().all(|d| d.fingerprint() == fp));
+    }
+
+    #[test]
+    fn collective_lookup_matches_the_table() {
+        let n = 71;
+        let p = 5;
+        let owners = scrambled_owners(n, p);
+        let machine = Machine::new(p, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let rank = proc.rank();
+            let map = DistOwnerMap::from_global(rank, proc.nprocs(), &owners);
+            // Every rank queries a different, overlapping slice of indices,
+            // in deliberately non-sorted order.
+            let queries: Vec<usize> = (0..n).filter(|i| (i + rank) % 3 != 0).rev().collect();
+            let got = map.lookup(proc, &queries);
+            (queries, got)
+        });
+        for (rank, (queries, got)) in results.iter().enumerate() {
+            assert_eq!(queries.len(), got.len());
+            for (q, o) in queries.iter().zip(got) {
+                assert_eq!(*o, owners[*q], "rank {rank} query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_lists_are_fine() {
+        let n = 16;
+        let p = 4;
+        let owners = scrambled_owners(n, p);
+        let machine = Machine::new(p, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let map = DistOwnerMap::from_global(proc.rank(), proc.nprocs(), &owners);
+            // Only rank 0 asks anything.
+            let queries: Vec<usize> = if proc.rank() == 0 {
+                vec![3, 9, 15]
+            } else {
+                vec![]
+            };
+            map.lookup(proc, &queries)
+        });
+        assert_eq!(results[0], vec![owners[3], owners[9], owners[15]]);
+        assert!(results[1..].iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn assembled_distribution_answers_like_the_lookup() {
+        let n = 40;
+        let p = 4;
+        let owners = scrambled_owners(n, p);
+        let machine = Machine::new(p, CostModel::ideal());
+        let ok = machine.run(|proc| {
+            let map = DistOwnerMap::from_global(proc.rank(), proc.nprocs(), &owners);
+            let queries: Vec<usize> = (0..n).collect();
+            let looked_up = map.lookup(proc, &queries);
+            let dist = map.assemble(proc);
+            queries.iter().all(|&g| dist.owner(g) == looked_up[g])
+        });
+        assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn out_of_bounds_query_panics() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let map = DistOwnerMap::from_global(proc.rank(), proc.nprocs(), &[0, 1, 0, 1]);
+            map.lookup(proc, &[9]);
+        });
+    }
+}

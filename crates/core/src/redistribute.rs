@@ -11,7 +11,7 @@
 //! `q` owns under the new one — a set with a closed form for any pair of
 //! distributions, so no inspector is needed.
 
-use distrib::{DimDist, IndexSet};
+use distrib::{Distribution, IndexSet};
 
 use crate::process::{tags, Process};
 use crate::schedule::{CommSchedule, RangeRecord};
@@ -19,7 +19,13 @@ use crate::schedule::{CommSchedule, RangeRecord};
 /// Build the redistribution schedule for the calling processor: what it
 /// receives (elements it owns under `to` but not under `from`) and what it
 /// sends.  Pure local computation — both distributions are known everywhere.
-pub fn redistribution_schedule(rank: usize, from: &DimDist, to: &DimDist) -> CommSchedule {
+/// Works between any two [`Distribution`] implementations (block →
+/// partitioned-irregular is the new interesting case).
+pub fn redistribution_schedule<A, B>(rank: usize, from: &A, to: &B) -> CommSchedule
+where
+    A: Distribution + ?Sized,
+    B: Distribution + ?Sized,
+{
     assert_eq!(
         from.n(),
         to.n(),
@@ -70,9 +76,11 @@ pub fn redistribution_schedule(rank: usize, from: &DimDist, to: &DimDist) -> Com
 ///
 /// Must be called collectively.  Elements whose owner does not change are
 /// copied locally without communication.
-pub fn redistribute<P, T>(proc: &mut P, from: &DimDist, to: &DimDist, local_data: &[T]) -> Vec<T>
+pub fn redistribute<P, A, B, T>(proc: &mut P, from: &A, to: &B, local_data: &[T]) -> Vec<T>
 where
     P: Process,
+    A: Distribution + ?Sized,
+    B: Distribution + ?Sized,
     T: Copy + Default + Send + 'static,
 {
     let rank = proc.rank();
@@ -128,6 +136,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use distrib::DimDist;
     use dmsim::{CostModel, Machine};
 
     fn roundtrip_check(

@@ -1,230 +1,188 @@
-//! One-dimensional distribution patterns (paper §2.2).
+//! [`DimDist`]: the shared handle to one dimension's distribution.
 //!
 //! A distribution maps the index space `0..n` of one array dimension onto
 //! `0..p` processors.  Kali's built-in patterns are block, cyclic and
 //! block-cyclic; user-defined distributions are supported through an
-//! explicit owner table.  All patterns expose the same interface — the
-//! paper's `local(p)` function and its inverses — so the analysis layer
-//! never needs to know which pattern it is looking at.
+//! explicit owner table ([`IrregularDist`]).  All patterns implement the
+//! [`Distribution`] trait — the paper's `local(p)` function and its
+//! inverses — so the analysis layer never needs to know which pattern it is
+//! looking at.
 //!
-//! Index convention: this crate is 0-based ( the paper's examples are
+//! `DimDist` is a cheaply clonable, type-erased handle (`Arc<dyn
+//! Distribution>`): runtime structures that *store* a distribution
+//! (`DistArray`, `Forall`, `LoopSpec`) hold a `DimDist`, while runtime entry
+//! points that merely *consult* one (`run_inspector`, `execute_sweep`,
+//! `redistribute`) are generic over `D: Distribution + ?Sized` and accept
+//! either a `DimDist` or any concrete implementation directly.
+//!
+//! Index convention: this crate is 0-based (the paper's examples are
 //! 1-based Pascal); the translation is mechanical.
 
 use std::sync::Arc;
 
-use crate::index::{IndexRange, IndexSet};
+use crate::distribution::{BlockCyclicDist, BlockDist, CyclicDist, Distribution};
+use crate::index::IndexSet;
+use crate::irregular::IrregularDist;
 
 /// A distribution of `n` array elements over `p` processors.
 ///
-/// Invariants guaranteed by every variant:
+/// Invariants guaranteed by every implementation (see [`Distribution`]):
 /// * every index in `0..n` has exactly one owner (`owner` is total),
-/// * `local_sets` of distinct processors are disjoint and their union is
+/// * `local_set`s of distinct processors are disjoint and their union is
 ///   `0..n` (the paper's assumption `local(p) ∩ local(q) = ∅`),
 /// * `global_index(owner(i), local_index(i)) == i`.
-#[derive(Debug, Clone)]
-pub enum DimDist {
-    /// Contiguous blocks of `ceil(n/p)` elements: `local(p) = { i | ⌈i/B⌉ = p }`.
-    Block { n: usize, p: usize },
-    /// Round-robin assignment: `local(p) = { i | i ≡ p (mod P) }`.
-    Cyclic { n: usize, p: usize },
-    /// Blocks of `block` elements dealt round-robin to processors.
-    BlockCyclic { n: usize, p: usize, block: usize },
-    /// User-defined distribution given by an owner table (`owners[i]` is the
-    /// owning processor of global index `i`).
-    Custom(Arc<CustomDist>),
+#[derive(Clone)]
+pub struct DimDist {
+    inner: Arc<dyn Distribution>,
 }
 
-/// Pre-computed lookup structures for a user-defined distribution.
-#[derive(Debug)]
-pub struct CustomDist {
-    owners: Vec<usize>,
-    p: usize,
-    /// Local offset of every global index within its owner's storage.
-    local_of: Vec<usize>,
-    /// For each processor, its owned global indices in ascending order.
-    locals: Vec<Vec<usize>>,
+impl std::fmt::Debug for DimDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
 }
 
 impl DimDist {
+    /// Wrap any [`Distribution`] implementation in a shared handle.
+    pub fn new(dist: impl Distribution + 'static) -> Self {
+        DimDist {
+            inner: Arc::new(dist),
+        }
+    }
+
+    /// Wrap an already shared distribution.
+    pub fn from_arc(inner: Arc<dyn Distribution>) -> Self {
+        DimDist { inner }
+    }
+
     /// Block distribution of `n` elements over `p` processors.
     pub fn block(n: usize, p: usize) -> Self {
-        assert!(p > 0, "need at least one processor");
-        DimDist::Block { n, p }
+        DimDist::new(BlockDist::new(n, p))
     }
 
     /// Cyclic distribution of `n` elements over `p` processors.
     pub fn cyclic(n: usize, p: usize) -> Self {
-        assert!(p > 0, "need at least one processor");
-        DimDist::Cyclic { n, p }
+        DimDist::new(CyclicDist::new(n, p))
     }
 
     /// Block-cyclic distribution with the given block size.
     pub fn block_cyclic(n: usize, p: usize, block: usize) -> Self {
-        assert!(p > 0, "need at least one processor");
-        assert!(block > 0, "block size must be positive");
-        DimDist::BlockCyclic { n, p, block }
+        DimDist::new(BlockCyclicDist::new(n, p, block))
     }
 
     /// User-defined distribution from an owner table.
     ///
     /// `owners[i]` names the processor owning global index `i`; every entry
-    /// must be `< p`.
+    /// must be `< p`.  Equivalent to wrapping [`IrregularDist::from_owners`].
     pub fn custom(owners: Vec<usize>, p: usize) -> Self {
-        assert!(p > 0, "need at least one processor");
-        assert!(
-            owners.iter().all(|&o| o < p),
-            "owner table references a processor outside 0..{p}"
-        );
-        let n = owners.len();
-        let mut locals: Vec<Vec<usize>> = vec![Vec::new(); p];
-        let mut local_of = vec![0usize; n];
-        for (i, &o) in owners.iter().enumerate() {
-            local_of[i] = locals[o].len();
-            locals[o].push(i);
-        }
-        DimDist::Custom(Arc::new(CustomDist {
-            owners,
-            p,
-            local_of,
-            locals,
-        }))
+        DimDist::new(IrregularDist::from_owners(owners, p))
+    }
+
+    /// Wrap an [`IrregularDist`] (e.g. one produced by a mesh partitioner or
+    /// assembled collectively from distributed owner-map slices).
+    pub fn irregular(dist: IrregularDist) -> Self {
+        DimDist::new(dist)
     }
 
     /// Total number of elements being distributed.
     pub fn n(&self) -> usize {
-        match self {
-            DimDist::Block { n, .. }
-            | DimDist::Cyclic { n, .. }
-            | DimDist::BlockCyclic { n, .. } => *n,
-            DimDist::Custom(c) => c.owners.len(),
-        }
+        self.inner.n()
     }
 
     /// Number of processors the elements are distributed over.
     pub fn nprocs(&self) -> usize {
-        match self {
-            DimDist::Block { p, .. }
-            | DimDist::Cyclic { p, .. }
-            | DimDist::BlockCyclic { p, .. } => *p,
-            DimDist::Custom(c) => c.p,
-        }
-    }
-
-    /// Block length of the block distribution (`⌈n/p⌉`).
-    fn block_len(n: usize, p: usize) -> usize {
-        n.div_ceil(p).max(1)
+        self.inner.nprocs()
     }
 
     /// Owning processor of global index `i`.
     pub fn owner(&self, i: usize) -> usize {
-        debug_assert!(i < self.n(), "index {i} out of bounds (n = {})", self.n());
-        match self {
-            DimDist::Block { n, p } => (i / Self::block_len(*n, *p)).min(p - 1),
-            DimDist::Cyclic { p, .. } => i % p,
-            DimDist::BlockCyclic { p, block, .. } => (i / block) % p,
-            DimDist::Custom(c) => c.owners[i],
-        }
+        self.inner.owner(i)
     }
 
     /// True when processor `rank` owns global index `i`.
     pub fn is_local(&self, rank: usize, i: usize) -> bool {
-        self.owner(i) == rank
+        self.inner.is_local(rank, i)
     }
 
     /// Local offset of global index `i` within its owner's storage.
     pub fn local_index(&self, i: usize) -> usize {
-        match self {
-            DimDist::Block { n, p } => {
-                let b = Self::block_len(*n, *p);
-                i - self.owner(i) * b
-            }
-            DimDist::Cyclic { p, .. } => i / p,
-            DimDist::BlockCyclic { p, block, .. } => {
-                let blk = i / block;
-                (blk / p) * block + i % block
-            }
-            DimDist::Custom(c) => c.local_of[i],
-        }
+        self.inner.local_index(i)
     }
 
     /// Global index of local offset `l` on processor `rank`.
     pub fn global_index(&self, rank: usize, l: usize) -> usize {
-        match self {
-            DimDist::Block { n, p } => rank * Self::block_len(*n, *p) + l,
-            DimDist::Cyclic { p, .. } => l * p + rank,
-            DimDist::BlockCyclic { p, block, .. } => {
-                let blk_local = l / block;
-                let within = l % block;
-                (blk_local * p + rank) * block + within
-            }
-            DimDist::Custom(c) => c.locals[rank][l],
-        }
+        self.inner.global_index(rank, l)
     }
 
     /// Number of elements owned by processor `rank`.
     pub fn local_count(&self, rank: usize) -> usize {
-        match self {
-            DimDist::Block { n, p } => {
-                let b = Self::block_len(*n, *p);
-                let lo = (rank * b).min(*n);
-                let hi = ((rank + 1) * b).min(*n);
-                hi - lo
-            }
-            DimDist::Cyclic { n, p } => {
-                let full = n / p;
-                full + usize::from(rank < n % p)
-            }
-            DimDist::BlockCyclic { n, p, block } => {
-                // Count elements i in 0..n with (i/block) % p == rank.
-                let nblocks = n.div_ceil(*block);
-                let mut count = 0usize;
-                let mut blk = rank;
-                while blk < nblocks {
-                    let lo = blk * block;
-                    let hi = ((blk + 1) * block).min(*n);
-                    count += hi - lo;
-                    blk += p;
-                }
-                count
-            }
-            DimDist::Custom(c) => c.locals[rank].len(),
-        }
+        self.inner.local_count(rank)
     }
 
     /// The paper's `local(p)`: the set of global indices owned by `rank`.
     pub fn local_set(&self, rank: usize) -> IndexSet {
-        match self {
-            DimDist::Block { n, p } => {
-                let b = Self::block_len(*n, *p);
-                let lo = (rank * b).min(*n);
-                let hi = ((rank + 1) * b).min(*n);
-                IndexSet::from_range(lo, hi)
-            }
-            DimDist::Cyclic { n, p } => IndexSet::from_indices((rank..*n).step_by(*p)),
-            DimDist::BlockCyclic { n, p, block } => {
-                let nblocks = n.div_ceil(*block);
-                let mut ranges = Vec::new();
-                let mut blk = rank;
-                while blk < nblocks {
-                    let lo = blk * block;
-                    let hi = ((blk + 1) * block).min(*n);
-                    ranges.push(IndexRange::new(lo, hi));
-                    blk += p;
-                }
-                IndexSet::from_ranges(ranges)
-            }
-            DimDist::Custom(c) => IndexSet::from_indices(c.locals[rank].iter().copied()),
-        }
+        self.inner.local_set(rank)
     }
 
     /// A short name for reports ("block", "cyclic", …).
     pub fn kind_name(&self) -> &'static str {
-        match self {
-            DimDist::Block { .. } => "block",
-            DimDist::Cyclic { .. } => "cyclic",
-            DimDist::BlockCyclic { .. } => "block-cyclic",
-            DimDist::Custom(_) => "custom",
-        }
+        self.inner.kind_name()
+    }
+
+    /// Stable identity of the index→owner mapping (see
+    /// [`Distribution::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+
+    /// Borrow the underlying trait object.
+    pub fn as_dyn(&self) -> &dyn Distribution {
+        &*self.inner
+    }
+}
+
+/// The handle is itself a [`Distribution`], so `DimDist` flows through every
+/// generic runtime entry point unchanged.  Delegates to the inherent
+/// methods, which are the single forwarding site to the inner trait object.
+impl Distribution for DimDist {
+    fn n(&self) -> usize {
+        DimDist::n(self)
+    }
+
+    fn nprocs(&self) -> usize {
+        DimDist::nprocs(self)
+    }
+
+    fn owner(&self, i: usize) -> usize {
+        DimDist::owner(self, i)
+    }
+
+    fn local_index(&self, i: usize) -> usize {
+        DimDist::local_index(self, i)
+    }
+
+    fn global_index(&self, rank: usize, l: usize) -> usize {
+        DimDist::global_index(self, rank, l)
+    }
+
+    fn local_count(&self, rank: usize) -> usize {
+        DimDist::local_count(self, rank)
+    }
+
+    fn local_set(&self, rank: usize) -> IndexSet {
+        DimDist::local_set(self, rank)
+    }
+
+    fn is_local(&self, rank: usize, i: usize) -> bool {
+        DimDist::is_local(self, rank, i)
+    }
+
+    fn kind_name(&self) -> &'static str {
+        DimDist::kind_name(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        DimDist::fingerprint(self)
     }
 }
 
@@ -315,6 +273,7 @@ mod tests {
         for (i, &o) in owners.iter().enumerate() {
             assert_eq!(d.owner(i), o);
         }
+        assert_eq!(d.kind_name(), "irregular");
         check_invariants(&d);
     }
 
@@ -328,6 +287,53 @@ mod tests {
             assert_eq!(d.local_count(0), 17);
             check_invariants(&d);
         }
+    }
+
+    #[test]
+    fn clones_share_the_same_distribution() {
+        let d = DimDist::custom((0..64).map(|i| i % 5).collect(), 5);
+        let e = d.clone();
+        assert_eq!(d.fingerprint(), e.fingerprint());
+        assert_eq!(d.local_set(3), e.local_set(3));
+    }
+
+    #[test]
+    fn handle_accepts_user_supplied_distributions() {
+        // A distribution type defined outside this crate's built-ins plugs
+        // straight into the handle — the point of the trait refactor.
+        #[derive(Debug)]
+        struct EvenOdd {
+            n: usize,
+        }
+        impl Distribution for EvenOdd {
+            fn n(&self) -> usize {
+                self.n
+            }
+            fn nprocs(&self) -> usize {
+                2
+            }
+            fn owner(&self, i: usize) -> usize {
+                i % 2
+            }
+            fn local_index(&self, i: usize) -> usize {
+                i / 2
+            }
+            fn global_index(&self, rank: usize, l: usize) -> usize {
+                2 * l + rank
+            }
+            fn local_count(&self, rank: usize) -> usize {
+                self.n / 2 + usize::from(rank < self.n % 2)
+            }
+            fn kind_name(&self) -> &'static str {
+                "even-odd"
+            }
+            fn fingerprint(&self) -> u64 {
+                crate::distribution::fnv1a([99, self.n as u64])
+            }
+        }
+        let d = DimDist::new(EvenOdd { n: 11 });
+        assert_eq!(d.kind_name(), "even-odd");
+        check_invariants(&d);
     }
 
     #[test]

@@ -7,12 +7,16 @@
 //!   array[1..P]` declaration of the paper.  A grid can be one- or
 //!   multi-dimensional; processor ranks are mapped to grid coordinates in
 //!   row-major order.
-//! * **Distribution patterns** ([`DimDist`]) — `dist by [block]`,
-//!   `[cyclic]`, `[block-cyclic(b)]`, replication, and user-defined
-//!   distributions given by an explicit owner table.  Mathematically a
-//!   distribution is the paper's `local : Proc → 2^Arr` function; this crate
-//!   provides `owner(i)`, `local_indices(p)`, `local_index(i)` and
-//!   `global_index(p, l)` views of it, all mutually consistent.
+//! * **Distribution patterns** (the [`Distribution`] trait and the
+//!   [`DimDist`] handle) — `dist by [block]`, `[cyclic]`,
+//!   `[block-cyclic(b)]`, replication, and user-defined distributions given
+//!   by an explicit owner table ([`IrregularDist`]).  Mathematically a
+//!   distribution is the paper's `local : Proc → 2^Arr` function; the trait
+//!   provides `owner(i)`, `local_set(p)`, `local_index(i)` and
+//!   `global_index(p, l)` views of it, all mutually consistent, plus a
+//!   stable `fingerprint()` identifying the mapping for schedule caching.
+//!   New patterns are added by implementing the trait — nothing in the
+//!   analysis layer enumerates the built-ins.
 //! * **Index sets** ([`IndexSet`]) — sets of disjoint, sorted index ranges
 //!   with union / intersection / difference.  The paper's analysis is
 //!   phrased entirely in terms of such sets (`exec(p)`, `ref(p)`,
@@ -28,11 +32,17 @@
 //! analysis whenever closed forms exist.
 
 pub mod dist;
+pub mod distribution;
 pub mod grid;
 pub mod index;
+pub mod irregular;
 pub mod multi;
 
 pub use dist::DimDist;
+pub use distribution::{
+    combine_fingerprints, BlockCyclicDist, BlockDist, CyclicDist, Distribution,
+};
 pub use grid::ProcGrid;
 pub use index::{IndexRange, IndexSet};
+pub use irregular::IrregularDist;
 pub use multi::{ArrayDist, DimAssign};

@@ -1,0 +1,120 @@
+//! Property tests for [`IrregularDist`]: the invariants every distribution
+//! must uphold, checked over arbitrary owner tables.
+//!
+//! * global→local→global round-trip (`global_index ∘ local_index = id` on
+//!   owned indices, and the other way around on local offsets),
+//! * owner maps are a partition: every index owned exactly once, local sets
+//!   pairwise disjoint, counts summing to `n`,
+//! * agreement with `BlockDist` when the owner map is the identity block
+//!   layout — the irregular machinery degenerates to the regular pattern.
+
+use distrib::{BlockDist, Distribution, IrregularDist};
+use proptest::prelude::*;
+
+/// Arbitrary owner tables: arbitrary sizes, processor counts, and per-index
+/// owners (including empty parts and single-processor cases).
+fn arb_owner_table() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (1usize..12, proptest::collection::vec(0usize..1024, 1..160))
+        .prop_map(|(p, raw)| (raw.into_iter().map(|x| x % p).collect(), p))
+}
+
+fn assert_roundtrips(owners: &[usize], p: usize) {
+    let d = IrregularDist::from_owners(owners.to_vec(), p);
+    for (i, &o) in owners.iter().enumerate() {
+        let l = d.local_index(i);
+        assert!(l < d.local_count(o), "local offset of {i} out of range");
+        assert_eq!(d.global_index(o, l), i, "g->l->g identity at {i}");
+    }
+    for rank in 0..p {
+        for l in 0..d.local_count(rank) {
+            let g = d.global_index(rank, l);
+            assert_eq!(d.owner(g), rank);
+            assert_eq!(d.local_index(g), l, "l->g->l identity at {rank}/{l}");
+        }
+    }
+}
+
+fn assert_partition(owners: &[usize], p: usize) {
+    let d = IrregularDist::from_owners(owners.to_vec(), p);
+    let n = owners.len();
+    // Every index owned exactly once across the local sets.
+    let mut owned = vec![0usize; n];
+    for rank in 0..p {
+        let set = d.local_set(rank);
+        assert_eq!(set.len(), d.local_count(rank));
+        for g in set.iter() {
+            owned[g] += 1;
+        }
+    }
+    assert!(
+        owned.iter().all(|&c| c == 1),
+        "some index not owned exactly once"
+    );
+    // Pairwise disjoint local sets.
+    for a in 0..p.min(5) {
+        for b in (a + 1)..p.min(5) {
+            assert!(d.local_set(a).is_disjoint(&d.local_set(b)));
+        }
+    }
+    let total: usize = (0..p).map(|r| d.local_count(r)).sum();
+    assert_eq!(total, n);
+}
+
+fn assert_agrees_with_block(n: usize, p: usize) {
+    let irr = IrregularDist::identity_block(n, p);
+    let blk = BlockDist::new(n, p);
+    assert_eq!(irr.n(), blk.n());
+    assert_eq!(irr.nprocs(), blk.nprocs());
+    for i in 0..n {
+        assert_eq!(irr.owner(i), blk.owner(i), "owner at {i}");
+        assert_eq!(irr.local_index(i), blk.local_index(i), "local index at {i}");
+    }
+    for rank in 0..p {
+        assert_eq!(irr.local_count(rank), blk.local_count(rank));
+        assert_eq!(irr.local_set(rank), blk.local_set(rank));
+        for l in 0..blk.local_count(rank) {
+            assert_eq!(irr.global_index(rank, l), blk.global_index(rank, l));
+        }
+    }
+}
+
+fn assert_fingerprint_content_determined(owners: &[usize], p: usize) {
+    let a = IrregularDist::from_owners(owners.to_vec(), p);
+    let b = IrregularDist::from_owners(owners.to_vec(), p);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // Moving one index to a different owner changes the fingerprint.
+    if p > 1 {
+        let mut changed = owners.to_vec();
+        changed[0] = (changed[0] + 1) % p;
+        let c = IrregularDist::from_owners(changed, p);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}
+
+proptest! {
+    #[test]
+    fn global_local_global_roundtrip(table in arb_owner_table()) {
+        let (owners, p) = table;
+        assert_roundtrips(&owners, p);
+    }
+
+    #[test]
+    fn owner_map_is_a_partition(table in arb_owner_table()) {
+        let (owners, p) = table;
+        assert_partition(&owners, p);
+    }
+
+    #[test]
+    fn identity_block_owner_map_agrees_with_block_dist(
+        n in 1usize..300,
+        p in 1usize..17
+    ) {
+        assert_agrees_with_block(n, p);
+    }
+
+    #[test]
+    fn fingerprint_is_content_determined(table in arb_owner_table()) {
+        let (owners, p) = table;
+        assert_fingerprint_content_determined(&owners, p);
+    }
+}

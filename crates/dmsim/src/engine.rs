@@ -249,6 +249,14 @@ impl Proc {
         self.clock += seconds;
     }
 
+    /// Charge one nonlocal distributed-array access resolved by binary
+    /// search over `ranges` range records, and count it in the run
+    /// statistics (the `nonlocal_refs` column of the locality tables).
+    pub fn charge_nonlocal_access(&mut self, ranges: usize) {
+        self.counters.nonlocal_refs += 1;
+        self.clock += self.cost.nonlocal_access(ranges);
+    }
+
     // ----------------------------------------------------------------
     // Point-to-point messaging
     // ----------------------------------------------------------------

@@ -28,7 +28,7 @@
 //! only knows about processors, messages and time.  Everything specific to
 //! global name spaces, distributions and inspector/executor analysis lives
 //! in the `distrib` and `kali-core` crates.  The one contract shared with
-//! that layer is the backend-neutral [`Process`](kali_process::Process)
+//! that layer is the backend-neutral [`Process`]
 //! trait (from `kali-process`), which [`Proc`] implements so the runtime
 //! can run SPMD programs on this simulator or on the native threaded
 //! backend interchangeably — with the cost accounting preserved here.

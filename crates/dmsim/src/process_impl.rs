@@ -74,8 +74,7 @@ impl Process for Proc {
     }
 
     fn charge_nonlocal_access(&mut self, ranges: usize) {
-        let cost = self.cost().nonlocal_access(ranges);
-        self.charge_seconds(cost);
+        Proc::charge_nonlocal_access(self, ranges);
     }
 
     fn charge_locality_check(&mut self) {

@@ -82,6 +82,7 @@ mod tests {
             mem_refs: 6,
             loop_iters: 7,
             calls: 8,
+            nonlocal_refs: 9,
         };
         let b = Counters {
             msgs_sent: 10,
@@ -92,11 +93,13 @@ mod tests {
             mem_refs: 60,
             loop_iters: 70,
             calls: 80,
+            nonlocal_refs: 90,
         };
         let m = a.merge(&b);
         assert_eq!(m.msgs_sent, 11);
         assert_eq!(m.bytes_recv, 44);
         assert_eq!(m.calls, 88);
+        assert_eq!(m.nonlocal_refs, 99);
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod unstructured;
 
 pub use csr::AdjacencyMesh;
 pub use grid::RegularGrid;
-pub use partition::{block_partition, strip_partition_rows};
+pub use partition::{block_partition, cut_edges, greedy_partition, strip_partition_rows};
 pub use unstructured::UnstructuredMeshBuilder;

@@ -57,6 +57,11 @@ pub struct Counters {
     pub loop_iters: u64,
     /// Procedure calls charged.
     pub calls: u64,
+    /// Nonlocal distributed-array references resolved through a
+    /// communication buffer (the executor's binary-search path).  A direct
+    /// locality metric: a placement that keeps references local drives this
+    /// to zero.
+    pub nonlocal_refs: u64,
 }
 
 impl Counters {
@@ -71,6 +76,7 @@ impl Counters {
             mem_refs: self.mem_refs + other.mem_refs,
             loop_iters: self.loop_iters + other.loop_iters,
             calls: self.calls + other.calls,
+            nonlocal_refs: self.nonlocal_refs + other.nonlocal_refs,
         }
     }
 
@@ -86,6 +92,7 @@ impl Counters {
             mem_refs: self.mem_refs - earlier.mem_refs,
             loop_iters: self.loop_iters - earlier.loop_iters,
             calls: self.calls - earlier.calls,
+            nonlocal_refs: self.nonlocal_refs - earlier.nonlocal_refs,
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Every runtime component that exchanges point-to-point messages derives
 //! its tags from this module, so the ranges are disjoint *by construction*
-//! and documented in one place.  The 64-bit [`Tag`](crate::Tag) space is
+//! and documented in one place.  The 64-bit [`Tag`] space is
 //! partitioned as:
 //!
 //! | range (half-open)        | owner                                          |
@@ -11,7 +11,8 @@
 //! | `[2^40, 2^41)`           | executor data messages, offset by sweep number |
 //! | `[2^41, 2^42)`           | hand-coded baseline halo exchange              |
 //! | `[2^42, 2^43)`           | array redistribution traffic                   |
-//! | `[2^43, 2^63)`           | reserved (unused)                              |
+//! | `[2^43, 2^44)`           | distributed owner-map lookup traffic           |
+//! | `[2^44, 2^63)`           | reserved (unused)                              |
 //! | `[2^63, 2^64)`           | collectives (per-invocation sequence numbers)  |
 //!
 //! Collective tags additionally embed a per-stage offset in bits 32..40
@@ -38,6 +39,10 @@ pub const HALO_BASE: Tag = 1 << 41;
 
 /// Base of the redistribution-traffic range.
 pub const REDIST_BASE: Tag = 1 << 42;
+
+/// Base of the distributed owner-map lookup range (collective resolution of
+/// irregular-distribution translation tables).
+pub const OWNERMAP_BASE: Tag = 1 << 43;
 
 /// Base of the collective-operation range (top half of the tag space).
 pub const COLLECTIVE_BASE: Tag = 1 << 63;
@@ -66,6 +71,16 @@ pub fn redistribute_tag(offset: Tag) -> Tag {
         "redistribute tag offset {offset} exceeds the range span"
     );
     REDIST_BASE + offset
+}
+
+/// Tag of one distributed owner-map lookup round.  `offset` distinguishes
+/// the phases of a multi-round lookup (query routing vs answer routing).
+pub fn ownermap_tag(offset: Tag) -> Tag {
+    debug_assert!(
+        offset < SPAN,
+        "ownermap tag offset {offset} exceeds the range span"
+    );
+    OWNERMAP_BASE + offset
 }
 
 /// Tag of the hand-coded baseline's halo messages for one sweep.
@@ -101,6 +116,7 @@ mod tests {
             (EXECUTOR_BASE, EXECUTOR_BASE + SPAN),
             (HALO_BASE, HALO_BASE + SPAN),
             (REDIST_BASE, REDIST_BASE + SPAN),
+            (OWNERMAP_BASE, OWNERMAP_BASE + SPAN),
             (COLLECTIVE_BASE, Tag::MAX),
         ];
         for (i, a) in ranges.iter().enumerate() {
@@ -117,7 +133,9 @@ mod tests {
         assert_eq!(halo_tag(3), HALO_BASE + 3);
         assert!(halo_tag(SPAN - 1) < REDIST_BASE);
         assert_eq!(redistribute_tag(0), REDIST_BASE);
-        assert!(redistribute_tag(SPAN - 1) < COLLECTIVE_BASE);
+        assert!(redistribute_tag(SPAN - 1) < OWNERMAP_BASE);
+        assert_eq!(ownermap_tag(0), OWNERMAP_BASE);
+        assert!(ownermap_tag(SPAN - 1) < COLLECTIVE_BASE);
         assert!(collective_tag(0) >= COLLECTIVE_BASE);
         // Stage offsets (bits 32..40) stay inside the collective range.
         assert!(collective_tag(u32::MAX as u64) + (0xFFu64 << 32) >= COLLECTIVE_BASE);

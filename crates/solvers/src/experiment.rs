@@ -16,7 +16,29 @@ use dmsim::{CostModel, Machine};
 use meshes::{AdjacencyMesh, RegularGrid};
 
 use crate::jacobi::{jacobi_sweeps, JacobiConfig};
-use crate::report::{ExperimentRow, PhaseBreakdown};
+use crate::partitioned::partitioned_dist;
+use crate::report::{CommReport, ExperimentRow, PhaseBreakdown};
+
+/// How the mesh nodes are placed on the processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// `dist by [block]` on the node indices — the paper's declaration.
+    #[default]
+    Block,
+    /// Connectivity-partitioned irregular distribution
+    /// ([`partitioned_dist`]).
+    Partitioned,
+}
+
+impl Placement {
+    /// Short name for table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::Block => "block",
+            Placement::Partitioned => "partitioned",
+        }
+    }
+}
 
 /// Parameters of one table row.
 #[derive(Debug, Clone)]
@@ -89,6 +111,22 @@ pub fn run_jacobi_experiment_on_mesh(
     mesh: &AdjacencyMesh,
     initial: &[f64],
 ) -> ExperimentRow {
+    run_jacobi_experiment_placed(params, mesh, initial, Placement::Block)
+}
+
+/// Run one configuration over `mesh` under the chosen node placement and
+/// produce one table row.
+///
+/// The communication/cache statistics in the returned row's `comm` field
+/// are the raw counters of the *measured* run — they are not scaled by the
+/// extrapolation (message counts per sweep are constant once the schedule
+/// is cached, so per-sweep rates can be derived exactly).
+pub fn run_jacobi_experiment_placed(
+    params: &ExperimentParams,
+    mesh: &AdjacencyMesh,
+    initial: &[f64],
+    placement: Placement,
+) -> ExperimentRow {
     let measured_sweeps = params
         .extrapolate_from
         .unwrap_or(params.sweeps)
@@ -103,7 +141,10 @@ pub fn run_jacobi_experiment_on_mesh(
 
     let machine = Machine::new(params.nprocs, params.cost.clone());
     let (outcomes, stats) = machine.run_stats(|proc| {
-        let dist = DimDist::block(mesh.len(), proc.nprocs());
+        let dist = match placement {
+            Placement::Block => DimDist::block(mesh.len(), proc.nprocs()),
+            Placement::Partitioned => partitioned_dist(proc, mesh),
+        };
         jacobi_sweeps(proc, mesh, &dist, initial, &config)
     });
 
@@ -139,8 +180,14 @@ pub fn run_jacobi_experiment_on_mesh(
             inspector,
         },
         speedup,
-        messages: stats.totals.msgs_sent,
-        bytes: stats.totals.bytes_sent,
+        comm: CommReport {
+            messages: stats.totals.msgs_sent,
+            bytes: stats.totals.bytes_sent,
+            nonlocal_refs: stats.totals.nonlocal_refs,
+            halo_elements: outcomes.iter().map(|o| o.recv_elements).sum(),
+            cache_hits: outcomes.iter().map(|o| o.cache_hits).sum(),
+            cache_misses: outcomes.iter().map(|o| o.cache_misses).sum(),
+        },
     }
 }
 

@@ -14,11 +14,20 @@
 //!   time, inspector overhead, speedup).
 //! * [`report`] — the row/report types shared by the experiment driver, the
 //!   table binaries and the integration tests.
+//! * [`partitioned`] — the connectivity-partitioned distribution for mesh
+//!   problems: the greedy mesh partitioner's owner map, assembled
+//!   collectively into a `distrib::IrregularDist` and handed to the solvers
+//!   like any other distribution.
 
 pub mod experiment;
 pub mod jacobi;
+pub mod partitioned;
 pub mod report;
 
-pub use experiment::{run_jacobi_experiment, sequential_executor_time, ExperimentParams};
+pub use experiment::{
+    run_jacobi_experiment, run_jacobi_experiment_on_mesh, run_jacobi_experiment_placed,
+    sequential_executor_time, ExperimentParams, Placement,
+};
 pub use jacobi::{jacobi_sequential, jacobi_sweeps, JacobiConfig, JacobiOutcome};
-pub use report::{ExperimentRow, PhaseBreakdown};
+pub use partitioned::{partition_owner_map, partitioned_dist};
+pub use report::{CommReport, ExperimentRow, PhaseBreakdown};

@@ -1,5 +1,55 @@
 //! Result rows for the paper's tables.
 
+/// Communication and caching statistics of one run, machine-wide.
+///
+/// `messages`/`bytes` come straight from the dmsim counters (all traffic:
+/// inspector exchange, executor data, collectives); `nonlocal_refs` counts
+/// the executor's binary-search fetches from the communication buffer — the
+/// direct locality metric a placement optimises; `halo_elements` is the
+/// number of distinct elements received per sweep (summed over processors);
+/// the cache counters record how often the schedule cache spared an
+/// inspector run.  The locality bench tables cite these numbers when
+/// comparing block against partitioned placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommReport {
+    /// Total messages sent across all processors.
+    pub messages: u64,
+    /// Total payload bytes sent across all processors.
+    pub bytes: u64,
+    /// Total nonlocal distributed-array references resolved through the
+    /// communication buffer.
+    pub nonlocal_refs: u64,
+    /// Distinct elements received per sweep, summed over processors.
+    pub halo_elements: usize,
+    /// Schedule-cache hits, summed over processors.
+    pub cache_hits: u64,
+    /// Schedule-cache misses (inspector executions), summed over processors.
+    pub cache_misses: u64,
+}
+
+impl CommReport {
+    /// Format the stats as one table line (no machine column).
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}",
+            self.messages,
+            self.bytes,
+            self.nonlocal_refs,
+            self.halo_elements,
+            self.cache_hits,
+            self.cache_misses
+        )
+    }
+
+    /// Header matching [`CommReport::to_table_line`].
+    pub fn table_header() -> String {
+        format!(
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}",
+            "messages", "bytes", "nonlocal refs", "halo elts", "cache hit", "miss"
+        )
+    }
+}
+
 /// The per-phase simulated-time breakdown of one run, as reported in the
 /// paper's tables: total time, executor time, inspector time and the
 /// inspector overhead ("the inspector time divided by the total time", §4).
@@ -44,10 +94,8 @@ pub struct ExperimentRow {
     /// Speedup relative to the one-processor executor time (only filled in
     /// by the mesh-size experiments, Figures 9 and 10).
     pub speedup: Option<f64>,
-    /// Total messages sent by the executor+inspector across all processors.
-    pub messages: u64,
-    /// Total payload bytes sent across all processors.
-    pub bytes: u64,
+    /// Machine-wide communication, locality and schedule-cache statistics.
+    pub comm: CommReport,
 }
 
 impl ExperimentRow {
@@ -82,6 +130,27 @@ impl ExperimentRow {
         }
         h
     }
+
+    /// Format the row's communication/locality statistics (pairs with
+    /// [`ExperimentRow::comm_header`]).
+    pub fn to_comm_line(&self) -> String {
+        format!(
+            "{:>10}  {:>6}  {}",
+            self.machine,
+            self.nprocs,
+            self.comm.to_table_line()
+        )
+    }
+
+    /// Header matching [`ExperimentRow::to_comm_line`].
+    pub fn comm_header() -> String {
+        format!(
+            "{:>10}  {:>6}  {}",
+            "machine",
+            "procs",
+            CommReport::table_header()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -113,8 +182,14 @@ mod tests {
                 inspector: 1.07,
             },
             speedup: Some(37.3),
-            messages: 1000,
-            bytes: 100000,
+            comm: CommReport {
+                messages: 1000,
+                bytes: 100000,
+                nonlocal_refs: 512,
+                halo_elements: 256,
+                cache_hits: 99,
+                cache_misses: 1,
+            },
         };
         let line = row.to_table_line();
         assert!(line.contains("NCUBE/7"));
@@ -124,5 +199,34 @@ mod tests {
         let header = ExperimentRow::table_header(true);
         assert!(header.contains("speedup"));
         assert!(ExperimentRow::table_header(false).len() < header.len());
+    }
+
+    #[test]
+    fn comm_line_cites_cache_and_locality_counters() {
+        let comm = CommReport {
+            messages: 42,
+            bytes: 4242,
+            nonlocal_refs: 77,
+            halo_elements: 13,
+            cache_hits: 9,
+            cache_misses: 1,
+        };
+        let line = comm.to_table_line();
+        for needle in ["42", "4242", "77", "13", "9", "1"] {
+            assert!(line.contains(needle), "{needle} missing from {line}");
+        }
+        assert!(CommReport::table_header().contains("nonlocal refs"));
+        let row = ExperimentRow {
+            machine: "NCUBE/7".to_string(),
+            nprocs: 8,
+            mesh_side: 16,
+            mesh_nodes: 256,
+            sweeps: 10,
+            times: PhaseBreakdown::default(),
+            speedup: None,
+            comm,
+        };
+        assert!(row.to_comm_line().contains("NCUBE/7"));
+        assert!(ExperimentRow::comm_header().contains("cache hit"));
     }
 }

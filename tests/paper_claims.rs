@@ -25,8 +25,7 @@ fn simulated_times_are_deterministic_across_runs() {
     let b = run_jacobi_experiment(&params);
     assert_eq!(a.times.total.to_bits(), b.times.total.to_bits());
     assert_eq!(a.times.inspector.to_bits(), b.times.inspector.to_bits());
-    assert_eq!(a.messages, b.messages);
-    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.comm, b.comm);
 }
 
 #[test]
