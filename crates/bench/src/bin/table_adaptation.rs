@@ -1,0 +1,22 @@
+//! Adaptive-mesh amortisation under churn (the §3.2 claim stressed).
+//!
+//! The paper amortises the inspector over "many repetitions of the forall"
+//! on a *static* mesh.  This table adapts the mesh every `k` sweeps
+//! (deterministic refine/coarsen, rebalanced placement, redistributed live
+//! data) and sweeps `k`: inspector cost per sweep must fall toward the
+//! static-mesh figure as `k` grows, while the bounded schedule cache keeps
+//! peak residency at or below its capacity no matter how many distinct
+//! (version, fingerprint) keys the run mints.
+//!
+//! Runs every configuration on **both** backends — dmsim for the simulated
+//! cost breakdown, the native threaded backend for wall-clock execution —
+//! and checks the two produce bit-identical fields (and match the
+//! sequential replay).  `--smoke` (or `KALI_QUICK=1`) shrinks the run for
+//! CI; any violated invariant exits nonzero so CI fails loudly.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || bench_tables::quick_mode();
+    if !bench_tables::run_adaptation(smoke) {
+        std::process::exit(1);
+    }
+}

@@ -20,7 +20,9 @@ fn main() {
         &bench_tables::measure_fig10(),
         bench_tables::PAPER_FIG10_IPSC_MESH,
     );
-    if !bench_tables::run_partition_locality() {
+    let mut ok = bench_tables::run_partition_locality();
+    ok &= bench_tables::run_adaptation(bench_tables::quick_mode());
+    if !ok {
         std::process::exit(1);
     }
 }

@@ -20,6 +20,7 @@
 //! | `table_amortization`     | §3.2 claim | schedule-cache amortisation |
 //! | `table_kali_vs_handcoded`| §1 claim | Kali vs hand-written message passing |
 //! | `table_partition_locality` | extension | block vs partitioned placement on scrambled meshes |
+//! | `table_adaptation`       | extension | §3.2 amortisation under adaptive-mesh churn (sweep over the adaptation interval k) |
 //! | `table_all`              | everything above in one run |
 
 use solvers::ExperimentRow;
@@ -360,6 +361,183 @@ pub fn run_partition_locality() -> bool {
         println!("FAIL: partitioned placement did not reduce communication");
     }
     lower
+}
+
+/// Run the adaptive-mesh amortisation experiment (`table_adaptation`) and
+/// print its table: the same Jacobi program under deterministic mesh churn,
+/// sweeping the adaptation interval `k` (`None` = static mesh).  Every
+/// configuration rebalances the placement after each adaptation and runs on
+/// both backends.
+///
+/// Returns `true` when every invariant holds: inspector cost per sweep
+/// falls monotonically with `k`, peak schedule-cache residency stays within
+/// the configured bound, and the dmsim field, the native field and the
+/// sequential replay agree bit for bit.  Callers decide whether a `false`
+/// is fatal (the binary exits nonzero; CI runs it with `--smoke`).
+pub fn run_adaptation(smoke: bool) -> bool {
+    use dmsim::{CostModel, Machine};
+    use kali_native::NativeMachine;
+    use solvers::{
+        adaptive_jacobi_sequential, adaptive_jacobi_sweeps, final_placement, partitioned_dist,
+        AdaptiveConfig,
+    };
+
+    let (side, nprocs, sweeps, intervals): (usize, usize, usize, Vec<Option<usize>>) = if smoke {
+        (8, 2, 8, vec![Some(1), Some(2), Some(4), None])
+    } else {
+        // 128 sweeps so even k = 64 performs an adaptation (the curve then
+        // falls strictly all the way to the static-mesh run).
+        (32, 8, 128, vec![Some(1), Some(4), Some(16), Some(64), None])
+    };
+    let cache_capacity = 4usize;
+
+    let mesh = meshes::UnstructuredMeshBuilder::new(side, side)
+        .seed(1990)
+        .scramble_numbering(true)
+        .build();
+    let initial: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 29) % 23) as f64 * 0.1)
+        .collect();
+
+    println!(
+        "\n=== Adaptive-mesh amortisation (NCUBE/7, {side}x{side} scrambled mesh, \
+         {nprocs} processors, {sweeps} sweeps, rebalancing, cache bound {cache_capacity}) ==="
+    );
+    println!(
+        "{:>8}  {:>7}  {:>13}  {:>16}  {:>10}  {:>6}  {:>6}  {:>6}  {:>9}  {:>10}",
+        "k",
+        "adapts",
+        "inspector (s)",
+        "inspector/sweep",
+        "adapt (s)",
+        "hits",
+        "miss",
+        "evict",
+        "peak res",
+        "res bytes"
+    );
+
+    let mut per_sweep = Vec::new();
+    let mut ok = true;
+    for k in &intervals {
+        let config = AdaptiveConfig {
+            sweeps,
+            adapt_every: *k,
+            rebalance: true,
+            cache_capacity,
+            ..AdaptiveConfig::default()
+        };
+
+        let machine = Machine::new(nprocs, CostModel::ncube7());
+        let outcomes = machine.run(|proc| {
+            let dist = partitioned_dist(proc, &mesh);
+            adaptive_jacobi_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+        let native_outcomes = NativeMachine::new(nprocs).run(|proc| {
+            let dist = partitioned_dist(proc, &mesh);
+            adaptive_jacobi_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+
+        let init_dist = distrib::DimDist::custom(meshes::greedy_partition(&mesh, nprocs), nprocs);
+        let final_dist = final_placement(&mesh, &init_dist, &config);
+        let gather = |locals: &[Vec<f64>]| solvers::gather_global(&final_dist, locals);
+        let simulated = gather(
+            &outcomes
+                .iter()
+                .map(|o| o.local_a.clone())
+                .collect::<Vec<_>>(),
+        );
+        let native = gather(
+            &native_outcomes
+                .iter()
+                .map(|o| o.local_a.clone())
+                .collect::<Vec<_>>(),
+        );
+
+        let inspector = outcomes
+            .iter()
+            .map(|o| o.inspector_time)
+            .fold(0.0f64, f64::max);
+        let adapt = outcomes.iter().map(|o| o.adapt_time).fold(0.0f64, f64::max);
+        // Residency is an invariant of the runtime, not of one backend:
+        // take the peak over *both* runs so a native-side eviction
+        // regression cannot slip past the CI gate.
+        let peak_resident = outcomes
+            .iter()
+            .chain(&native_outcomes)
+            .map(|o| o.cache_peak_resident)
+            .max()
+            .unwrap_or(0);
+        let label = k.map(|v| v.to_string()).unwrap_or_else(|| "inf".into());
+        let ips = inspector / sweeps as f64;
+        println!(
+            "{:>8}  {:>7}  {:>13.4}  {:>16.6}  {:>10.4}  {:>6}  {:>6}  {:>6}  {:>9}  {:>10}",
+            label,
+            outcomes[0].adaptations,
+            inspector,
+            ips,
+            adapt,
+            outcomes.iter().map(|o| o.cache_hits).sum::<u64>(),
+            outcomes.iter().map(|o| o.cache_misses).sum::<u64>(),
+            outcomes.iter().map(|o| o.cache_evictions).sum::<u64>(),
+            peak_resident,
+            outcomes
+                .iter()
+                .map(|o| o.cache_resident_bytes)
+                .sum::<usize>()
+        );
+        per_sweep.push(ips);
+
+        // Invariants: bounded residency, backend agreement, replay match.
+        if peak_resident > cache_capacity {
+            println!(
+                "FAIL: k={label}: peak residency {peak_resident} exceeds the bound \
+                 {cache_capacity}"
+            );
+            ok = false;
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        if bits(&simulated) != bits(&native) {
+            println!("FAIL: k={label}: dmsim and native fields diverge");
+            ok = false;
+        }
+        let cache_counters = |os: &[solvers::AdaptiveOutcome]| {
+            os.iter()
+                .map(|o| (o.cache_hits, o.cache_misses, o.cache_evictions))
+                .collect::<Vec<_>>()
+        };
+        if cache_counters(&outcomes) != cache_counters(&native_outcomes) {
+            println!("FAIL: k={label}: cache counters diverge between backends");
+            ok = false;
+        }
+        let expected = adaptive_jacobi_sequential(&mesh, &initial, &config);
+        if bits(&simulated) != bits(&expected) {
+            println!("FAIL: k={label}: distributed field diverges from the sequential replay");
+            ok = false;
+        }
+    }
+
+    // The amortisation curve: inspector cost per sweep falls monotonically
+    // as the adaptation interval grows.
+    for (i, w) in per_sweep.windows(2).enumerate() {
+        if w[1] >= w[0] {
+            println!(
+                "FAIL: inspector cost per sweep did not fall from interval #{i} to #{}: \
+                 {per_sweep:?}",
+                i + 1
+            );
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!(
+            "\nOK: inspector cost per sweep falls monotonically with the adaptation interval, \
+             residency stays within the bound, and dmsim, native and sequential replay agree \
+             bit for bit"
+        );
+    }
+    ok
 }
 
 /// Measure Figure 7 (NCUBE/7 processor sweep).

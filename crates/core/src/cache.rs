@@ -20,6 +20,33 @@
 //!   them would silently move the wrong elements.  Keying on the
 //!   fingerprint makes redistribution invalidate stale schedules without
 //!   any explicit bookkeeping by the program.
+//!
+//! ## Bounded residency and self-invalidation
+//!
+//! Under adaptive workloads the key space is open-ended: every mesh
+//! adaptation mints a new `data_version`, every rebalancing redistribution a
+//! new `dist_fingerprint`.  An unbounded map would retain one dead schedule
+//! per (version, fingerprint) ever seen.  The cache therefore
+//!
+//! * holds at most [`ScheduleCache::capacity`] entries, evicting the least
+//!   recently used schedule when a build would exceed the bound;
+//! * **self-invalidates generations**: inserting a schedule for
+//!   `(loop, version v)` evicts every entry of the same loop with a version
+//!   `< v` — data versions are monotone, so those can never be requested
+//!   again;
+//! * exposes explicit reclamation ([`ScheduleCache::invalidate_loop`],
+//!   [`ScheduleCache::invalidate_fingerprint`]) for the cases the cache
+//!   cannot infer, e.g. a redistribution that permanently retires a
+//!   placement;
+//! * meters itself: hits, misses, evictions, resident bytes
+//!   ([`CommSchedule::approx_bytes`]) and peak resident entries, surfaced
+//!   through the solvers' `CommReport`.
+//!
+//! Eviction decisions depend only on the *sequence of keys* requested —
+//! never on per-rank schedule contents — so SPMD ranks, which execute the
+//! same program on the same versions and distributions, still hit and miss
+//! in lockstep (the inspector is collective; a desynchronised miss would
+//! deadlock).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,18 +76,60 @@ impl LoopKey {
     }
 }
 
-/// A per-processor cache of communication schedules.
-#[derive(Debug, Default)]
+/// Default residency bound: generous for static programs (a handful of
+/// `forall`s × a few placements), tight enough that adaptive runs minting
+/// unbounded key streams stay bounded.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+#[derive(Debug)]
+struct Entry {
+    schedule: Arc<CommSchedule>,
+    /// Logical timestamp of the last hit or the insertion (LRU recency).
+    last_use: u64,
+    bytes: usize,
+}
+
+/// A per-processor cache of communication schedules with a bounded LRU
+/// residency and generation self-invalidation (see the module docs).
+#[derive(Debug)]
 pub struct ScheduleCache {
-    map: HashMap<LoopKey, Arc<CommSchedule>>,
+    map: HashMap<LoopKey, Entry>,
+    capacity: usize,
+    clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    resident_bytes: usize,
+    peak_resident: usize,
+}
+
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        ScheduleCache::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl ScheduleCache {
-    /// Create an empty cache.
+    /// Create an empty cache with the default residency bound
+    /// ([`DEFAULT_CAPACITY`] entries).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty cache holding at most `capacity` schedules (at least
+    /// one — a cache that cannot hold the schedule it just built would
+    /// defeat the paper's amortisation argument entirely).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ScheduleCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            resident_bytes: 0,
+            peak_resident: 0,
+        }
     }
 
     /// Fetch the schedule for `key`, building it with `build` on the first
@@ -68,32 +137,96 @@ impl ScheduleCache {
     /// saved for future executions of the forall").
     ///
     /// The builder typically runs the inspector, which is a *collective*
-    /// operation — all processors must therefore miss or hit together, which
-    /// they do because they execute the same program on the same versions
-    /// and distributions.
+    /// operation — all processors must therefore miss or hit together.
+    /// They do, because they execute the same program on the same versions
+    /// and distributions **and** because every eviction decision here is a
+    /// function of the key sequence alone (capacity, LRU order, generation
+    /// eviction), never of rank-local schedule contents.
+    ///
+    /// On a miss, entries of the same loop with an older `data_version` are
+    /// evicted (versions are monotone — stale generations are dead weight),
+    /// and if the bound is still exceeded the least recently used entry
+    /// goes.
     pub fn get_or_build<F>(&mut self, key: LoopKey, build: F) -> Arc<CommSchedule>
     where
         F: FnOnce() -> CommSchedule,
     {
-        if let Some(found) = self.map.get(&key) {
+        self.clock += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.last_use = self.clock;
             self.hits += 1;
-            return Arc::clone(found);
+            return Arc::clone(&entry.schedule);
         }
         self.misses += 1;
+
+        // Generation self-invalidation: older data versions of this loop can
+        // never be requested again (versions only move forward).
+        self.evict_where(|k| k.loop_id == key.loop_id && k.data_version < key.data_version);
+
         let schedule = Arc::new(build());
-        self.map.insert(key, Arc::clone(&schedule));
+        let bytes = schedule.approx_bytes();
+        self.map.insert(
+            key,
+            Entry {
+                schedule: Arc::clone(&schedule),
+                last_use: self.clock,
+                bytes,
+            },
+        );
+        self.resident_bytes += bytes;
+
+        // Residency bound: evict least-recently-used until within capacity.
+        // The fresh entry holds the strictly greatest timestamp (the clock
+        // ticks once per call), so it is never the minimum while any older
+        // entry remains — and `len > capacity >= 1` guarantees one does.
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k)
+                .expect("cache over capacity cannot be empty");
+            self.remove_entry(&victim);
+        }
+        self.peak_resident = self.peak_resident.max(self.map.len());
         schedule
     }
 
-    /// Forget every schedule derived from older versions of the given loop
-    /// (e.g. after the mesh is adapted).
-    pub fn invalidate_loop(&mut self, loop_id: u64) {
-        self.map.retain(|k, _| k.loop_id != loop_id);
+    fn remove_entry(&mut self, key: &LoopKey) {
+        if let Some(e) = self.map.remove(key) {
+            self.resident_bytes -= e.bytes;
+            self.evictions += 1;
+        }
     }
 
-    /// Drop everything.
+    fn evict_where<F: Fn(&LoopKey) -> bool>(&mut self, stale: F) -> usize {
+        let victims: Vec<LoopKey> = self.map.keys().filter(|k| stale(k)).copied().collect();
+        for v in &victims {
+            self.remove_entry(v);
+        }
+        victims.len()
+    }
+
+    /// Forget every schedule of the given loop (e.g. when the loop itself is
+    /// retired).  Returns the number of entries reclaimed; their memory is
+    /// released immediately (modulo outstanding `Arc` clones held by
+    /// executing sweeps).
+    pub fn invalidate_loop(&mut self, loop_id: u64) -> usize {
+        self.evict_where(|k| k.loop_id == loop_id)
+    }
+
+    /// Forget every schedule built under the given (combined) distribution
+    /// fingerprint — the reclamation hook for redistribution: once an array
+    /// has moved, schedules describing the old placement are dead weight
+    /// unless the program redistributes back.  Returns the number of entries
+    /// reclaimed.
+    pub fn invalidate_fingerprint(&mut self, dist_fingerprint: u64) -> usize {
+        self.evict_where(|k| k.dist_fingerprint == dist_fingerprint)
+    }
+
+    /// Drop everything (counts as evictions).
     pub fn clear(&mut self) {
-        self.map.clear();
+        self.evict_where(|_| true);
     }
 
     /// Number of cached schedules.
@@ -106,6 +239,11 @@ impl ScheduleCache {
         self.map.is_empty()
     }
 
+    /// The residency bound (maximum number of cached schedules).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -114,6 +252,25 @@ impl ScheduleCache {
     /// Number of cache misses (inspector executions) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries evicted so far (capacity pressure, generation
+    /// self-invalidation, and explicit `invalidate_*` calls).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate bytes held by the resident schedules
+    /// ([`CommSchedule::approx_bytes`] summed over entries).  A gauge for
+    /// reporting only — eviction never consults it (schedule sizes differ
+    /// between ranks; decisions based on them would break SPMD lockstep).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Highest number of simultaneously resident schedules seen so far.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
     }
 }
 
@@ -139,14 +296,16 @@ mod tests {
         assert_eq!(builds, 1, "inspector must run exactly once for 100 sweeps");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 99);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.resident_bytes() > 0);
     }
 
     #[test]
-    fn different_loops_and_versions_are_distinct() {
+    fn distinct_loops_and_fingerprints_coexist() {
         let mut cache = ScheduleCache::new();
         cache.get_or_build(LoopKey::new(1, 0, 7), || dummy_schedule(0));
         cache.get_or_build(LoopKey::new(2, 0, 7), || dummy_schedule(1));
-        cache.get_or_build(LoopKey::new(1, 1, 7), || dummy_schedule(2));
+        cache.get_or_build(LoopKey::new(1, 0, 9), || dummy_schedule(2));
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 3);
         // Same keys hit.
@@ -155,7 +314,7 @@ mod tests {
     }
 
     #[test]
-    fn version_bump_forces_reinspection() {
+    fn version_bump_forces_reinspection_and_reclaims_the_stale_generation() {
         let mut cache = ScheduleCache::new();
         let mut builds = 0;
         for version in 0..5u64 {
@@ -167,13 +326,30 @@ mod tests {
             }
         }
         assert_eq!(builds, 5, "one inspector run per adj-array version");
+        // Self-invalidation: each new generation evicts the previous one.
+        assert_eq!(cache.len(), 1, "only the newest generation stays resident");
+        assert_eq!(cache.evictions(), 4);
+    }
+
+    #[test]
+    fn generation_eviction_is_per_loop() {
+        let mut cache = ScheduleCache::new();
+        cache.get_or_build(LoopKey::new(1, 0, 7), || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(2, 0, 7), || dummy_schedule(0));
+        // Bumping loop 1's version must not touch loop 2's entry.
+        cache.get_or_build(LoopKey::new(1, 1, 7), || dummy_schedule(0));
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(LoopKey::new(2, 0, 7), || {
+            unreachable!("loop 2 must survive")
+        });
     }
 
     #[test]
     fn changing_the_distribution_forces_reinspection() {
         // The bug this key field fixes: redistributing an array changes the
         // placement but not the loop id or data version; the cached schedule
-        // would silently describe the old placement.
+        // would silently describe the old placement.  Same-version entries
+        // for different fingerprints coexist (redistributing back must hit).
         let mut cache = ScheduleCache::new();
         let mut builds = 0;
         for fingerprint in [10u64, 20, 10, 20] {
@@ -187,13 +363,84 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_residency_under_an_open_ended_key_stream() {
+        // The acceptance criterion: generate > 4x the bound in distinct keys
+        // (distinct fingerprints, so generation eviction cannot help) and the
+        // resident set must never exceed the configured capacity.
+        let bound = 8usize;
+        let distinct = 4 * bound + 7;
+        let mut cache = ScheduleCache::with_capacity(bound);
+        for fp in 0..distinct as u64 {
+            cache.get_or_build(LoopKey::new(1, 0, fp), || dummy_schedule(0));
+            assert!(
+                cache.len() <= bound,
+                "resident {} exceeds bound {bound}",
+                cache.len()
+            );
+        }
+        assert_eq!(cache.peak_resident(), bound);
+        assert_eq!(cache.misses(), distinct as u64);
+        assert_eq!(cache.evictions(), (distinct - bound) as u64);
+        // Resident bytes track the survivors only.
+        let expected: usize = bound * dummy_schedule(0).approx_bytes();
+        assert_eq!(cache.resident_bytes(), expected);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut cache = ScheduleCache::with_capacity(2);
+        cache.get_or_build(LoopKey::new(1, 0, 1), || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(1, 0, 2), || dummy_schedule(0));
+        // Touch fingerprint 1 so fingerprint 2 becomes the LRU victim.
+        cache.get_or_build(LoopKey::new(1, 0, 1), || unreachable!("must hit"));
+        cache.get_or_build(LoopKey::new(1, 0, 3), || dummy_schedule(0));
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(LoopKey::new(1, 0, 1), || unreachable!("1 was recent"));
+        let mut rebuilt = false;
+        cache.get_or_build(LoopKey::new(1, 0, 2), || {
+            rebuilt = true;
+            dummy_schedule(0)
+        });
+        assert!(rebuilt, "fingerprint 2 must have been the LRU victim");
+    }
+
+    #[test]
+    fn capacity_one_keeps_the_freshest_schedule() {
+        let mut cache = ScheduleCache::with_capacity(1);
+        for fp in 0..5u64 {
+            cache.get_or_build(LoopKey::new(1, 0, fp), || dummy_schedule(0));
+            assert_eq!(cache.len(), 1);
+        }
+        // The newest entry is resident, not the oldest.
+        cache.get_or_build(LoopKey::new(1, 0, 4), || unreachable!("must hit"));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn invalidate_fingerprint_reclaims_exactly_the_stale_placement() {
+        let mut cache = ScheduleCache::new();
+        cache.get_or_build(LoopKey::new(1, 0, 10), || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(2, 0, 10), || dummy_schedule(0));
+        cache.get_or_build(LoopKey::new(1, 0, 20), || dummy_schedule(0));
+        let bytes_before = cache.resident_bytes();
+        assert_eq!(cache.invalidate_fingerprint(10), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() < bytes_before);
+        assert_eq!(cache.evictions(), 2);
+        // The surviving placement still hits.
+        cache.get_or_build(LoopKey::new(1, 0, 20), || unreachable!("must hit"));
+    }
+
+    #[test]
     fn invalidate_and_clear() {
         let mut cache = ScheduleCache::new();
         cache.get_or_build(LoopKey::new(1, 0, 7), || dummy_schedule(0));
         cache.get_or_build(LoopKey::new(2, 0, 7), || dummy_schedule(0));
-        cache.invalidate_loop(1);
+        assert_eq!(cache.invalidate_loop(1), 1);
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.evictions(), 2);
     }
 }

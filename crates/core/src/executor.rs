@@ -45,11 +45,25 @@ impl Default for ExecutorConfig {
 
 impl ExecutorConfig {
     /// Configuration for sweep number `sweep` with overlap enabled.
+    ///
+    /// Sweep numbers wrap within the executor's tag window
+    /// ([`tags::SPAN`]): a long-running program's sweep counter must never
+    /// walk the executor tags into an adjacent component's reserved range.
+    /// Wrapping is safe because messages between a processor pair with the
+    /// same tag are delivered in send order, so two sweeps a full window
+    /// apart can never be confused.
     pub fn sweep(sweep: usize) -> Self {
         ExecutorConfig {
             overlap: true,
-            tag: sweep as Tag,
+            tag: (sweep as Tag) % tags::SPAN,
         }
+    }
+
+    /// The same configuration with overlap switched as given (the ablation
+    /// knob of the paper's executor shape).
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
     }
 }
 
@@ -78,13 +92,17 @@ impl<'a, T: Copy, P: Process, D: Distribution + ?Sized> Fetcher<'a, T, P, D> {
             self.proc.charge_local_access();
             self.local_data[self.dist.local_index(g)]
         } else {
-            self.proc.charge_nonlocal_access(self.ranges);
+            // Look up first, charge after: charging before the lookup would
+            // leave the cost counters (and the simulated clock) inflated by
+            // an access that never happened when the schedule does not cover
+            // `g` and the panic below unwinds.
             let pos = self.schedule.find(g).unwrap_or_else(|| {
                 panic!(
                     "global index {g} is neither local to rank {} nor in its receive schedule",
                     self.rank
                 )
             });
+            self.proc.charge_nonlocal_access(self.ranges);
             self.recv_buf[pos]
         }
     }
@@ -368,6 +386,119 @@ mod tests {
         let ncube = run(CostModel::ncube7());
         assert_eq!(ideal, 0.0);
         assert!(ncube > 0.0);
+    }
+
+    /// Single-rank mock backend that meters the charge hooks, for asserting
+    /// on the executor's cost accounting without a full machine.
+    #[derive(Default)]
+    struct MeteredSolo {
+        counters: crate::process::Counters,
+        nonlocal_charges: u64,
+        local_charges: u64,
+    }
+
+    impl Process for MeteredSolo {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn nprocs(&self) -> usize {
+            2 // pretend a peer exists so upper-half indices are nonlocal
+        }
+        fn send<U: Send + 'static>(&mut self, _dst: usize, _tag: u64, _value: U) {
+            panic!("metered solo backend has no peers");
+        }
+        fn send_vec<U: Send + 'static>(&mut self, _dst: usize, _tag: u64, _values: Vec<U>) {
+            panic!("metered solo backend has no peers");
+        }
+        fn recv<U: Send + 'static>(&mut self, _src: usize, _tag: u64) -> U {
+            panic!("metered solo backend has no peers");
+        }
+        fn barrier(&mut self) {}
+        fn exchange<U: Send + 'static>(&mut self, items: Vec<(usize, U)>) -> Vec<U> {
+            items.into_iter().map(|(_, v)| v).collect()
+        }
+        fn allgather<U: Clone + Send + 'static>(&mut self, items: Vec<U>) -> Vec<Vec<U>> {
+            vec![items]
+        }
+        fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+            value
+        }
+        fn charge_local_access(&mut self) {
+            self.local_charges += 1;
+        }
+        fn charge_nonlocal_access(&mut self, _ranges: usize) {
+            self.nonlocal_charges += 1;
+            self.counters.nonlocal_refs += 1;
+        }
+        fn counters(&self) -> crate::process::Counters {
+            self.counters
+        }
+    }
+
+    #[test]
+    fn schedule_mismatch_panic_leaves_cost_counters_untouched() {
+        // Regression: `Fetcher::fetch` used to charge the nonlocal access
+        // *before* checking the schedule covered the index, so the panic
+        // path left the counters (and on dmsim the simulated clock)
+        // inflated by an access that never happened.
+        let dist = DimDist::block(8, 2);
+        let empty = CommSchedule::from_recv_sets(0, &[], vec![], vec![]);
+        let local_data = [0.0f64; 4];
+        let mut proc = MeteredSolo::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut fetcher = Fetcher {
+                proc: &mut proc,
+                dist: &dist,
+                rank: 0,
+                ranges: empty.range_count(),
+                local_data: &local_data,
+                recv_buf: &[],
+                schedule: &empty,
+            };
+            // Global index 6 is owned by the (absent) rank 1 and not in the
+            // schedule: the lookup fails and fetch panics.
+            fetcher.fetch(6)
+        }));
+        assert!(result.is_err(), "unscheduled fetch must panic");
+        assert_eq!(
+            proc.nonlocal_charges, 0,
+            "no nonlocal access may be charged on the panic path"
+        );
+        assert_eq!(proc.counters(), crate::process::Counters::default());
+        // Sanity: the same fetcher charges exactly once on a successful path.
+        let mut fetcher = Fetcher {
+            proc: &mut proc,
+            dist: &dist,
+            rank: 0,
+            ranges: empty.range_count(),
+            local_data: &local_data,
+            recv_buf: &[],
+            schedule: &empty,
+        };
+        assert_eq!(fetcher.fetch(2), 0.0);
+        assert_eq!(proc.local_charges, 1);
+        assert_eq!(proc.nonlocal_charges, 0);
+    }
+
+    #[test]
+    fn sweep_tags_wrap_within_the_executor_window() {
+        // Regression: `sweep as Tag` unchecked would let a long run's sweep
+        // counter walk the executor tags into the adjacent reserved range
+        // (and trip `executor_tag`'s debug assertion).
+        let span = tags::SPAN as usize;
+        assert_eq!(ExecutorConfig::sweep(0).tag, 0);
+        assert_eq!(ExecutorConfig::sweep(span - 1).tag, tags::SPAN - 1);
+        assert_eq!(ExecutorConfig::sweep(span).tag, 0, "boundary must wrap");
+        assert_eq!(ExecutorConfig::sweep(span + 5).tag, 5);
+        // The wrapped tag is always valid input for executor_tag.
+        for sweep in [0, span - 1, span, 3 * span + 17] {
+            let t = tags::executor_tag(ExecutorConfig::sweep(sweep).tag);
+            assert!((tags::EXECUTOR_BASE..tags::EXECUTOR_BASE + tags::SPAN).contains(&t));
+        }
+        // Overlap builder keeps the tag.
+        let c = ExecutorConfig::sweep(7).with_overlap(false);
+        assert!(!c.overlap);
+        assert_eq!(c.tag, 7);
     }
 
     #[test]

@@ -258,6 +258,30 @@ mod tests {
     }
 
     #[test]
+    fn version_bumps_through_plan_indirect_reclaim_stale_generations() {
+        // The adaptive-mesh pattern: the adj data changes, the caller bumps
+        // the data version, and the cache must not only re-inspect but also
+        // reclaim the schedule of the dead generation.
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(32, proc.nprocs());
+            let loop_ = Forall::over(21, 32, dist.clone());
+            let mut cache = ScheduleCache::new();
+            for version in 0..4u64 {
+                for _sweep in 0..3 {
+                    loop_.plan_indirect(proc, &mut cache, &dist, version, |i, refs| {
+                        refs.push((i + version as usize) % 32)
+                    });
+                }
+            }
+            assert_eq!(cache.misses(), 4, "one inspector run per generation");
+            assert_eq!(cache.hits(), 8);
+            assert_eq!(cache.len(), 1, "stale generations must be evicted");
+            assert_eq!(cache.evictions(), 3);
+        });
+    }
+
+    #[test]
     fn full_shift_pipeline_through_forall_api() {
         let n = 48;
         let machine = Machine::new(4, CostModel::ideal());

@@ -16,7 +16,13 @@
 //!    lists (`out(p,q) = in(q,p)`).
 //!
 //! The output is a [`CommSchedule`] which the executor uses for every
-//! subsequent execution of the same `forall` (see [`crate::cache`]).
+//! subsequent execution of the same `forall` (see [`crate::cache`]) — valid
+//! for as long as the data feeding `refs_of` and the distributions stand
+//! still.  Adaptive workloads re-run the inspector once per mesh
+//! generation: the caller bumps the cache's data version when the adjacency
+//! changes, and the locality loop below bounds-checks every reference in
+//! debug builds to catch enumerators left pointing at a previous
+//! generation's arrays.
 
 use distrib::{Distribution, IndexSet};
 
@@ -68,6 +74,17 @@ where
         refs_of(i, &mut refs);
         let mut all_local = true;
         for &g in &refs {
+            // Catch stale reference enumerators early: under adaptive
+            // workloads the `adj` data feeding `refs_of` changes between
+            // data versions, and an out-of-range index here means the caller
+            // re-inspected with arrays from a different mesh generation.
+            debug_assert!(
+                g < data_dist.n(),
+                "iteration {i} references global index {g}, outside the \
+                 distributed array of {} elements (stale refs after a data \
+                 version change?)",
+                data_dist.n()
+            );
             // "The inspector only checks whether references to distributed
             // arrays are local" — one owner computation per reference.
             proc.charge_locality_check();

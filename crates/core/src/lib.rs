@@ -32,6 +32,9 @@
 //!   received elements found by binary search over the range records.
 //! * [`cache`] — schedule caching between repeated executions of the same
 //!   `forall`, the amortisation that makes the inspector affordable (§3.2).
+//!   The cache is bounded (LRU) and self-invalidating: version bumps evict
+//!   stale generations, redistribution reclaims retired placements by
+//!   fingerprint, and residency stays capped under adaptive-mesh churn.
 //! * [`forall`] — a small convenience layer tying the pieces together for
 //!   the common loop shapes (`forall i in 1..N on A[i].loc`).
 //! * [`mod@redistribute`] — an extension: move a live distributed array from one
@@ -65,5 +68,5 @@ pub use forall::{forall_local, Forall};
 pub use inspector::run_inspector;
 pub use ownermap::DistOwnerMap;
 pub use process::Process;
-pub use redistribute::{redistribute, redistribution_schedule};
+pub use redistribute::{redistribute, redistribute_epoch, redistribution_schedule};
 pub use schedule::{CommSchedule, RangeRecord};

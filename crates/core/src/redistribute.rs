@@ -83,6 +83,30 @@ where
     B: Distribution + ?Sized,
     T: Copy + Default + Send + 'static,
 {
+    redistribute_epoch(proc, from, to, local_data, 0)
+}
+
+/// Like [`redistribute`], tagging this redistribution's traffic with a
+/// distinct `epoch` offset.
+///
+/// Programs that redistribute repeatedly (an adaptive-mesh run rebalancing
+/// after every refinement) use the epoch counter so each round's messages
+/// are distinguishable in traces; like the executor's sweep tags, epochs
+/// wrap within the redistribution tag window ([`tags::SPAN`]) — in-order
+/// pairwise delivery makes reuse a full window later unambiguous.
+pub fn redistribute_epoch<P, A, B, T>(
+    proc: &mut P,
+    from: &A,
+    to: &B,
+    local_data: &[T],
+    epoch: u64,
+) -> Vec<T>
+where
+    P: Process,
+    A: Distribution + ?Sized,
+    B: Distribution + ?Sized,
+    T: Copy + Default + Send + 'static,
+{
     let rank = proc.rank();
     assert_eq!(
         local_data.len(),
@@ -90,7 +114,7 @@ where
         "local data does not match the source distribution"
     );
     let schedule = redistribution_schedule(rank, from, to);
-    let tag = tags::redistribute_tag(0);
+    let tag = tags::redistribute_tag(epoch % tags::SPAN);
 
     // Send phase.
     for (to_proc, records) in schedule.send_messages() {
@@ -186,6 +210,27 @@ mod tests {
             |p| DimDist::block(50, p),
             |p| DimDist::custom((0..50).map(|i| (i * 3 + 1) % p).collect(), p),
         );
+    }
+
+    #[test]
+    fn repeated_epoch_tagged_redistributions_round_trip() {
+        // An adaptive run ping-pongs data between placements, one epoch per
+        // round; epochs far beyond the tag window must wrap, not panic.
+        let n = 31;
+        let machine = Machine::new(4, CostModel::ideal());
+        machine.run(|proc| {
+            let block = DimDist::block(n, proc.nprocs());
+            let cyclic = DimDist::cyclic(n, proc.nprocs());
+            let rank = proc.rank();
+            let mut data: Vec<u64> = block.local_set(rank).iter().map(|g| g as u64).collect();
+            for round in 0..3u64 {
+                let epoch = round * 2 + tags::SPAN * 5; // force wrapping
+                data = redistribute_epoch(proc, &block, &cyclic, &data, epoch);
+                data = redistribute_epoch(proc, &cyclic, &block, &data, epoch + 1);
+            }
+            let expected: Vec<u64> = block.local_set(rank).iter().map(|g| g as u64).collect();
+            assert_eq!(data, expected, "rank {rank}");
+        });
     }
 
     #[test]

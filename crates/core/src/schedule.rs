@@ -102,6 +102,13 @@ impl CommSchedule {
                 continue;
             }
             for r in set.ranges() {
+                // Zero-length blocks carry no data but would still become
+                // records: a `(low, low)` entry sorting after a covering
+                // `(lo, hi)` range shadows it in `find`'s binary search, and
+                // empty records inflate `range_count` (the r of O(log r)).
+                if r.is_empty() {
+                    continue;
+                }
                 recv_records.push(RangeRecord {
                     from_proc: q,
                     to_proc: rank,
@@ -137,12 +144,28 @@ impl CommSchedule {
     }
 
     fn rebuild_lookup(&mut self) {
+        // Defence in depth: even if a caller hand-assembles records (tests,
+        // future analyses), empty ones must never reach the binary search —
+        // see the filter in [`CommSchedule::from_recv_sets`].
         self.lookup = self
             .recv_records
             .iter()
+            .filter(|r| !r.is_empty())
             .map(|r| (r.low, r.high, r.buffer))
             .collect();
         self.lookup.sort_unstable();
+    }
+
+    /// Approximate heap footprint of the schedule in bytes — the quantity
+    /// the schedule cache sums into its resident-bytes gauge.  Counts the
+    /// record vectors, the iteration lists and the lookup table; exact
+    /// allocator overhead is not modelled.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.recv_records.len() + self.send_records.len())
+                * std::mem::size_of::<RangeRecord>()
+            + (self.local_iters.len() + self.nonlocal_iters.len()) * std::mem::size_of::<usize>()
+            + self.lookup.len() * std::mem::size_of::<(usize, usize, usize)>()
     }
 
     /// Number of distinct processors this processor receives from.
@@ -394,6 +417,49 @@ mod tests {
         assert_eq!(s.find(0), None);
         assert!(s.recv_messages().is_empty());
         assert_eq!(s.local_iters, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_ranges_never_become_records() {
+        // Regression: `from_recv_sets` used to emit a RangeRecord for every
+        // range of the IndexSet, including zero-length ones.  An empty
+        // `(g, g)` record sorting after a covering `(lo, hi)` range makes
+        // `find`'s "last range with low <= g" probe land on the empty record
+        // and miss the covering one.
+        let recv_sets = vec![
+            IndexSet::new(),
+            IndexSet::from_range(5, 9), // covering range from proc 1
+        ];
+        let mut s = CommSchedule::from_recv_sets(0, &recv_sets, vec![], vec![]);
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.recv_len, 4);
+        // Inject an empty record the way a buggy or hand-rolled analysis
+        // might, and rebuild the lookup: the search must stay unambiguous.
+        s.recv_records.push(RangeRecord {
+            from_proc: 1,
+            to_proc: 0,
+            low: 7,
+            high: 7,
+            buffer: 99,
+        });
+        s.rebuild_lookup();
+        for g in 5..9 {
+            assert_eq!(
+                s.find(g),
+                Some(g - 5),
+                "index {g} must resolve through the covering range"
+            );
+        }
+        assert_eq!(s.find(9), None);
+        assert_eq!(s.find(4), None);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let empty = CommSchedule::from_recv_sets(0, &[], vec![], vec![]);
+        let full = sample_schedule();
+        assert!(empty.approx_bytes() >= std::mem::size_of::<CommSchedule>());
+        assert!(full.approx_bytes() > empty.approx_bytes());
     }
 
     #[test]

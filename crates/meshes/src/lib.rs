@@ -14,13 +14,19 @@
 //!   about six and optional node renumbering, exercising the data-dependent
 //!   communication patterns that force run-time (inspector) analysis;
 //! * [`csr::AdjacencyMesh`] — the common adjacency + coefficient container
-//!   both generators produce, in exactly the shape the paper's program uses.
+//!   both generators produce, in exactly the shape the paper's program uses;
+//! * [`adapt`] — deterministic, seeded refine/coarsen perturbations of the
+//!   connectivity (node count invariant), the adaptive-mesh workload that
+//!   stresses the schedule cache's amortisation claim: every adaptation
+//!   changes `adj`, forcing a data-version bump and a re-inspection.
 
+pub mod adapt;
 pub mod csr;
 pub mod grid;
 pub mod partition;
 pub mod unstructured;
 
+pub use adapt::{adapt_step, coarsen, evolve, refine, AdaptConfig};
 pub use csr::AdjacencyMesh;
 pub use grid::RegularGrid;
 pub use partition::{block_partition, cut_edges, greedy_partition, strip_partition_rows};

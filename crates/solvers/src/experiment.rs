@@ -187,6 +187,8 @@ pub fn run_jacobi_experiment_placed(
             halo_elements: outcomes.iter().map(|o| o.recv_elements).sum(),
             cache_hits: outcomes.iter().map(|o| o.cache_hits).sum(),
             cache_misses: outcomes.iter().map(|o| o.cache_misses).sum(),
+            cache_evictions: outcomes.iter().map(|o| o.cache_evictions).sum(),
+            cache_resident_bytes: outcomes.iter().map(|o| o.cache_resident_bytes).sum(),
         },
     }
 }

@@ -97,6 +97,12 @@ pub struct JacobiOutcome {
     pub cache_hits: u64,
     /// Schedule-cache misses (inspector executions) over the whole run.
     pub cache_misses: u64,
+    /// Schedule-cache evictions over the whole run (capacity pressure,
+    /// generation self-invalidation, explicit invalidation).
+    pub cache_evictions: u64,
+    /// Approximate bytes of schedules resident in the cache at the end of
+    /// the run.
+    pub cache_resident_bytes: usize,
     /// Residual-style norm of the final local values (sum of squares), used
     /// by tests to compare against the sequential reference.
     pub local_norm: f64,
@@ -188,10 +194,7 @@ pub fn jacobi_sweeps<P: Process>(
         debug_assert_eq!(exec_iters.len(), local_rows);
         execute_sweep(
             proc,
-            ExecutorConfig {
-                overlap: config.overlap,
-                tag: sweep as u64,
-            },
+            ExecutorConfig::sweep(sweep).with_overlap(config.overlap),
             &schedule,
             dist,
             &old_a,
@@ -247,6 +250,8 @@ pub fn jacobi_sweeps<P: Process>(
         recv_partners,
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+        cache_evictions: cache.evictions(),
+        cache_resident_bytes: cache.resident_bytes(),
         local_norm,
     }
 }

@@ -18,12 +18,23 @@
 //!   problems: the greedy mesh partitioner's owner map, assembled
 //!   collectively into a `distrib::IrregularDist` and handed to the solvers
 //!   like any other distribution.
+//! * [`adaptive`] — the adaptive-mesh variant of the Jacobi program: the
+//!   mesh is refined/coarsened every *k* sweeps (deterministically), the
+//!   data version bumps so the bounded schedule cache re-inspects exactly
+//!   when the adjacency changed, and rebalancing runs repartition the new
+//!   connectivity and redistribute the live field — the workload that
+//!   stresses the paper's §3.2 amortisation claim under churn.
 
+pub mod adaptive;
 pub mod experiment;
 pub mod jacobi;
 pub mod partitioned;
 pub mod report;
 
+pub use adaptive::{
+    adaptive_jacobi_sequential, adaptive_jacobi_sweeps, final_placement, gather_global,
+    AdaptiveConfig, AdaptiveOutcome,
+};
 pub use experiment::{
     run_jacobi_experiment, run_jacobi_experiment_on_mesh, run_jacobi_experiment_placed,
     sequential_executor_time, ExperimentParams, Placement,

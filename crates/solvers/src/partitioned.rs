@@ -148,6 +148,8 @@ mod tests {
         for o in outcomes {
             assert_eq!(o.cache_misses, 1, "one inspector run");
             assert_eq!(o.cache_hits, 9, "nine cached sweeps");
+            assert_eq!(o.cache_evictions, 0, "static run evicts nothing");
+            assert!(o.cache_resident_bytes > 0, "one schedule stays resident");
         }
     }
 }

@@ -25,27 +25,43 @@ pub struct CommReport {
     pub cache_hits: u64,
     /// Schedule-cache misses (inspector executions), summed over processors.
     pub cache_misses: u64,
+    /// Schedule-cache evictions (capacity pressure + generation
+    /// self-invalidation + explicit invalidation), summed over processors.
+    pub cache_evictions: u64,
+    /// Approximate bytes of cached schedules resident at the end of the
+    /// run, summed over processors — the number the bounded cache keeps
+    /// from growing with the length of an adaptive run.
+    pub cache_resident_bytes: usize,
 }
 
 impl CommReport {
     /// Format the stats as one table line (no machine column).
     pub fn to_table_line(&self) -> String {
         format!(
-            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}",
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}",
             self.messages,
             self.bytes,
             self.nonlocal_refs,
             self.halo_elements,
             self.cache_hits,
-            self.cache_misses
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_resident_bytes
         )
     }
 
     /// Header matching [`CommReport::to_table_line`].
     pub fn table_header() -> String {
         format!(
-            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}",
-            "messages", "bytes", "nonlocal refs", "halo elts", "cache hit", "miss"
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}",
+            "messages",
+            "bytes",
+            "nonlocal refs",
+            "halo elts",
+            "cache hit",
+            "miss",
+            "evict",
+            "res bytes"
         )
     }
 }
@@ -189,6 +205,8 @@ mod tests {
                 halo_elements: 256,
                 cache_hits: 99,
                 cache_misses: 1,
+                cache_evictions: 0,
+                cache_resident_bytes: 640,
             },
         };
         let line = row.to_table_line();
@@ -210,12 +228,16 @@ mod tests {
             halo_elements: 13,
             cache_hits: 9,
             cache_misses: 1,
+            cache_evictions: 5,
+            cache_resident_bytes: 888,
         };
         let line = comm.to_table_line();
-        for needle in ["42", "4242", "77", "13", "9", "1"] {
+        for needle in ["42", "4242", "77", "13", "9", "1", "5", "888"] {
             assert!(line.contains(needle), "{needle} missing from {line}");
         }
         assert!(CommReport::table_header().contains("nonlocal refs"));
+        assert!(CommReport::table_header().contains("evict"));
+        assert!(CommReport::table_header().contains("res bytes"));
         let row = ExperimentRow {
             machine: "NCUBE/7".to_string(),
             nprocs: 8,

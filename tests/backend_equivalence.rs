@@ -16,18 +16,14 @@ use kali_repro::kali::{execute_sweep, redistribute, run_inspector, ExecutorConfi
 use kali_repro::meshes::{greedy_partition, AdjacencyMesh, RegularGrid, UnstructuredMeshBuilder};
 use kali_repro::native::NativeMachine;
 use kali_repro::process::Process;
-use kali_repro::solvers::{jacobi_sweeps, partitioned_dist, JacobiConfig};
+use kali_repro::solvers::{
+    adaptive_jacobi_sequential, adaptive_jacobi_sweeps, final_placement, jacobi_sweeps,
+    partitioned_dist, AdaptiveConfig, JacobiConfig,
+};
 
-/// Gather a distributed solution back into global numbering.
-fn gather(dist: &DimDist, locals: &[Vec<f64>]) -> Vec<f64> {
-    let mut global = vec![0.0f64; dist.n()];
-    for (rank, local) in locals.iter().enumerate() {
-        for (l, v) in local.iter().enumerate() {
-            global[dist.global_index(rank, l)] = *v;
-        }
-    }
-    global
-}
+/// Gather a distributed solution back into global numbering (the shared
+/// helper next to the adaptive solver).
+use kali_repro::solvers::gather_global as gather;
 
 /// The Figure 4 Jacobi program, expressed once over any backend.
 fn jacobi_on<P: Process>(
@@ -161,6 +157,88 @@ fn jacobi_is_bit_identical_across_backends_under_partitioned_irregular_dist() {
     assert_eq!(
         native, sequential,
         "partitioned-irregular Jacobi vs sequential reference"
+    );
+}
+
+#[test]
+fn schedule_cache_lifecycle_is_identical_across_backends_under_adaptation() {
+    // The full adapt–redistribute–sweep sequence: every adaptation bumps
+    // the data version (forcing re-inspection), every rebalance changes
+    // the distribution fingerprint and must reclaim the retired
+    // placement's schedules.  The cache's hit/miss/eviction bookkeeping is
+    // part of the runtime contract, so it must agree between backends, and
+    // the numerical results must stay bit-identical.
+    let mesh = UnstructuredMeshBuilder::new(12, 12)
+        .seed(63)
+        .scramble_numbering(true)
+        .build();
+    let initial: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 13) % 29) as f64 * 0.2)
+        .collect();
+    let config = AdaptiveConfig {
+        sweeps: 12,
+        adapt_every: Some(4), // adapt before sweeps 4 and 8
+        rebalance: true,      // …and redistribute to the rebalanced placement
+        ..AdaptiveConfig::default()
+    };
+    let nprocs = 4;
+
+    let simulated = Machine::new(nprocs, CostModel::ideal()).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        adaptive_jacobi_sweeps(proc, &mesh, &dist, &initial, &config)
+    });
+    let native = NativeMachine::new(nprocs).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        adaptive_jacobi_sweeps(proc, &mesh, &dist, &initial, &config)
+    });
+
+    for (rank, (s, n)) in simulated.iter().zip(&native).enumerate() {
+        // Cache lifecycle, identical on both backends and matching the
+        // adaptation schedule exactly:
+        for o in [s, n] {
+            assert_eq!(o.adaptations, 2, "rank {rank}");
+            assert_eq!(
+                o.cache_misses, 3,
+                "rank {rank}: one inspector run per mesh generation"
+            );
+            assert_eq!(o.cache_hits, 9, "rank {rank}: all other sweeps hit");
+            assert_eq!(
+                o.cache_evictions, 2,
+                "rank {rank}: each redistribution reclaims the stale placement"
+            );
+            assert_eq!(
+                o.cache_resident_entries, 1,
+                "rank {rank}: only the live schedule stays resident"
+            );
+            assert!(o.cache_resident_bytes > 0, "rank {rank}");
+        }
+        assert_eq!(
+            (s.cache_hits, s.cache_misses, s.cache_evictions),
+            (n.cache_hits, n.cache_misses, n.cache_evictions),
+            "rank {rank}: counters diverge between backends"
+        );
+    }
+
+    // Numerical agreement: dmsim vs native vs the sequential replay.
+    let init_dist = DimDist::custom(greedy_partition(&mesh, nprocs), nprocs);
+    let final_dist = final_placement(&mesh, &init_dist, &config);
+    let simulated = gather(
+        &final_dist,
+        &simulated.into_iter().map(|o| o.local_a).collect::<Vec<_>>(),
+    );
+    let native = gather(
+        &final_dist,
+        &native.into_iter().map(|o| o.local_a).collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        simulated.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "dmsim and native diverge across the adapt-redistribute-sweep sequence"
+    );
+    let expected = adaptive_jacobi_sequential(&mesh, &initial, &config);
+    assert_eq!(
+        native, expected,
+        "adaptive run vs its deterministic sequential replay"
     );
 }
 
