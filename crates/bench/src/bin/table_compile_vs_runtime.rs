@@ -3,7 +3,7 @@
 //! loop (affine subscripts) with the compile-time analyser vs the inspector.
 use distrib::DimDist;
 use dmsim::{CostModel, Machine};
-use kali_core::{AffineMap, Forall, ScheduleCache};
+use kali_core::{AffineMap, ParallelLoop, ScheduleCache};
 
 fn main() {
     let n = if bench_tables::quick_mode() {
@@ -22,17 +22,17 @@ fn main() {
             // Compile-time path.
             let (ct, _) = machine.run_stats(|proc| {
                 let dist = DimDist::block(n, proc.nprocs());
-                let loop_ = Forall::over(1, n - 1, dist.clone());
+                let loop_ = ParallelLoop::over_1d(1, n - 1, dist.clone());
                 let mut cache = ScheduleCache::new();
                 let before = proc.clock();
-                let s = loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+                let s = loop_.plan(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
                 assert!(s.recv_len <= 1);
                 proc.clock() - before
             });
             // Run-time (inspector) path for the same references.
             let (rt, _) = machine.run_stats(|proc| {
                 let dist = DimDist::block(n, proc.nprocs());
-                let loop_ = Forall::over(2, n - 1, dist.clone());
+                let loop_ = ParallelLoop::over_1d(2, n - 1, dist.clone());
                 let mut cache = ScheduleCache::new();
                 let before = proc.clock();
                 let s = loop_.plan_indirect(proc, &mut cache, &dist, 0, |i, refs| {

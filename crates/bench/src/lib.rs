@@ -21,6 +21,7 @@
 //! | `table_kali_vs_handcoded`| §1 claim | Kali vs hand-written message passing |
 //! | `table_partition_locality` | extension | block vs partitioned placement on scrambled meshes |
 //! | `table_adaptation`       | extension | §3.2 amortisation under adaptive-mesh churn (sweep over the adaptation interval k) |
+//! | `table_multidim`         | extension | 2-D `[block, *]` stencils: compile-time planning vs inspector fallback, and the row↔column phase-change redistribution |
 //! | `table_all`              | everything above in one run |
 
 use solvers::ExperimentRow;
@@ -535,6 +536,210 @@ pub fn run_adaptation(smoke: bool) -> bool {
             "\nOK: inspector cost per sweep falls monotonically with the adaptation interval, \
              residency stays within the bound, and dmsim, native and sequential replay agree \
              bit for bit"
+        );
+    }
+    ok
+}
+
+/// Run the multi-dimensional `ParallelLoop` experiment (`table_multidim`)
+/// and print its tables:
+///
+/// 1. **Planning paths.**  The `[block, *]` affine shift stencil must plan
+///    through the multi-dimensional compile-time analysis — zero messages,
+///    zero inspector runs, nonempty halo — while an indirect (data-dependent)
+///    reference pattern over the same decomposition falls back to the cached
+///    inspector (one collective inspector run, then cache hits).
+/// 2. **The phase-change demo.**  The alternating-direction smoother under
+///    both strategies, on dmsim and the native backend, with per-phase
+///    [`solvers::CommReport`]s surfaced through [`ExperimentRow`] so the
+///    row↔column redistribution cost is visible next to the halo traffic it
+///    replaces.  All runs must agree bit for bit with the sequential replay.
+///
+/// Returns `true` when every claim holds; the binary exits nonzero
+/// otherwise (CI runs it with `--smoke`).
+pub fn run_multidim(smoke: bool) -> bool {
+    use distrib::{ArrayDist, FlatDist};
+    use dmsim::{CostModel, Machine};
+    use kali_core::{MultiAffineMap, ParallelLoop, Rect, ScheduleCache};
+    use kali_native::NativeMachine;
+    use solvers::{
+        gather_multidim, multidim_field, multidim_sequential, multidim_sweeps, phase_comm_reports,
+        row_placement, CommReport, ExperimentRow, MultiDimConfig, PhaseBreakdown, PhaseStrategy,
+    };
+
+    let (side, nprocs, rounds, sweeps_per_phase) =
+        if smoke { (12, 4, 2, 3) } else { (64, 8, 3, 8) };
+    let mut ok = true;
+
+    println!(
+        "\n=== Multi-dimensional foralls: a {side}x{side} field dist by [block, *] \
+         (NCUBE/7, {nprocs} processors) ==="
+    );
+
+    // ---- Claim 1a: the [block, *] shift stencil plans compile-time --------
+    let machine = Machine::new(nprocs, CostModel::ncube7());
+    let (results, stats) = machine.run_stats(|proc| {
+        let flat = FlatDist::new(ArrayDist::block_rows(side, side, proc.nprocs()));
+        let space = Rect::full(&[side, side]).restrict(0, 1, side - 1);
+        let loop_ = ParallelLoop::over(0x4D44_0001, space, flat.clone());
+        let mut cache = ScheduleCache::new();
+        let refs = [
+            MultiAffineMap::shifts(&[-1, 0]),
+            MultiAffineMap::shifts(&[1, 0]),
+        ];
+        let s = loop_.plan(proc, &mut cache, &flat, &refs, 0);
+        (cache.misses(), s.recv_len)
+    });
+    let plan_msgs = stats.totals.msgs_sent;
+    let inspector_runs: u64 = results.iter().map(|r| r.0).sum();
+    let halo: usize = results.iter().map(|r| r.1).sum();
+    println!(
+        "\naffine [block, *] shift stencil: planning messages {plan_msgs}, inspector runs \
+         {inspector_runs}, halo elements {halo}"
+    );
+    if plan_msgs != 0 || inspector_runs != 0 {
+        println!("FAIL: the separable shift stencil must take the zero-message compile-time path");
+        ok = false;
+    }
+    if halo != 2 * (nprocs - 1) * side {
+        println!("FAIL: expected one boundary row per neighbour pair, got {halo} halo elements");
+        ok = false;
+    }
+
+    // ---- Claim 1b: indirect references fall back to the cached inspector --
+    let machine = Machine::new(nprocs, CostModel::ncube7());
+    let (results, stats) = machine.run_stats(|proc| {
+        let flat = FlatDist::new(ArrayDist::block_rows(side, side, proc.nprocs()));
+        let loop_ = ParallelLoop::over(0x4D44_0002, Rect::full(&[side, side]), flat.clone());
+        let mut cache = ScheduleCache::new();
+        let n = side * side;
+        let refs = |g: usize, out: &mut Vec<usize>| out.push((g * 13 + 7) % n);
+        loop_.plan_indirect(proc, &mut cache, &flat, 0, refs);
+        loop_.plan_indirect(proc, &mut cache, &flat, 0, refs);
+        (cache.misses(), cache.hits())
+    });
+    let fallback_msgs = stats.totals.msgs_sent;
+    println!(
+        "indirect gather over the same decomposition: planning messages {fallback_msgs}, \
+         inspector runs {} (then {} cache hits)",
+        results.iter().map(|r| r.0).sum::<u64>(),
+        results.iter().map(|r| r.1).sum::<u64>()
+    );
+    if results.iter().any(|&(m, h)| m != 1 || h != 1) {
+        println!("FAIL: the indirect case must run the inspector once and then hit the cache");
+        ok = false;
+    }
+    if nprocs > 1 && fallback_msgs == 0 {
+        println!("FAIL: the inspector's global exchange must send messages");
+        ok = false;
+    }
+
+    // ---- Claim 2: the phase-change demo ------------------------------------
+    let mut config = MultiDimConfig::new(side, side);
+    config.rounds = rounds;
+    config.sweeps_per_phase = sweeps_per_phase;
+    let initial = multidim_field(side, side);
+    let expected = multidim_sequential(&config, &initial);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    println!(
+        "\nphase-change demo: {rounds} rounds x {sweeps_per_phase} sweeps per phase \
+         (vertical then horizontal)"
+    );
+    println!("\n{}", ExperimentRow::comm_header());
+    let mut rows = Vec::new();
+    for strategy in [PhaseStrategy::RowsThroughout, PhaseStrategy::PhaseChange] {
+        config.strategy = strategy;
+        let machine = Machine::new(nprocs, CostModel::ncube7());
+        let (outcomes, stats) = machine.run_stats(|proc| multidim_sweeps(proc, &config, &initial));
+        let native_outcomes =
+            NativeMachine::new(nprocs).run(|proc| multidim_sweeps(proc, &config, &initial));
+
+        let final_dist = row_placement(&config, nprocs);
+        let locals: Vec<Vec<f64>> = outcomes.iter().map(|o| o.local_a.clone()).collect();
+        let native_locals: Vec<Vec<f64>> =
+            native_outcomes.iter().map(|o| o.local_a.clone()).collect();
+        let simulated = gather_multidim(&final_dist, &locals);
+        let native = gather_multidim(&final_dist, &native_locals);
+        if bits(&simulated) != bits(&native) {
+            println!("FAIL: {}: dmsim and native fields diverge", strategy.name());
+            ok = false;
+        }
+        if bits(&simulated) != bits(&expected) {
+            println!(
+                "FAIL: {}: distributed field diverges from the sequential replay",
+                strategy.name()
+            );
+            ok = false;
+        }
+        if outcomes.iter().any(|o| o.cache_misses != 0) {
+            println!(
+                "FAIL: {}: a stencil fell back to the inspector",
+                strategy.name()
+            );
+            ok = false;
+        }
+
+        let row = ExperimentRow {
+            machine: format!("{} ", strategy.name()),
+            nprocs,
+            mesh_side: side,
+            mesh_nodes: side * side,
+            sweeps: config.total_sweeps(),
+            times: PhaseBreakdown {
+                total: outcomes.iter().map(|o| o.total_time).fold(0.0, f64::max),
+                executor: outcomes.iter().map(|o| o.total_time).fold(0.0, f64::max),
+                inspector: 0.0,
+            },
+            speedup: None,
+            comm: CommReport {
+                messages: stats.totals.msgs_sent,
+                bytes: stats.totals.bytes_sent,
+                nonlocal_refs: stats.totals.nonlocal_refs,
+                halo_elements: outcomes
+                    .iter()
+                    .flat_map(|o| &o.phases)
+                    .map(|p| p.halo_elements)
+                    .sum(),
+                ..CommReport::default()
+            },
+            phase_comms: phase_comm_reports(&outcomes),
+        };
+        println!("{}", row.to_comm_line());
+        rows.push(row);
+    }
+
+    println!("\nper-phase breakdown (counters summed across ranks):");
+    for row in &rows {
+        println!("\n  strategy: {}", row.machine.trim());
+        println!("  {}", ExperimentRow::phase_header());
+        for line in row.to_phase_lines() {
+            println!("  {line}");
+        }
+    }
+
+    // The phase-change strategy must make both stencil phases message free,
+    // with all traffic in the redistributions.
+    let phase_change = &rows[1];
+    for (label, comm) in &phase_change.phase_comms {
+        if label != "redistribute" && comm.messages != 0 {
+            println!(
+                "FAIL: phase-change {label} phase sent {} messages",
+                comm.messages
+            );
+            ok = false;
+        }
+        if label == "redistribute" && comm.messages == 0 && nprocs > 1 {
+            println!("FAIL: the redistributions never moved the field");
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!(
+            "\nOK: [block, *] affine stencils plan with zero inspector messages, indirect \
+             references fall back to the cached inspector, and both strategies match the \
+             sequential replay bit for bit on both backends"
         );
     }
     ok

@@ -17,8 +17,16 @@
 //! property test in the integration suite checks that they agree whenever
 //! the compile-time path applies.
 
+//!
+//! The compile-time path exists at two dimensionalities: [`compile_time`]
+//! for 1-D ranges and [`multi`] for rectangular N-D iteration spaces over
+//! `dist by [block, *]`-style decompositions, where every set factorises
+//! into per-dimension interval sets.
+
 pub mod affine;
 pub mod compile_time;
+pub mod multi;
 
 pub use affine::AffineMap;
 pub use compile_time::{analyze, LoopSpec};
+pub use multi::{analyze_multi, MultiAffineMap};

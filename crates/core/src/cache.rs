@@ -60,8 +60,12 @@ pub struct LoopKey {
     pub loop_id: u64,
     /// Version of the run-time data controlling the subscripts.
     pub data_version: u64,
-    /// Fingerprint of the distributions the schedule depends on (see
-    /// [`distrib::Distribution::fingerprint`]).
+    /// Fingerprint of everything else the schedule is a function of: the
+    /// distributions it was built under (see
+    /// [`distrib::Distribution::fingerprint`]) and, when the key is built by
+    /// `ParallelLoop::cache_key`, the iteration space's own fingerprint —
+    /// re-describing a loop id over a different window must never reuse the
+    /// old window's schedule.
     pub dist_fingerprint: u64,
 }
 

@@ -1,4 +1,4 @@
-//! High-level `forall` helpers.
+//! The `forall` front-end: one typed plan→execute pipeline.
 //!
 //! The paper's programmer writes
 //!
@@ -6,11 +6,31 @@
 //! forall i in 1..N on A[i].loc do … end;
 //! ```
 //!
-//! and the compiler expands it into the inspector/executor structure.  This
-//! module is that expansion as a library: [`Forall`] describes the loop
-//! (range + on-clause), obtains a schedule — from the compile-time analyser
-//! when the references are affine, otherwise from the cached inspector —
-//! and runs the executor.
+//! (or, with multi-dimensional arrays, `forall i in 1..N, j in 1..M on
+//! A[i,j].loc`) and the compiler expands it into the inspector/executor
+//! structure.  [`ParallelLoop`] is that expansion as a library: it describes
+//! the loop (an [`IterSpace`] plus the on-clause distribution), obtains a
+//! schedule with one unified [`ParallelLoop::plan`] — the compile-time
+//! analyser when the references are affine and closed forms exist, the
+//! (cached) inspector otherwise — and executes sweeps with
+//! [`ParallelLoop::execute`], which owns the sweep-tag and fetcher set-up.
+//!
+//! The pipeline is generic over the space: [`Span`] gives the 1-D loops of
+//! the original `Forall` API, [`Rect`](crate::space::Rect) gives rectangular
+//! 2-D/3-D spaces over [`distrib::ArrayDist`] decompositions
+//! (`dist by [block, *]` and friends), linearised row-major so the whole
+//! schedule machinery is shared.
+//!
+//! ## Out-of-bounds reference policy
+//!
+//! An affine reference that leaves the referenced array (`A[i+1]` at
+//! `i = N-1` when the loop was not restricted to `1..N-1`) is a programming
+//! error: **debug builds panic during [`ParallelLoop::plan`]**, on both the
+//! compile-time and the inspector path; release builds treat the reference
+//! as absent (it is never fetched).  The inspector additionally
+//! debug-asserts every enumerated reference against the array bounds, so
+//! data-dependent subscripts get the same treatment through
+//! [`ParallelLoop::plan_indirect`].
 //!
 //! Fully local loops (every reference owned by the executing processor, like
 //! the `old_a[i] := a[i]` copy loop in Figure 4) skip scheduling entirely via
@@ -20,106 +40,126 @@ use std::sync::Arc;
 
 use distrib::{combine_fingerprints, DimDist, Distribution};
 
-use crate::analysis::{self, AffineMap, LoopSpec};
 use crate::cache::{LoopKey, ScheduleCache};
 use crate::executor::{execute_sweep, ExecutorConfig, Fetcher};
 use crate::inspector::{owner_computes_iters, run_inspector};
 use crate::process::Process;
 use crate::schedule::CommSchedule;
+use crate::space::{IterSpace, Span};
 
-/// A `forall i in range on OWNER[i].loc` loop description.
+/// A `forall … on OWNER[…].loc` loop description: a typed builder over an
+/// iteration space, replacing the old `Forall` struct and its
+/// `plan_affine`/`plan_indirect` free-function split.
 #[derive(Debug, Clone)]
-pub struct Forall {
+pub struct ParallelLoop<S: IterSpace> {
     /// Static identity of the loop (used as the schedule-cache key).
     pub loop_id: u64,
-    /// Half-open iteration range.
-    pub range: (usize, usize),
+    /// The iteration space the loop ranges over.
+    pub space: S,
     /// Distribution named in the `on` clause (owner-computes placement).
-    pub on_dist: DimDist,
+    pub on_dist: S::Dist,
 }
 
-impl Forall {
-    /// Describe a loop `forall i in 0..n on A[i].loc` where `A` is
-    /// distributed by `on_dist`.
-    pub fn over(loop_id: u64, n: usize, on_dist: DimDist) -> Self {
-        Forall {
+impl<S: IterSpace> ParallelLoop<S> {
+    /// Describe a loop over `space` with an owner-computes on-clause.
+    pub fn over(loop_id: u64, space: S, on_dist: S::Dist) -> Self {
+        ParallelLoop {
             loop_id,
-            range: (0, n),
+            space,
             on_dist,
         }
     }
 
-    /// Restrict the iteration range (`forall i in lo..hi`).
-    pub fn range(mut self, lo: usize, hi: usize) -> Self {
-        self.range = (lo, hi);
-        self
-    }
-
-    /// The iterations this processor executes, in ascending order.
+    /// The linearised iterations this processor executes, in ascending
+    /// order — computed range-aware (a narrow space never enumerates the
+    /// full owned set).
     pub fn exec_iters(&self, rank: usize) -> Vec<usize> {
-        owner_computes_iters(&self.on_dist, rank, self.range.1)
-            .into_iter()
-            .filter(|&i| i >= self.range.0)
-            .collect()
+        self.space.exec_iters(&self.on_dist, rank)
     }
 
-    /// Obtain a communication schedule for references `DATA[g_k(i)]` with
-    /// affine subscripts, using the compile-time analysis when possible and
-    /// the (cached) inspector otherwise.
-    pub fn plan_affine<P: Process>(
+    /// The schedule-cache key for this loop referencing `data_dist`-placed
+    /// data: loop id, data version, and a combined fingerprint of *both*
+    /// distributions the schedule depends on *and* the iteration space.
+    /// Redistributing either array — or re-describing the same `loop_id`
+    /// over a different range or box — changes the fingerprint, so a stale
+    /// schedule is never reused (it would route the wrong elements or run
+    /// the wrong iterations).
+    pub fn cache_key<D: Distribution + ?Sized>(&self, data_dist: &D, data_version: u64) -> LoopKey {
+        LoopKey::new(
+            self.loop_id,
+            data_version,
+            combine_fingerprints(
+                self.space.fingerprint(),
+                combine_fingerprints(self.on_dist.fingerprint(), data_dist.fingerprint()),
+            ),
+        )
+    }
+
+    /// Obtain a communication schedule for affine references into a
+    /// `data_dist`-placed array: the compile-time analysis when a closed
+    /// form exists (no run-time set computation, **zero planning
+    /// messages**), the cached inspector otherwise.
+    ///
+    /// Out-of-bounds references are rejected with a panic in debug builds —
+    /// on *both* paths — and treated as absent in release builds (see the
+    /// module docs).
+    pub fn plan<P: Process>(
         &self,
         proc: &mut P,
         cache: &mut ScheduleCache,
-        data_dist: &DimDist,
-        ref_maps: &[AffineMap],
+        data_dist: &S::Dist,
+        refs: &[S::Map],
         data_version: u64,
     ) -> Arc<CommSchedule> {
-        let spec = LoopSpec {
-            range: self.range,
-            on_dist: self.on_dist.clone(),
-            on_map: AffineMap::identity(),
-            data_dist: data_dist.clone(),
-            ref_maps: ref_maps.to_vec(),
-        };
-        if let Some(schedule) = analysis::compile_time::analyze(&spec, proc.rank()) {
+        #[cfg(debug_assertions)]
+        self.assert_refs_in_bounds(proc.rank(), data_dist, refs);
+        if let Some(schedule) = self
+            .space
+            .analyze(&self.on_dist, data_dist, refs, proc.rank())
+        {
             // Closed form: no run-time set computation, no communication.
             return Arc::new(schedule);
         }
-        let exec = self.exec_iters(proc.rank());
-        let maps = ref_maps.to_vec();
-        let range_hi = data_dist.n();
         let key = self.cache_key(data_dist, data_version);
+        let space = &self.space;
         cache.get_or_build(key, || {
-            run_inspector(proc, data_dist, &exec, |i, refs| {
-                for g in &maps {
-                    if let Some(v) = g.apply(i) {
-                        if v < range_hi {
-                            refs.push(v);
-                        }
+            // Enumerated lazily: a cache hit never materialises the exec set.
+            let exec = space.exec_iters(&self.on_dist, proc.rank());
+            run_inspector(proc, data_dist, &exec, |i, out| {
+                for m in refs {
+                    if let Some(v) = space.apply_map(m, i, data_dist) {
+                        out.push(v);
                     }
                 }
             })
         })
     }
 
-    /// The schedule-cache key for this loop referencing `data_dist`-placed
-    /// data: loop id, data version, and the fingerprints of *both*
-    /// distributions the schedule depends on.  Redistributing either array
-    /// changes the fingerprint, so stale schedules are never reused (they
-    /// would route elements according to the old placement).
-    pub fn cache_key<D: Distribution + ?Sized>(&self, data_dist: &D, data_version: u64) -> LoopKey {
-        LoopKey::new(
-            self.loop_id,
-            data_version,
-            combine_fingerprints(self.on_dist.fingerprint(), data_dist.fingerprint()),
-        )
+    /// The debug-build half of the out-of-bounds policy: every affine
+    /// reference of every executed iteration must land inside the data
+    /// array, whichever planning path ends up being taken.
+    #[cfg(debug_assertions)]
+    fn assert_refs_in_bounds(&self, rank: usize, data_dist: &S::Dist, refs: &[S::Map]) {
+        for &i in &self.exec_iters(rank) {
+            for m in refs {
+                assert!(
+                    self.space.apply_map(m, i, data_dist).is_some(),
+                    "loop {:#x}: an affine reference of iteration {i} leaves the bounds \
+                     of the referenced array ({} elements); out-of-bounds references are \
+                     a programming error — restrict the iteration space",
+                    self.loop_id,
+                    data_dist.n()
+                );
+            }
+        }
     }
 
     /// Obtain a communication schedule for data-dependent references by
-    /// running the inspector (once per `(loop_id, data_version)`).
+    /// running the inspector (once per `(loop_id, data_version,
+    /// distributions)` — see [`ParallelLoop::cache_key`]).
     ///
-    /// `refs_of` enumerates, for an iteration, the global indices of the
-    /// `data_dist`-distributed array it references.
+    /// `refs_of` enumerates, for a linearised iteration, the linearised
+    /// global indices of the `data_dist`-distributed array it references.
     pub fn plan_indirect<P, D, F>(
         &self,
         proc: &mut P,
@@ -133,14 +173,47 @@ impl Forall {
         D: Distribution + ?Sized,
         F: FnMut(usize, &mut Vec<usize>),
     {
-        let exec = self.exec_iters(proc.rank());
         let mut refs_of = refs_of;
         let key = self.cache_key(data_dist, data_version);
-        cache.get_or_build(key, || run_inspector(proc, data_dist, &exec, &mut refs_of))
+        cache.get_or_build(key, || {
+            // Enumerated lazily: a cache hit never materialises the exec set.
+            let exec = self.exec_iters(proc.rank());
+            run_inspector(proc, data_dist, &exec, &mut refs_of)
+        })
     }
 
-    /// Execute the loop body under a previously planned schedule.
-    pub fn run<P, D, T, F>(
+    /// Execute sweep number `sweep` of the loop body under a previously
+    /// planned schedule: sends are posted, local iterations overlap the
+    /// communication, nonlocal iterations run against the receive buffer.
+    /// Sweep tags wrap within the executor's reserved tag window.
+    pub fn execute<P, D, T, F>(
+        &self,
+        proc: &mut P,
+        sweep: usize,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        body: F,
+    ) -> usize
+    where
+        P: Process,
+        D: Distribution + ?Sized,
+        T: Copy + Send + 'static,
+        F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
+    {
+        self.execute_config(
+            proc,
+            ExecutorConfig::sweep(sweep),
+            schedule,
+            data_dist,
+            local_data,
+            body,
+        )
+    }
+
+    /// Like [`ParallelLoop::execute`] with an explicit [`ExecutorConfig`]
+    /// (the overlap ablation knob of the paper's executor shape).
+    pub fn execute_config<P, D, T, F>(
         &self,
         proc: &mut P,
         config: ExecutorConfig,
@@ -156,6 +229,21 @@ impl Forall {
         F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
     {
         execute_sweep(proc, config, schedule, data_dist, local_data, body)
+    }
+}
+
+impl ParallelLoop<Span> {
+    /// Describe a loop `forall i in 0..n on A[i].loc` where `A` is
+    /// distributed by `on_dist` — the 1-D shorthand matching the old
+    /// `Forall::over`.
+    pub fn over_1d(loop_id: u64, n: usize, on_dist: DimDist) -> Self {
+        ParallelLoop::over(loop_id, Span::upto(n), on_dist)
+    }
+
+    /// Restrict the iteration range (`forall i in lo..hi`).
+    pub fn range(mut self, lo: usize, hi: usize) -> Self {
+        self.space = Span::new(lo, hi);
+        self
     }
 }
 
@@ -178,6 +266,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::affine::AffineMap;
+    use crate::analysis::multi::MultiAffineMap;
+    use crate::space::Rect;
+    use distrib::ArrayDist;
     use dmsim::{CostModel, Machine};
 
     #[test]
@@ -195,13 +287,13 @@ mod tests {
     }
 
     #[test]
-    fn plan_affine_uses_compile_time_path_without_messages() {
+    fn plan_uses_compile_time_path_without_messages() {
         let machine = Machine::new(4, CostModel::ideal());
         let (_, stats) = machine.run_stats(|proc| {
             let dist = DimDist::block(64, proc.nprocs());
-            let loop_ = Forall::over(1, 63, dist.clone());
+            let loop_ = ParallelLoop::over_1d(1, 63, dist.clone());
             let mut cache = ScheduleCache::new();
-            let schedule = loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            let schedule = loop_.plan(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
             assert_eq!(
                 cache.misses(),
                 0,
@@ -214,16 +306,16 @@ mod tests {
     }
 
     #[test]
-    fn plan_affine_falls_back_to_inspector_for_strided_refs() {
+    fn plan_falls_back_to_inspector_for_strided_refs() {
         let machine = Machine::new(2, CostModel::ideal());
         machine.run(|proc| {
             let dist = DimDist::block(32, proc.nprocs());
             let data = DimDist::block(64, proc.nprocs());
-            let loop_ = Forall::over(9, 32, dist);
+            let loop_ = ParallelLoop::over_1d(9, 32, dist);
             let mut cache = ScheduleCache::new();
-            let s1 = loop_.plan_affine(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
+            let s1 = loop_.plan(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
             assert_eq!(cache.misses(), 1, "inspector must have been consulted");
-            let s2 = loop_.plan_affine(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
+            let s2 = loop_.plan(proc, &mut cache, &data, &[AffineMap::new(2, 0)], 0);
             assert_eq!(cache.hits(), 1, "second plan must hit the cache");
             assert_eq!(s1.signature(), s2.signature());
         });
@@ -237,7 +329,7 @@ mod tests {
         let machine = Machine::new(2, CostModel::ideal());
         machine.run(|proc| {
             let on = DimDist::block(32, proc.nprocs());
-            let loop_ = Forall::over(11, 32, on.clone());
+            let loop_ = ParallelLoop::over_1d(11, 32, on.clone());
             let mut cache = ScheduleCache::new();
             let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 5) % 32);
             let s1 = loop_.plan_indirect(proc, &mut cache, &on, 0, refs);
@@ -258,6 +350,47 @@ mod tests {
     }
 
     #[test]
+    fn reusing_a_loop_id_over_a_different_window_misses_the_cache() {
+        // Regression: the cache key used to hash only (loop_id, version,
+        // distribution fingerprints).  Two loops with the same id ranging
+        // over different windows would share one schedule — the second
+        // would execute the first window's iterations.  The space
+        // fingerprint in the key forces a fresh plan.
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(32, proc.nprocs());
+            let mut cache = ScheduleCache::new();
+            let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 7) % 32);
+            let first = ParallelLoop::over_1d(13, 32, dist.clone()).range(0, 10);
+            let s1 = first.plan_indirect(proc, &mut cache, &dist, 0, refs);
+            let second = ParallelLoop::over_1d(13, 32, dist.clone()).range(10, 20);
+            let s2 = second.plan_indirect(proc, &mut cache, &dist, 0, refs);
+            assert_eq!(
+                cache.misses(),
+                2,
+                "different windows must not share a schedule"
+            );
+            assert_ne!(s1.signature(), s2.signature());
+            // Same window planned again still hits.
+            first.plan_indirect(proc, &mut cache, &dist, 0, refs);
+            assert_eq!(cache.hits(), 1);
+            // The same holds for rectangular spaces.
+            let flat = distrib::FlatDist::new(ArrayDist::block_rows(8, 4, proc.nprocs()));
+            let top = ParallelLoop::over(14, Rect::full(&[8, 4]).restrict(0, 0, 4), flat.clone());
+            let bottom =
+                ParallelLoop::over(14, Rect::full(&[8, 4]).restrict(0, 4, 8), flat.clone());
+            let refs2 = |g: usize, out: &mut Vec<usize>| out.push((g * 5) % 32);
+            top.plan_indirect(proc, &mut cache, &flat, 0, refs2);
+            bottom.plan_indirect(proc, &mut cache, &flat, 0, refs2);
+            assert_eq!(
+                cache.misses(),
+                4,
+                "different boxes must not share a schedule"
+            );
+        });
+    }
+
+    #[test]
     fn version_bumps_through_plan_indirect_reclaim_stale_generations() {
         // The adaptive-mesh pattern: the adj data changes, the caller bumps
         // the data version, and the cache must not only re-inspect but also
@@ -265,7 +398,7 @@ mod tests {
         let machine = Machine::new(2, CostModel::ideal());
         machine.run(|proc| {
             let dist = DimDist::block(32, proc.nprocs());
-            let loop_ = Forall::over(21, 32, dist.clone());
+            let loop_ = ParallelLoop::over_1d(21, 32, dist.clone());
             let mut cache = ScheduleCache::new();
             for version in 0..4u64 {
                 for _sweep in 0..3 {
@@ -282,7 +415,7 @@ mod tests {
     }
 
     #[test]
-    fn full_shift_pipeline_through_forall_api() {
+    fn full_shift_pipeline_through_the_loop_api() {
         let n = 48;
         let machine = Machine::new(4, CostModel::ideal());
         let results = machine.run(|proc| {
@@ -293,20 +426,13 @@ mod tests {
                 .iter()
                 .map(|g| (g * g) as f64)
                 .collect();
-            let loop_ = Forall::over(2, n - 1, dist.clone());
+            let loop_ = ParallelLoop::over_1d(2, n - 1, dist.clone());
             let mut cache = ScheduleCache::new();
-            let schedule = loop_.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            let schedule = loop_.plan(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
             let mut out = local_a.clone();
-            loop_.run(
-                proc,
-                ExecutorConfig::default(),
-                &schedule,
-                &dist,
-                &local_a,
-                |i, fetch| {
-                    out[dist.local_index(i)] = fetch.fetch(i + 1);
-                },
-            );
+            loop_.execute(proc, 0, &schedule, &dist, &local_a, |i, fetch| {
+                out[dist.local_index(i)] = fetch.fetch(i + 1);
+            });
             (rank, out)
         });
         let dist = DimDist::block(n, 4);
@@ -321,5 +447,129 @@ mod tests {
                 assert_eq!(*v, expected, "global index {g}");
             }
         }
+    }
+
+    #[test]
+    fn narrow_range_plans_only_the_window() {
+        // The range-aware satellite carried into the new API: a narrow
+        // window over a huge on-clause distribution must never enumerate
+        // the full owned set (the old exec_iters materialised all of
+        // 0..n/p and filtered afterwards — with n = 2^40 that would hang).
+        let n = 1usize << 40;
+        let dist = DimDist::block(n, 2);
+        let loop_ = ParallelLoop::over_1d(3, n, dist.clone()).range(5, 25);
+        assert_eq!(loop_.exec_iters(0), (5..25).collect::<Vec<_>>());
+        assert!(loop_.exec_iters(1).is_empty());
+        // The planned schedule covers exactly the window's references.
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(64, proc.nprocs());
+            let loop_ = ParallelLoop::over_1d(4, 64, dist.clone()).range(30, 34);
+            let mut cache = ScheduleCache::new();
+            let s = loop_.plan(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+            let execs = loop_.exec_iters(proc.rank());
+            assert_eq!(s.local_iters.len() + s.nonlocal_iters.len(), execs.len());
+            if proc.rank() == 0 {
+                // Iterations 30, 31 with ref i+1: only 31 -> 32 is nonlocal.
+                assert_eq!(s.recv_len, 1);
+            }
+        });
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn out_of_bounds_refs_panic_on_the_compile_time_path() {
+        // forall i in 0..n referencing A[i+1]: iteration n-1 reaches A[n].
+        // The old plan_affine silently dropped the reference; the unified
+        // policy panics in debug builds on both planning paths.
+        let dist = DimDist::block(16, 2);
+        let loop_ = ParallelLoop::over_1d(5, 16, dist.clone());
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let mut cache = ScheduleCache::new();
+            loop_.plan(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+        });
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn out_of_bounds_refs_panic_on_the_inspector_path() {
+        // A strided map (no closed form, inspector fallback) with the same
+        // out-of-bounds defect: 2*i reaches past a data array of the same
+        // size.  Must panic identically to the compile-time path.
+        let dist = DimDist::block(16, 2);
+        let loop_ = ParallelLoop::over_1d(6, 16, dist.clone());
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let mut cache = ScheduleCache::new();
+            loop_.plan(proc, &mut cache, &dist, &[AffineMap::new(2, 0)], 0);
+        });
+    }
+
+    #[test]
+    fn rect_loop_plans_compile_time_and_executes_a_2d_stencil() {
+        // The multi-dimensional pipeline end to end: a vertical shift
+        // stencil over [block, *], planned with zero messages and executed
+        // with one boundary row per neighbour.
+        let (r, c) = (16usize, 5usize);
+        let machine = Machine::new(4, CostModel::ideal());
+        let (results, stats) = machine.run_stats(|proc| {
+            let flat = distrib::FlatDist::new(ArrayDist::block_rows(r, c, proc.nprocs()));
+            let rank = proc.rank();
+            let local_a: Vec<f64> = (0..flat.local_count(rank))
+                .map(|l| flat.global_index(rank, l) as f64)
+                .collect();
+            let space = Rect::full(&[r, c]).restrict(0, 0, r - 1);
+            let loop_ = ParallelLoop::over(7, space, flat.clone());
+            let mut cache = ScheduleCache::new();
+            let schedule = loop_.plan(
+                proc,
+                &mut cache,
+                &flat,
+                &[MultiAffineMap::shifts(&[1, 0])],
+                0,
+            );
+            assert_eq!(cache.misses(), 0, "closed form must bypass the inspector");
+            let planned_msgs = proc.counters().msgs_sent;
+            assert_eq!(planned_msgs, 0, "planning must cost zero messages");
+            let mut out = local_a.clone();
+            loop_.execute(proc, 0, &schedule, &flat, &local_a, |g, fetch| {
+                out[flat.local_index(g)] = fetch.fetch(g + c);
+            });
+            (rank, out)
+        });
+        // Executor traffic: 3 boundary rows of c elements.
+        assert_eq!(stats.totals.bytes_sent, 3 * c as u64 * 8);
+        let flat = distrib::FlatDist::new(ArrayDist::block_rows(r, c, 4));
+        for (rank, out) in results {
+            for (l, v) in out.iter().enumerate() {
+                let g = flat.global_index(rank, l);
+                let expected = if g < (r - 1) * c {
+                    (g + c) as f64
+                } else {
+                    g as f64
+                };
+                assert_eq!(*v, expected, "flat index {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_loop_falls_back_to_the_cached_inspector_for_indirect_refs() {
+        let (r, c) = (8usize, 6usize);
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let flat = distrib::FlatDist::new(ArrayDist::block_rows(r, c, proc.nprocs()));
+            let loop_ = ParallelLoop::over(8, Rect::full(&[r, c]), flat.clone());
+            let mut cache = ScheduleCache::new();
+            // A data-dependent permutation gather: no closed form.
+            let refs = |g: usize, out: &mut Vec<usize>| out.push((g * 13 + 5) % (r * c));
+            loop_.plan_indirect(proc, &mut cache, &flat, 0, refs);
+            assert_eq!(cache.misses(), 1, "inspector must have been consulted");
+            loop_.plan_indirect(proc, &mut cache, &flat, 0, refs);
+            assert_eq!(cache.hits(), 1, "second plan must hit the cache");
+        });
     }
 }

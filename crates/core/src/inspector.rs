@@ -137,8 +137,25 @@ pub fn owner_computes_iters<D: Distribution + ?Sized>(
     rank: usize,
     n: usize,
 ) -> Vec<usize> {
+    owner_computes_range(dist, rank, 0, n)
+}
+
+/// The iterations of `lo..hi` this processor executes under an
+/// owner-computes on-clause, in ascending order.
+///
+/// The intersection happens at the interval-set level **before** any
+/// enumeration: a narrow range over a huge distribution materialises only
+/// the iterations actually in the range, never the full owned set (the
+/// owned set itself is a handful of coalesced ranges for every built-in
+/// pattern).
+pub fn owner_computes_range<D: Distribution + ?Sized>(
+    dist: &D,
+    rank: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<usize> {
     dist.local_set(rank)
-        .intersect(&IndexSet::from_range(0, n))
+        .intersect(&IndexSet::from_range(lo, hi))
         .iter()
         .collect()
 }
@@ -270,6 +287,34 @@ mod tests {
         let check = CostModel::ncube7().locality_check();
         let total: f64 = stats.clocks.iter().sum();
         assert!(total >= 16.0 * check);
+    }
+
+    #[test]
+    fn narrow_range_does_not_enumerate_the_whole_owned_set() {
+        // Regression for the old materialise-then-filter enumeration: with a
+        // 2^44-element distribution, collecting the full owned set before
+        // filtering would attempt a ~4-trillion-element vector.  The
+        // range-aware helper must intersect at the interval level first.
+        let n = 1usize << 44;
+        let d = DimDist::block(n, 4);
+        assert_eq!(
+            owner_computes_range(&d, 0, 10, 42),
+            (10..42).collect::<Vec<_>>()
+        );
+        // A window inside rank 2's block.
+        let base = n / 2;
+        assert_eq!(
+            owner_computes_range(&d, 2, base + 5, base + 9),
+            vec![base + 5, base + 6, base + 7, base + 8]
+        );
+        // A window entirely outside the rank's block is empty.
+        assert!(owner_computes_range(&d, 3, 0, 1000).is_empty());
+        // The unranged helper is the (0, n) special case on small inputs.
+        let small = DimDist::cyclic(17, 3);
+        assert_eq!(
+            owner_computes_iters(&small, 1, 17),
+            owner_computes_range(&small, 1, 0, 17)
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   records with `O(log r)` binary-search access (§3.3, Figure 5).
 //! * [`analysis`] — **compile-time** communication analysis: closed-form
 //!   schedules for affine subscripts (`A[i±c]`) under any distribution,
-//!   requiring no run-time set computation at all (§3.2).
+//!   requiring no run-time set computation at all (§3.2) — in one dimension
+//!   ([`analysis::compile_time`]) and over rectangular N-D iteration spaces
+//!   with per-dimension distributions ([`analysis::multi`]), where every
+//!   set factorises into per-dimension interval sets.
 //! * [`inspector`] — **run-time** analysis: the inspector loop that records
 //!   nonlocal references, splits iterations into local and nonlocal lists,
 //!   and converts receive lists into send lists with a crystal-router global
@@ -35,8 +38,11 @@
 //!   The cache is bounded (LRU) and self-invalidating: version bumps evict
 //!   stale generations, redistribution reclaims retired placements by
 //!   fingerprint, and residency stays capped under adaptive-mesh churn.
-//! * [`forall`] — a small convenience layer tying the pieces together for
-//!   the common loop shapes (`forall i in 1..N on A[i].loc`).
+//! * [`forall`] — the typed front-end tying the pieces together:
+//!   [`ParallelLoop`], one plan→execute pipeline generic over an iteration
+//!   [`space`] ([`Span`] 1-D ranges, [`Rect`] rectangular 2-D/3-D boxes over
+//!   `dist by [block, *]`-style [`distrib::ArrayDist`] decompositions,
+//!   linearised row-major through [`distrib::FlatDist`]).
 //! * [`mod@redistribute`] — an extension: move a live distributed array from one
 //!   distribution to another with a closed-form schedule, supporting the
 //!   paper's "just change the dist clause" workflow across program phases.
@@ -59,14 +65,17 @@ pub mod ownermap;
 pub mod process;
 pub mod redistribute;
 pub mod schedule;
+pub mod space;
 
 pub use analysis::affine::AffineMap;
+pub use analysis::multi::MultiAffineMap;
 pub use array::DistArray;
 pub use cache::{LoopKey, ScheduleCache};
 pub use executor::{execute_sweep, ExecutorConfig, Fetcher};
-pub use forall::{forall_local, Forall};
-pub use inspector::run_inspector;
+pub use forall::{forall_local, ParallelLoop};
+pub use inspector::{owner_computes_range, run_inspector};
 pub use ownermap::DistOwnerMap;
 pub use process::Process;
 pub use redistribute::{redistribute, redistribute_epoch, redistribution_schedule};
 pub use schedule::{CommSchedule, RangeRecord};
+pub use space::{IterSpace, Rect, Span};

@@ -1,0 +1,329 @@
+//! Iteration spaces: what a `forall` ranges over.
+//!
+//! The paper's `forall` construct ranges over arbitrary index spaces —
+//! `forall i in 1..N` in Figure 1, but also multi-dimensional spaces like
+//! `forall i in 1..N, j in 1..M` once arrays are distributed
+//! `by [block, *]`.  The [`IterSpace`] trait captures what the planner
+//! needs from a space:
+//!
+//! * which *linearised* iterations a processor executes under an
+//!   owner-computes on-clause ([`IterSpace::exec_iters`], range-aware — a
+//!   narrow sub-range never enumerates the whole owned set),
+//! * whether a closed-form schedule exists for a set of affine reference
+//!   subscripts ([`IterSpace::analyze`]), and
+//! * how one affine subscript maps a linearised iteration to a linearised
+//!   element of the referenced array ([`IterSpace::apply_map`]), which is
+//!   what the inspector fallback enumerates.
+//!
+//! Two spaces are provided: [`Span`], the 1-D half-open range of the
+//! original API, and [`Rect`], a rectangular 2-D/3-D/N-D box over a
+//! multi-dimensional array shape.  [`ParallelLoop`](crate::ParallelLoop) is
+//! generic over the space, so the same plan→execute pipeline serves both.
+
+use distrib::{product_flat, unflatten_index, DimDist, Distribution, FlatDist, IndexSet};
+
+use crate::analysis::affine::AffineMap;
+use crate::analysis::compile_time::{analyze, LoopSpec};
+use crate::analysis::multi::{analyze_multi, MultiAffineMap};
+use crate::inspector::owner_computes_range;
+use crate::schedule::CommSchedule;
+
+/// An iteration space a [`ParallelLoop`](crate::ParallelLoop) ranges over.
+///
+/// Iterations are exposed to the executor in *linearised* form (a single
+/// `usize` per iteration) so the 1-D schedule machinery — range records,
+/// binary-searchable receive buffers, the schedule cache — serves every
+/// dimensionality unchanged.
+pub trait IterSpace: Clone + std::fmt::Debug {
+    /// The distribution type placing this space's on-clause array (and the
+    /// arrays its affine references subscript).
+    type Dist: Distribution + Clone + Send + Sync + 'static;
+
+    /// The affine subscript type for references into `Self::Dist`-placed
+    /// arrays.
+    type Map: Clone;
+
+    /// The linearised iterations `rank` executes under owner-computes, in
+    /// ascending order — `exec(p)` intersected with the space's bounds,
+    /// computed at the interval-set level (never by enumerating and
+    /// filtering the full owned set).
+    fn exec_iters(&self, on: &Self::Dist, rank: usize) -> Vec<usize>;
+
+    /// Attempt the closed-form (compile-time) analysis for `rank`; `None`
+    /// when no closed form exists and the planner must fall back to the
+    /// run-time inspector.
+    fn analyze(
+        &self,
+        on: &Self::Dist,
+        data: &Self::Dist,
+        refs: &[Self::Map],
+        rank: usize,
+    ) -> Option<CommSchedule>;
+
+    /// Apply one affine reference subscript to a linearised iteration,
+    /// yielding the linearised referenced element — `None` when the
+    /// reference leaves the bounds of the `data` array (see the
+    /// out-of-bounds policy on [`ParallelLoop::plan`](crate::ParallelLoop::plan)).
+    fn apply_map(&self, map: &Self::Map, iter: usize, data: &Self::Dist) -> Option<usize>;
+
+    /// Stable identity of the space itself (bounds and box), folded into the
+    /// schedule-cache key: a schedule's iteration lists are a function of
+    /// the space, so two loops sharing a `loop_id` but ranging over
+    /// different windows must never share a cached schedule.
+    fn fingerprint(&self) -> u64;
+}
+
+/// A 1-D half-open iteration range `lo..hi` — the space of
+/// `forall i in 1..N` and of every loop the original API supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First iteration.
+    pub lo: usize,
+    /// One past the last iteration.
+    pub hi: usize,
+}
+
+impl Span {
+    /// The range `lo..hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "degenerate range [{lo}, {hi})");
+        Span { lo, hi }
+    }
+
+    /// The range `0..n`.
+    pub fn upto(n: usize) -> Self {
+        Span { lo: 0, hi: n }
+    }
+
+    /// Number of iterations in the range.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+}
+
+impl IterSpace for Span {
+    type Dist = DimDist;
+    type Map = AffineMap;
+
+    fn exec_iters(&self, on: &DimDist, rank: usize) -> Vec<usize> {
+        owner_computes_range(on, rank, self.lo, self.hi)
+    }
+
+    fn analyze(
+        &self,
+        on: &DimDist,
+        data: &DimDist,
+        refs: &[AffineMap],
+        rank: usize,
+    ) -> Option<CommSchedule> {
+        let spec = LoopSpec {
+            range: (self.lo, self.hi),
+            on_dist: on.clone(),
+            on_map: AffineMap::identity(),
+            data_dist: data.clone(),
+            ref_maps: refs.to_vec(),
+        };
+        analyze(&spec, rank)
+    }
+
+    fn apply_map(&self, map: &AffineMap, iter: usize, data: &DimDist) -> Option<usize> {
+        map.apply(iter).filter(|&v| v < data.n())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        distrib::distribution::fnv1a([0x5350_414E, self.lo as u64, self.hi as u64])
+    }
+}
+
+/// A rectangular N-D iteration box `(lo_0..hi_0) × … × (lo_{d-1}..hi_{d-1})`
+/// within a multi-dimensional array shape, linearised row-major over that
+/// shape.
+///
+/// The space of `forall i in 1..N-1, j in 0..M on A[i,j].loc` once `A` is
+/// distributed `by [block, *]` over a processor grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rect {
+    shape: Vec<usize>,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl Rect {
+    /// The full box over `shape` (every index of every dimension).
+    pub fn full(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "need at least one dimension");
+        Rect {
+            shape: shape.to_vec(),
+            ranges: shape.iter().map(|&n| (0, n)).collect(),
+        }
+    }
+
+    /// The interior box over `shape`: `1..n-1` in every dimension — the
+    /// natural space of a boundary-preserving stencil.
+    pub fn interior(shape: &[usize]) -> Self {
+        assert!(
+            shape.iter().all(|&n| n >= 2),
+            "interior needs every extent >= 2"
+        );
+        Rect {
+            shape: shape.to_vec(),
+            ranges: shape.iter().map(|&n| (1, n - 1)).collect(),
+        }
+    }
+
+    /// Restrict one dimension of the box to `lo..hi`.
+    pub fn restrict(mut self, dim: usize, lo: usize, hi: usize) -> Self {
+        assert!(
+            lo <= hi && hi <= self.shape[dim],
+            "range [{lo}, {hi}) leaves dimension {dim} of extent {}",
+            self.shape[dim]
+        );
+        self.ranges[dim] = (lo, hi);
+        self
+    }
+
+    /// Bounding shape of the space (the on-array's shape).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The per-dimension half-open ranges of the box.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Number of iterations in the box.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|&(lo, hi)| hi - lo).product()
+    }
+
+    /// True when the box contains no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The multi-index of a linearised iteration.
+    pub fn unflatten(&self, iter: usize) -> Vec<usize> {
+        unflatten_index(&self.shape, iter)
+    }
+}
+
+impl IterSpace for Rect {
+    type Dist = FlatDist;
+    type Map = MultiAffineMap;
+
+    fn exec_iters(&self, on: &FlatDist, rank: usize) -> Vec<usize> {
+        assert_eq!(
+            on.shape(),
+            &self.shape[..],
+            "the iteration space must match the on-clause array's shape"
+        );
+        let dims: Vec<IndexSet> = (0..self.shape.len())
+            .map(|d| {
+                on.array()
+                    .owned_along(d, rank)
+                    .intersect(&IndexSet::from_range(self.ranges[d].0, self.ranges[d].1))
+            })
+            .collect();
+        product_flat(&dims, &self.shape).iter().collect()
+    }
+
+    fn analyze(
+        &self,
+        on: &FlatDist,
+        data: &FlatDist,
+        refs: &[MultiAffineMap],
+        rank: usize,
+    ) -> Option<CommSchedule> {
+        assert_eq!(
+            on.shape(),
+            &self.shape[..],
+            "the iteration space must match the on-clause array's shape"
+        );
+        analyze_multi(&self.ranges, on, data, refs, rank)
+    }
+
+    fn apply_map(&self, map: &MultiAffineMap, iter: usize, data: &FlatDist) -> Option<usize> {
+        if map.ndims() != self.shape.len() || data.ndims() != self.shape.len() {
+            return None;
+        }
+        let idx = self.unflatten(iter);
+        let v = map.apply(&idx, data.shape())?;
+        Some(data.flatten(&v))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        distrib::distribution::fnv1a(
+            std::iter::once(0x5245_4354u64)
+                .chain(self.shape.iter().map(|&n| n as u64))
+                .chain(std::iter::once(u64::MAX))
+                .chain(
+                    self.ranges
+                        .iter()
+                        .flat_map(|&(lo, hi)| [lo as u64, hi as u64]),
+                ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrib::ArrayDist;
+
+    #[test]
+    fn span_exec_iters_is_range_aware() {
+        let on = DimDist::block(40, 4);
+        let full = Span::upto(40);
+        assert_eq!(full.exec_iters(&on, 1), (10..20).collect::<Vec<_>>());
+        let narrow = Span::new(12, 15);
+        assert_eq!(narrow.exec_iters(&on, 1), vec![12, 13, 14]);
+        assert!(narrow.exec_iters(&on, 3).is_empty());
+        assert!(Span::new(7, 7).is_empty());
+        assert_eq!(Span::new(3, 9).len(), 6);
+    }
+
+    #[test]
+    fn rect_exec_iters_covers_the_box_exactly_once() {
+        let a = FlatDist::new(ArrayDist::block_rows(10, 6, 3));
+        let space = Rect::full(&[10, 6]).restrict(0, 1, 9).restrict(1, 2, 5);
+        let mut all: Vec<usize> = (0..3).flat_map(|r| space.exec_iters(&a, r)).collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (1..9)
+            .flat_map(|i| (2..5).map(move |j| i * 6 + j))
+            .collect();
+        assert_eq!(all, expected);
+        assert_eq!(space.len(), 24);
+    }
+
+    #[test]
+    fn rect_interior_is_one_off_every_face() {
+        let space = Rect::interior(&[8, 5]);
+        assert_eq!(space.ranges(), &[(1, 7), (1, 4)]);
+        assert_eq!(space.len(), 18);
+    }
+
+    #[test]
+    fn rect_apply_map_linearises_through_the_data_shape() {
+        let data = FlatDist::new(ArrayDist::block_rows(8, 5, 2));
+        let space = Rect::full(&[8, 5]);
+        let m = MultiAffineMap::shifts(&[1, -1]);
+        // Iteration (2, 3) -> element (3, 2) -> flat 3*5 + 2.
+        assert_eq!(space.apply_map(&m, 2 * 5 + 3, &data), Some(17));
+        // (0, 0) -> (1, -1): out of bounds.
+        assert_eq!(space.apply_map(&m, 0, &data), None);
+        // (7, 4) -> (8, 3): out of bounds in dimension 0.
+        assert_eq!(space.apply_map(&m, 7 * 5 + 4, &data), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn rect_rejects_mismatched_on_array() {
+        let a = FlatDist::new(ArrayDist::block_rows(10, 6, 2));
+        Rect::full(&[6, 10]).exec_iters(&a, 0);
+    }
+}

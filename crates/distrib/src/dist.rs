@@ -10,7 +10,7 @@
 //!
 //! `DimDist` is a cheaply clonable, type-erased handle (`Arc<dyn
 //! Distribution>`): runtime structures that *store* a distribution
-//! (`DistArray`, `Forall`, `LoopSpec`) hold a `DimDist`, while runtime entry
+//! (`DistArray`, `ParallelLoop`, `LoopSpec`) hold a `DimDist`, while runtime entry
 //! points that merely *consult* one (`run_inspector`, `execute_sweep`,
 //! `redistribute`) are generic over `D: Distribution + ?Sized` and accept
 //! either a `DimDist` or any concrete implementation directly.
@@ -82,6 +82,13 @@ impl DimDist {
     /// assembled collectively from distributed owner-map slices).
     pub fn irregular(dist: IrregularDist) -> Self {
         DimDist::new(dist)
+    }
+
+    /// The row-major flattened view of a multi-dimensional decomposition
+    /// (`dist by [block, *]` and friends), as a 1-D distribution handle —
+    /// see [`FlatDist`](crate::FlatDist).
+    pub fn flattened(array: crate::ArrayDist) -> Self {
+        DimDist::new(crate::FlatDist::new(array))
     }
 
     /// Total number of elements being distributed.

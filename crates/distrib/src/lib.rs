@@ -24,7 +24,12 @@
 //!   compile-time closed forms and the run-time inspector.
 //! * **Multi-dimensional decompositions** ([`ArrayDist`]) — one pattern per
 //!   array dimension, with `*` (non-distributed) dimensions, matching the
-//!   `dist by [block, *]` declarations of Figure 1.
+//!   `dist by [block, *]` declarations of Figure 1.  The row-major
+//!   [`FlatDist`] view turns any such decomposition into an ordinary 1-D
+//!   [`Distribution`], which is how multi-dimensional arrays flow through
+//!   the inspector/executor machinery unchanged (ownership factorises over
+//!   dimensions; owned sets are Cartesian products, built by
+//!   [`multi::product_flat`]).
 //!
 //! The analysis layer in `kali-core` is written purely against these
 //! interfaces, so new distribution patterns automatically work with the
@@ -45,4 +50,4 @@ pub use distribution::{
 pub use grid::ProcGrid;
 pub use index::{IndexRange, IndexSet};
 pub use irregular::IrregularDist;
-pub use multi::{ArrayDist, DimAssign};
+pub use multi::{flatten_index, product_flat, unflatten_index, ArrayDist, DimAssign, FlatDist};

@@ -7,7 +7,9 @@
 //! as in the paper.  Arrays with no `dist` clause are replicated.
 
 use crate::dist::DimDist;
+use crate::distribution::{fnv1a, Distribution};
 use crate::grid::ProcGrid;
+use crate::index::{IndexRange, IndexSet};
 
 /// How one array dimension is mapped.
 #[derive(Debug, Clone)]
@@ -26,6 +28,15 @@ impl DimAssign {
         match self {
             DimAssign::Distributed(d) => d.n(),
             DimAssign::Star(n) => *n,
+        }
+    }
+
+    /// Stable identity of the assignment (see
+    /// [`Distribution::fingerprint`]); `*` dimensions hash their extent.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            DimAssign::Distributed(d) => d.fingerprint(),
+            DimAssign::Star(n) => fnv1a([u64::MAX, *n as u64]),
         }
     }
 }
@@ -106,6 +117,20 @@ impl ArrayDist {
             vec![
                 DimAssign::Distributed(DimDist::block(rows, p)),
                 DimAssign::Star(cols),
+            ],
+        )
+    }
+
+    /// A two-dimensional array whose columns are distributed by blocks and
+    /// whose rows stay together (`dist by [ *, block ]`) — the phase-change
+    /// counterpart of [`ArrayDist::block_rows`] used when a program switches
+    /// from row-oriented to column-oriented sweeps.
+    pub fn block_cols(rows: usize, cols: usize, p: usize) -> Self {
+        ArrayDist::new(
+            ProcGrid::new_1d(p),
+            vec![
+                DimAssign::Star(rows),
+                DimAssign::Distributed(DimDist::block(cols, p)),
             ],
         )
     }
@@ -227,6 +252,223 @@ impl ArrayDist {
             _ => None,
         }
     }
+
+    /// Number of array dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The global indices `rank` owns along array dimension `dim`: the full
+    /// extent for a `*` dimension, the per-dimension `local(coord)` set for a
+    /// distributed one.  Ownership of a multi-index factorises over
+    /// dimensions, so the owned set of the whole array is the Cartesian
+    /// product of these per-dimension sets (see [`FlatDist::local_set`]).
+    pub fn owned_along(&self, dim: usize, rank: usize) -> IndexSet {
+        match &self.dims[dim] {
+            DimAssign::Star(n) => IndexSet::from_range(0, *n),
+            DimAssign::Distributed(d) => {
+                let axis = self
+                    .distributed_dims
+                    .iter()
+                    .position(|&x| x == dim)
+                    .expect("distributed dim is registered");
+                let coord = self.grid.coords(rank)[axis];
+                d.local_set(coord)
+            }
+        }
+    }
+
+    /// Stable identity of the whole decomposition — grid layout plus every
+    /// per-dimension assignment — for schedule-cache keys (the multi-dim
+    /// analogue of [`Distribution::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        let words = std::iter::once(0x4D44u64) // "MD" tag
+            .chain(self.grid.dims().iter().map(|&d| d as u64))
+            .chain(std::iter::once(u64::MAX))
+            .chain(self.dims.iter().map(DimAssign::fingerprint));
+        fnv1a(words)
+    }
+}
+
+/// Row-major linearisation of a multi-index into `shape`.
+pub fn flatten_index(shape: &[usize], idx: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), idx.len(), "index arity mismatch");
+    let mut flat = 0usize;
+    for (&n, &i) in shape.iter().zip(idx) {
+        debug_assert!(i < n, "index {i} outside dimension extent {n}");
+        flat = flat * n + i;
+    }
+    flat
+}
+
+/// Inverse of [`flatten_index`]: recover the multi-index from the row-major
+/// linear index.
+pub fn unflatten_index(shape: &[usize], flat: usize) -> Vec<usize> {
+    let mut idx = vec![0usize; shape.len()];
+    let mut rest = flat;
+    for (k, &n) in shape.iter().enumerate().rev() {
+        idx[k] = rest % n;
+        rest /= n;
+    }
+    debug_assert_eq!(rest, 0, "flat index outside the array");
+    idx
+}
+
+/// The row-major flattening of a Cartesian product of per-dimension index
+/// sets: `{ flatten(i_0, …, i_{d-1}) | i_k ∈ dims[k] }`.
+///
+/// Because the flat index of the last dimension is contiguous, every range of
+/// the last dimension's set stays one flat range; outer dimensions contribute
+/// base offsets.  This is how per-dimension closed forms (owned sets, exec
+/// sets, halo sets) become the flat [`IndexSet`]s the 1-D analysis machinery
+/// consumes.
+pub fn product_flat(dims: &[IndexSet], shape: &[usize]) -> IndexSet {
+    assert_eq!(dims.len(), shape.len(), "set arity mismatch");
+    assert!(!dims.is_empty(), "need at least one dimension");
+    if dims.iter().any(IndexSet::is_empty) {
+        return IndexSet::new();
+    }
+    let mut bases: Vec<usize> = vec![0];
+    for (d, set) in dims.iter().enumerate().take(dims.len() - 1) {
+        let stride: usize = shape[d + 1..].iter().product();
+        let mut next = Vec::with_capacity(bases.len() * set.len());
+        for &b in &bases {
+            for i in set.iter() {
+                next.push(b + i * stride);
+            }
+        }
+        bases = next;
+    }
+    let last = &dims[dims.len() - 1];
+    IndexSet::from_ranges(bases.iter().flat_map(|&b| {
+        last.ranges()
+            .iter()
+            .map(move |r| IndexRange::new(b + r.start, b + r.end))
+    }))
+}
+
+/// The row-major *flattened* view of an [`ArrayDist`]: a 1-D
+/// [`Distribution`] over `0..shape.product()` whose owner function, local
+/// storage layout and owned sets are those of the multi-dimensional
+/// decomposition.
+///
+/// This is the bridge between `dist by [block, *]`-style declarations and the
+/// 1-D runtime: wrap the `ArrayDist` in a `FlatDist` and the inspector,
+/// executor, schedule cache and redistribution all operate on the
+/// multi-dimensional array unchanged — local storage is the row-major
+/// linearisation of the rank's local shape, exactly how a compiler would lay
+/// out the local piece.
+#[derive(Debug, Clone)]
+pub struct FlatDist {
+    array: ArrayDist,
+    shape: Vec<usize>,
+    n: usize,
+    local_shapes: Vec<Vec<usize>>,
+    local_counts: Vec<usize>,
+    fingerprint: u64,
+}
+
+impl FlatDist {
+    /// Flatten a decomposition.  The array must have at least one distributed
+    /// dimension (a replicated array has no owner function to flatten).
+    pub fn new(array: ArrayDist) -> Self {
+        assert!(
+            !array.is_replicated(),
+            "a replicated array has no owner function to flatten"
+        );
+        let shape = array.shape();
+        let n = shape.iter().product();
+        let nprocs = array.grid().len();
+        let local_shapes: Vec<Vec<usize>> = (0..nprocs).map(|r| array.local_shape(r)).collect();
+        let local_counts: Vec<usize> = local_shapes.iter().map(|s| s.iter().product()).collect();
+        let fingerprint = array.fingerprint();
+        FlatDist {
+            array,
+            shape,
+            n,
+            local_shapes,
+            local_counts,
+            fingerprint,
+        }
+    }
+
+    /// The underlying multi-dimensional decomposition.
+    pub fn array(&self) -> &ArrayDist {
+        &self.array
+    }
+
+    /// Shape of the global array.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of array dimensions.
+    pub fn ndims(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Row-major flat index of a global multi-index.
+    pub fn flatten(&self, idx: &[usize]) -> usize {
+        flatten_index(&self.shape, idx)
+    }
+
+    /// Global multi-index of a row-major flat index.
+    pub fn unflatten(&self, flat: usize) -> Vec<usize> {
+        unflatten_index(&self.shape, flat)
+    }
+}
+
+impl Distribution for FlatDist {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn nprocs(&self) -> usize {
+        self.array.grid().len()
+    }
+
+    fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n, "index {i} out of bounds (n = {})", self.n);
+        let idx = self.unflatten(i);
+        self.array
+            .owner(&idx)
+            .expect("FlatDist arrays are never replicated")
+    }
+
+    fn local_index(&self, i: usize) -> usize {
+        let idx = self.unflatten(i);
+        let rank = self
+            .array
+            .owner(&idx)
+            .expect("FlatDist arrays are never replicated");
+        let local = self.array.global_to_local(&idx);
+        flatten_index(&self.local_shapes[rank], &local)
+    }
+
+    fn global_index(&self, rank: usize, l: usize) -> usize {
+        let local = unflatten_index(&self.local_shapes[rank], l);
+        let idx = self.array.local_to_global(rank, &local);
+        self.flatten(&idx)
+    }
+
+    fn local_count(&self, rank: usize) -> usize {
+        self.local_counts[rank]
+    }
+
+    fn local_set(&self, rank: usize) -> IndexSet {
+        let dims: Vec<IndexSet> = (0..self.shape.len())
+            .map(|d| self.array.owned_along(d, rank))
+            .collect();
+        product_flat(&dims, &self.shape)
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "multi-dim"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
 }
 
 #[cfg(test)]
@@ -331,5 +573,119 @@ mod tests {
             ProcGrid::new_1d(4),
             vec![DimAssign::Distributed(DimDist::block(10, 5))],
         );
+    }
+
+    #[test]
+    fn flatten_and_unflatten_roundtrip() {
+        let shape = [3usize, 4, 5];
+        for flat in 0..60 {
+            let idx = unflatten_index(&shape, flat);
+            assert_eq!(flatten_index(&shape, &idx), flat);
+        }
+        assert_eq!(flatten_index(&shape, &[2, 3, 4]), 59);
+        assert_eq!(unflatten_index(&shape, 27), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn product_flat_matches_explicit_enumeration() {
+        let shape = [4usize, 6];
+        let rows = IndexSet::from_ranges([IndexRange::new(0, 2), IndexRange::new(3, 4)]);
+        let cols = IndexSet::from_ranges([IndexRange::new(1, 3), IndexRange::new(5, 6)]);
+        let flat = product_flat(&[rows.clone(), cols.clone()], &shape);
+        let mut expected = Vec::new();
+        for i in rows.iter() {
+            for j in cols.iter() {
+                expected.push(i * 6 + j);
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(flat.iter().collect::<Vec<_>>(), expected);
+        // An empty factor annihilates the product.
+        assert!(product_flat(&[rows, IndexSet::new()], &shape).is_empty());
+    }
+
+    #[test]
+    fn flat_dist_upholds_the_distribution_invariants() {
+        let cases = vec![
+            FlatDist::new(ArrayDist::block_1d(23, 4)),
+            FlatDist::new(ArrayDist::block_rows(10, 7, 3)),
+            FlatDist::new(ArrayDist::block_cols(10, 7, 3)),
+            FlatDist::new(ArrayDist::new(
+                ProcGrid::new_2d(2, 3),
+                vec![
+                    DimAssign::Distributed(DimDist::block(8, 2)),
+                    DimAssign::Distributed(DimDist::cyclic(9, 3)),
+                ],
+            )),
+        ];
+        for d in cases {
+            let n = d.n();
+            let p = d.nprocs();
+            let mut seen = vec![false; n];
+            for rank in 0..p {
+                let set = d.local_set(rank);
+                assert_eq!(set.len(), d.local_count(rank), "count vs set, rank {rank}");
+                for g in set.iter() {
+                    assert!(!seen[g], "flat index {g} owned twice");
+                    seen[g] = true;
+                    assert_eq!(d.owner(g), rank);
+                    let l = d.local_index(g);
+                    assert!(l < d.local_count(rank));
+                    assert_eq!(d.global_index(rank, l), g, "roundtrip of {g}");
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "some flat index has no owner");
+        }
+    }
+
+    #[test]
+    fn flat_block_rows_local_storage_is_row_major() {
+        // [block, *] on 8x3 over 4 procs: rank 1 owns rows 2..4, stored as
+        // two contiguous rows of 3.
+        let d = FlatDist::new(ArrayDist::block_rows(8, 3, 4));
+        assert_eq!(d.local_count(1), 6);
+        assert_eq!(d.local_index(d.flatten(&[2, 0])), 0);
+        assert_eq!(d.local_index(d.flatten(&[2, 2])), 2);
+        assert_eq!(d.local_index(d.flatten(&[3, 1])), 4);
+        // The owned flat set is one contiguous range (whole rows).
+        assert_eq!(d.local_set(1).range_count(), 1);
+        // [*, block] on the same array: rank owns whole columns, so the
+        // owned flat set is one strided range per row.
+        let d = FlatDist::new(ArrayDist::block_cols(8, 12, 4));
+        assert_eq!(d.local_set(1).range_count(), 8);
+        assert_eq!(d.owner(d.flatten(&[5, 4])), 1);
+        assert_eq!(d.local_index(d.flatten(&[5, 4])), 5 * 3 + 1);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_decompositions() {
+        let fps = [
+            ArrayDist::block_rows(16, 4, 4).fingerprint(),
+            ArrayDist::block_cols(16, 4, 4).fingerprint(),
+            ArrayDist::block_rows(16, 5, 4).fingerprint(),
+            ArrayDist::block_1d(64, 4).fingerprint(),
+            ArrayDist::replicated(ProcGrid::new_1d(4), &[16, 4]).fingerprint(),
+        ];
+        for (i, a) in fps.iter().enumerate() {
+            for (j, b) in fps.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "fingerprints {i} and {j} collide");
+                }
+            }
+        }
+        assert_eq!(
+            ArrayDist::block_rows(16, 4, 4).fingerprint(),
+            ArrayDist::block_rows(16, 4, 4).fingerprint()
+        );
+        assert_eq!(
+            FlatDist::new(ArrayDist::block_rows(16, 4, 4)).fingerprint(),
+            ArrayDist::block_rows(16, 4, 4).fingerprint()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replicated")]
+    fn flattening_a_replicated_array_panics() {
+        FlatDist::new(ArrayDist::replicated(ProcGrid::new_1d(4), &[10]));
     }
 }

@@ -32,7 +32,7 @@
 
 use distrib::DimDist;
 use kali_core::process::{Counters, Process};
-use kali_core::{execute_sweep, redistribute_epoch, ExecutorConfig, Forall, ScheduleCache};
+use kali_core::{redistribute_epoch, ExecutorConfig, ParallelLoop, ScheduleCache};
 use meshes::{adapt_step, evolve, AdaptConfig, AdjacencyMesh};
 
 use crate::partitioned::partitioned_dist;
@@ -173,7 +173,7 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
 
     let mut mesh = mesh.clone();
     let mut dist = dist.clone();
-    let mut relaxation = Forall::over(ADAPTIVE_LOOP_ID, n, dist.clone());
+    let mut relaxation = ParallelLoop::over_1d(ADAPTIVE_LOOP_ID, n, dist.clone());
     let mut cache = ScheduleCache::with_capacity(config.cache_capacity);
 
     // Local pieces of the Figure 4 arrays under the current distribution.
@@ -204,7 +204,7 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
                 a = redistribute_epoch(proc, &dist, &new_dist, &a, data_version);
                 cache.invalidate_fingerprint(stale_fp);
                 dist = new_dist;
-                relaxation = Forall::over(ADAPTIVE_LOOP_ID, n, dist.clone());
+                relaxation = ParallelLoop::over_1d(ADAPTIVE_LOOP_ID, n, dist.clone());
             }
             // Re-scatter adj/coef from the adapted mesh (count/degrees may
             // have changed even without a redistribution).
@@ -237,7 +237,7 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
         inspector_time += proc.time() - before_inspector;
 
         // -- perform the relaxation ----------------------------------------
-        execute_sweep(
+        relaxation.execute_config(
             proc,
             ExecutorConfig::sweep(sweep).with_overlap(config.overlap),
             &schedule,

@@ -190,6 +190,7 @@ pub fn run_jacobi_experiment_placed(
             cache_evictions: outcomes.iter().map(|o| o.cache_evictions).sum(),
             cache_resident_bytes: outcomes.iter().map(|o| o.cache_resident_bytes).sum(),
         },
+        phase_comms: Vec::new(),
     }
 }
 

@@ -27,7 +27,7 @@
 
 use distrib::DimDist;
 use kali_core::process::{Counters, Process};
-use kali_core::{execute_sweep, ExecutorConfig, Forall, ScheduleCache};
+use kali_core::{ExecutorConfig, ParallelLoop, ScheduleCache};
 use meshes::AdjacencyMesh;
 
 /// Parameters of a Jacobi run.
@@ -152,7 +152,7 @@ pub fn jacobi_sweeps<P: Process>(
     }
 
     let mut cache = ScheduleCache::new();
-    let relaxation = Forall::over(RELAXATION_LOOP_ID, n, dist.clone());
+    let relaxation = ParallelLoop::over_1d(RELAXATION_LOOP_ID, n, dist.clone());
     let exec_iters = relaxation.exec_iters(rank);
 
     let start_clock = proc.time();
@@ -192,7 +192,7 @@ pub fn jacobi_sweeps<P: Process>(
 
         // -- perform relaxation (computational core) --------------------------
         debug_assert_eq!(exec_iters.len(), local_rows);
-        execute_sweep(
+        relaxation.execute_config(
             proc,
             ExecutorConfig::sweep(sweep).with_overlap(config.overlap),
             &schedule,

@@ -18,6 +18,12 @@
 //!   problems: the greedy mesh partitioner's owner map, assembled
 //!   collectively into a `distrib::IrregularDist` and handed to the solvers
 //!   like any other distribution.
+//! * [`multidim`] — the 2-D phase-change demo: alternating-direction
+//!   smoothing over a `rows × cols` field that is redistributed from
+//!   `[block, *]` to `[*, block]` between sweep phases (the paper's
+//!   motivating row↔column redistribution scenario), with per-phase
+//!   communication reports and stencil schedules planned entirely by the
+//!   multi-dimensional compile-time analysis.
 //! * [`adaptive`] — the adaptive-mesh variant of the Jacobi program: the
 //!   mesh is refined/coarsened every *k* sweeps (deterministically), the
 //!   data version bumps so the bounded schedule cache re-inspects exactly
@@ -28,6 +34,7 @@
 pub mod adaptive;
 pub mod experiment;
 pub mod jacobi;
+pub mod multidim;
 pub mod partitioned;
 pub mod report;
 
@@ -40,5 +47,9 @@ pub use experiment::{
     sequential_executor_time, ExperimentParams, Placement,
 };
 pub use jacobi::{jacobi_sequential, jacobi_sweeps, JacobiConfig, JacobiOutcome};
+pub use multidim::{
+    col_placement, gather_multidim, multidim_field, multidim_sequential, multidim_sweeps,
+    phase_comm_reports, row_placement, MultiDimConfig, MultiDimOutcome, PhaseStats, PhaseStrategy,
+};
 pub use partitioned::{partition_owner_map, partitioned_dist};
 pub use report::{CommReport, ExperimentRow, PhaseBreakdown};

@@ -112,6 +112,12 @@ pub struct ExperimentRow {
     pub speedup: Option<f64>,
     /// Machine-wide communication, locality and schedule-cache statistics.
     pub comm: CommReport,
+    /// Per-phase communication breakdown, for multi-phase programs (the 2-D
+    /// phase-change demo reports its vertical/horizontal sweep phases and
+    /// the row↔column redistribution separately so the cost of moving the
+    /// field between placements is visible next to the halo traffic it
+    /// replaces).  Empty for single-phase experiments.
+    pub phase_comms: Vec<(String, CommReport)>,
 }
 
 impl ExperimentRow {
@@ -167,6 +173,21 @@ impl ExperimentRow {
             CommReport::table_header()
         )
     }
+
+    /// Format the per-phase communication breakdown, one line per phase
+    /// (pairs with [`ExperimentRow::phase_header`]); empty for single-phase
+    /// rows.
+    pub fn to_phase_lines(&self) -> Vec<String> {
+        self.phase_comms
+            .iter()
+            .map(|(label, comm)| format!("{:>16}  {}", label, comm.to_table_line()))
+            .collect()
+    }
+
+    /// Header matching [`ExperimentRow::to_phase_lines`].
+    pub fn phase_header() -> String {
+        format!("{:>16}  {}", "phase", CommReport::table_header())
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +229,7 @@ mod tests {
                 cache_evictions: 0,
                 cache_resident_bytes: 640,
             },
+            phase_comms: Vec::new(),
         };
         let line = row.to_table_line();
         assert!(line.contains("NCUBE/7"));
@@ -247,8 +269,15 @@ mod tests {
             times: PhaseBreakdown::default(),
             speedup: None,
             comm,
+            phase_comms: vec![("vertical".to_string(), comm)],
         };
         assert!(row.to_comm_line().contains("NCUBE/7"));
         assert!(ExperimentRow::comm_header().contains("cache hit"));
+        // The per-phase breakdown renders one line per phase.
+        let lines = row.to_phase_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("vertical"));
+        assert!(lines[0].contains("4242"));
+        assert!(ExperimentRow::phase_header().contains("phase"));
     }
 }

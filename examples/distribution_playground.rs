@@ -16,7 +16,7 @@
 
 use kali_repro::distrib::DimDist;
 use kali_repro::dmsim::{CostModel, Machine};
-use kali_repro::kali::{AffineMap, ExecutorConfig, Forall, ScheduleCache};
+use kali_repro::kali::{AffineMap, ParallelLoop, ScheduleCache};
 
 fn main() {
     const N: usize = 4096;
@@ -57,26 +57,19 @@ fn main() {
             let mut local_b = local_a.clone();
 
             // The loop body below is identical for every distribution.
-            let stencil = Forall::over(7, N, dist.clone()).range(1, N - 1);
+            let stencil = ParallelLoop::over_1d(7, N, dist.clone()).range(1, N - 1);
             let mut cache = ScheduleCache::new();
             let refs = [
                 AffineMap::shift(-1),
                 AffineMap::identity(),
                 AffineMap::shift(1),
             ];
-            let schedule = stencil.plan_affine(proc, &mut cache, &dist, &refs, 0);
-            stencil.run(
-                proc,
-                ExecutorConfig::default(),
-                &schedule,
-                &dist,
-                &local_a,
-                |i, fetch| {
-                    let v = (fetch.fetch(i - 1) + fetch.fetch(i) + fetch.fetch(i + 1)) / 3.0;
-                    fetch.proc().charge_flops(3);
-                    local_b[dist.local_index(i)] = v;
-                },
-            );
+            let schedule = stencil.plan(proc, &mut cache, &dist, &refs, 0);
+            stencil.execute(proc, 0, &schedule, &dist, &local_a, |i, fetch| {
+                let v = (fetch.fetch(i - 1) + fetch.fetch(i) + fetch.fetch(i + 1)) / 3.0;
+                fetch.proc().charge_flops(3);
+                local_b[dist.local_index(i)] = v;
+            });
             (
                 schedule.recv_len,
                 schedule.recv_partner_count(),

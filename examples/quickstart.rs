@@ -17,7 +17,7 @@
 
 use kali_repro::distrib::DimDist;
 use kali_repro::dmsim::{CostModel, Machine};
-use kali_repro::kali::{AffineMap, ExecutorConfig, Forall, ScheduleCache};
+use kali_repro::kali::{AffineMap, ParallelLoop, ScheduleCache};
 
 fn main() {
     const N: usize = 64;
@@ -39,21 +39,14 @@ fn main() {
         let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| g as f64).collect();
 
         // forall i in 0..N-1 on A[i].loc do A[i] := A[i+1] end
-        let shift = Forall::over(1, N - 1, dist.clone());
+        let shift = ParallelLoop::over_1d(1, N - 1, dist.clone());
         let mut cache = ScheduleCache::new();
-        let schedule = shift.plan_affine(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
+        let schedule = shift.plan(proc, &mut cache, &dist, &[AffineMap::shift(1)], 0);
 
         let mut new_a = local_a.clone();
-        shift.run(
-            proc,
-            ExecutorConfig::default(),
-            &schedule,
-            &dist,
-            &local_a,
-            |i, fetch| {
-                new_a[dist.local_index(i)] = fetch.fetch(i + 1);
-            },
-        );
+        shift.execute(proc, 0, &schedule, &dist, &local_a, |i, fetch| {
+            new_a[dist.local_index(i)] = fetch.fetch(i + 1);
+        });
 
         (rank, schedule.recv_len, schedule.send_len(), new_a)
     });

@@ -297,6 +297,65 @@ fn inspector_executor_shift_matches_across_backends() {
 }
 
 #[test]
+fn multidim_phase_change_demo_is_bit_identical_across_backends() {
+    // The 2-D phase-change demo end to end: alternating-direction smoothing
+    // over a [block, *]-distributed field, with the live field redistributed
+    // to [*, block] and back between phases under the phase-change strategy.
+    // Acceptance criterion of the multi-dimensional API: dmsim, native and
+    // the sequential replay agree bit for bit under both strategies.
+    use kali_repro::solvers::{
+        gather_multidim, multidim_field, multidim_sequential, multidim_sweeps, row_placement,
+        MultiDimConfig, PhaseStrategy,
+    };
+
+    let mut config = MultiDimConfig::new(14, 11);
+    config.rounds = 2;
+    config.sweeps_per_phase = 3;
+    let initial = multidim_field(config.rows, config.cols);
+    let expected = multidim_sequential(&config, &initial);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    for strategy in [PhaseStrategy::RowsThroughout, PhaseStrategy::PhaseChange] {
+        config.strategy = strategy;
+        for nprocs in [1usize, 2, 4] {
+            let simulated = Machine::new(nprocs, CostModel::ideal())
+                .run(|proc| multidim_sweeps(proc, &config, &initial));
+            let native =
+                NativeMachine::new(nprocs).run(|proc| multidim_sweeps(proc, &config, &initial));
+            let final_dist = row_placement(&config, nprocs);
+            let sim_field = gather_multidim(
+                &final_dist,
+                &simulated
+                    .iter()
+                    .map(|o| o.local_a.clone())
+                    .collect::<Vec<_>>(),
+            );
+            let native_field = gather_multidim(
+                &final_dist,
+                &native.iter().map(|o| o.local_a.clone()).collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                bits(&sim_field),
+                bits(&native_field),
+                "dmsim vs native, {} on {nprocs} procs",
+                strategy.name()
+            );
+            assert_eq!(
+                bits(&sim_field),
+                bits(&expected),
+                "distributed vs sequential replay, {} on {nprocs} procs",
+                strategy.name()
+            );
+            // Both stencils plan through the compile-time path on every
+            // backend: no inspector runs anywhere.
+            for o in simulated.iter().chain(&native) {
+                assert_eq!(o.cache_misses, 0);
+            }
+        }
+    }
+}
+
+#[test]
 fn redistribution_works_on_the_native_backend() {
     let n = 97;
     let native = NativeMachine::new(4).run(|proc| {
