@@ -23,6 +23,7 @@ fn main() {
     let mut ok = bench_tables::run_partition_locality();
     ok &= bench_tables::run_adaptation(bench_tables::quick_mode());
     ok &= bench_tables::run_multidim(bench_tables::quick_mode());
+    ok &= bench_tables::run_solvers(bench_tables::quick_mode());
     if !ok {
         std::process::exit(1);
     }

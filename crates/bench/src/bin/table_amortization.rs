@@ -27,10 +27,12 @@ fn main() {
             extrapolate_from: None,
             overlap: true,
             disable_schedule_cache: false,
+            convergence_check_every: None,
         };
         let cached = run_jacobi_experiment(&base);
         let uncached = run_jacobi_experiment(&ExperimentParams {
             disable_schedule_cache: true,
+            convergence_check_every: None,
             ..base
         });
         println!(

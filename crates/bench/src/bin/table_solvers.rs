@@ -1,0 +1,17 @@
+//! Session & typed reductions: CG and red–black Gauss–Seidel.
+//!
+//! Runs the two reduction-heavy solvers over a partitioned scrambled mesh on
+//! both backends and checks the Session API's claims: bit-identical
+//! residual/change histories across dmsim, native and the sequential
+//! replays; inspector cost amortised across iterations; and exact
+//! per-reduction message accounting (every reduction is `P·(P−1)` messages
+//! of 8 bytes, visible as the dmsim counter delta between a checked and an
+//! unchecked run).  `--smoke` (or `KALI_QUICK=1`) shrinks the run for CI;
+//! any violated invariant exits nonzero so CI fails loudly.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || bench_tables::quick_mode();
+    if !bench_tables::run_solvers(smoke) {
+        std::process::exit(1);
+    }
+}

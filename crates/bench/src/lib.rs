@@ -22,6 +22,7 @@
 //! | `table_partition_locality` | extension | block vs partitioned placement on scrambled meshes |
 //! | `table_adaptation`       | extension | §3.2 amortisation under adaptive-mesh churn (sweep over the adaptation interval k) |
 //! | `table_multidim`         | extension | 2-D `[block, *]` stencils: compile-time planning vs inspector fallback, and the row↔column phase-change redistribution |
+//! | `table_solvers`          | extension | Session & typed reductions: CG and red–black Gauss–Seidel with bit-identical histories, inspector amortisation and exact per-reduction message accounting |
 //! | `table_all`              | everything above in one run |
 
 use solvers::ExperimentRow;
@@ -326,6 +327,7 @@ pub fn run_partition_locality() -> bool {
         extrapolate_from: None,
         overlap: true,
         disable_schedule_cache: false,
+        convergence_check_every: None,
     };
 
     println!(
@@ -703,6 +705,7 @@ pub fn run_multidim(smoke: bool) -> bool {
                     .sum(),
                 ..CommReport::default()
             },
+            final_change: None,
             phase_comms: phase_comm_reports(&outcomes),
         };
         println!("{}", row.to_comm_line());
@@ -740,6 +743,264 @@ pub fn run_multidim(smoke: bool) -> bool {
             "\nOK: [block, *] affine stencils plan with zero inspector messages, indirect \
              references fall back to the cached inspector, and both strategies match the \
              sequential replay bit for bit on both backends"
+        );
+    }
+    ok
+}
+
+/// Run the Session & typed-reduction solver experiment (`table_solvers`)
+/// and print its tables: conjugate gradient (three interleaved loops, two
+/// dot-product reductions per iteration) and red–black Gauss–Seidel (two
+/// stripe loops sharing one session cache) over a partitioned scrambled
+/// mesh, on both backends.
+///
+/// Asserted claims:
+///
+/// * **bit-identical histories** — CG residual history and red–black change
+///   history agree bit for bit across dmsim, native and the sequential
+///   replays;
+/// * **inspector amortisation** — CG's inspector cost per iteration falls
+///   as the iteration count grows (the mat-vec is inspected once, then the
+///   cache serves every iteration);
+/// * **per-reduction message accounting** — every reduction is exactly
+///   `P·(P−1)` machine-wide messages of 8 bytes: the dmsim counter delta
+///   between a checked and an unchecked red–black run matches the session's
+///   reduction count exactly.
+///
+/// Returns `true` when every claim holds; the binary exits nonzero
+/// otherwise (CI runs it with `--smoke`).
+pub fn run_solvers(smoke: bool) -> bool {
+    use dmsim::{CostModel, Machine};
+    use kali_native::NativeMachine;
+    use solvers::{
+        cg_sequential, cg_solve, partitioned_dist, redblack_sequential, redblack_sweeps, CgConfig,
+        RedBlackConfig,
+    };
+
+    let (side, nprocs, cg_iters, rb_sweeps) = if smoke {
+        (10, 4, 8, 8)
+    } else {
+        (32, 8, 40, 60)
+    };
+    let mut ok = true;
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let mesh = meshes::UnstructuredMeshBuilder::new(side, side)
+        .seed(1990)
+        .scramble_numbering(true)
+        .build();
+    let b: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 17) % 13) as f64 * 0.25 - 1.0)
+        .collect();
+    let replay_dist = distrib::DimDist::custom(meshes::greedy_partition(&mesh, nprocs), nprocs);
+
+    println!(
+        "\n=== Session & typed reductions: solvers on a partitioned {side}x{side} scrambled \
+         mesh (NCUBE/7, {nprocs} processors) ==="
+    );
+
+    // ---- Conjugate gradient ------------------------------------------------
+    let config = CgConfig::with_iters(cg_iters);
+    let machine = Machine::new(nprocs, CostModel::ncube7());
+    let (outcomes, _stats) = machine.run_stats(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        cg_solve(proc, &mesh, &dist, &b, &config)
+    });
+    let native_outcomes = NativeMachine::new(nprocs).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        cg_solve(proc, &mesh, &dist, &b, &config)
+    });
+    let (_, seq_history) = cg_sequential(&mesh, &b, &config, &replay_dist);
+
+    let o = &outcomes[0];
+    let iters = o.iterations.max(1);
+    let reductions_per_rank = o.stats.reductions;
+    let reduction_msgs = reductions_per_rank * (nprocs as u64) * (nprocs as u64 - 1);
+    let inspector = outcomes
+        .iter()
+        .map(|x| x.inspector_time)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nconjugate gradient: {} iterations, residual {:.3e} -> {:.3e}",
+        o.iterations,
+        o.residual_history[0],
+        o.residual_history.last().unwrap()
+    );
+    println!(
+        "{:>14}  {:>16}  {:>18}  {:>13}  {:>15}  {:>10}  {:>6}",
+        "reductions",
+        "reductions/iter",
+        "reduce msgs total",
+        "inspector (s)",
+        "inspector/iter",
+        "cache hit",
+        "miss"
+    );
+    println!(
+        "{:>14}  {:>16.2}  {:>18}  {:>13.4}  {:>15.6}  {:>10}  {:>6}",
+        reductions_per_rank,
+        (reductions_per_rank as f64 - 1.0) / iters as f64, // minus the initial ⟨b,b⟩
+        reduction_msgs,
+        inspector,
+        inspector / iters as f64,
+        outcomes.iter().map(|x| x.stats.cache.hits).sum::<u64>(),
+        outcomes.iter().map(|x| x.stats.cache.misses).sum::<u64>(),
+    );
+
+    let convergence_factor = if smoke { 1e-3 } else { 1e-10 };
+    if o.residual_history.last().unwrap() >= &(o.residual_history[0] * convergence_factor) {
+        println!("FAIL: CG did not converge on the partitioned mesh");
+        ok = false;
+    }
+    if native_outcomes
+        .iter()
+        .any(|n| bits(&n.residual_history) != bits(&o.residual_history))
+    {
+        println!("FAIL: CG residual history diverges between dmsim and native");
+        ok = false;
+    }
+    if bits(&o.residual_history) != bits(&seq_history) {
+        println!("FAIL: CG residual history diverges from the sequential replay");
+        ok = false;
+    }
+    if o.stats.cache.misses != 1 {
+        println!(
+            "FAIL: the static-mesh mat-vec must inspect exactly once, saw {}",
+            o.stats.cache.misses
+        );
+        ok = false;
+    }
+
+    // Amortisation: a run 4x as long pays (nearly) the same inspector cost,
+    // so the per-iteration share must fall strictly.
+    let short = CgConfig::with_iters((cg_iters / 4).max(1));
+    let short_outcomes = Machine::new(nprocs, CostModel::ncube7()).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        cg_solve(proc, &mesh, &dist, &b, &short)
+    });
+    let short_inspector = short_outcomes
+        .iter()
+        .map(|x| x.inspector_time)
+        .fold(0.0f64, f64::max);
+    let short_per_iter = short_inspector / short.iters as f64;
+    let long_per_iter = inspector / iters as f64;
+    println!(
+        "inspector amortisation: {:.6} s/iter over {} iters vs {:.6} s/iter over {} iters",
+        short_per_iter, short.iters, long_per_iter, iters
+    );
+    if long_per_iter >= short_per_iter {
+        println!("FAIL: inspector cost per iteration must fall as iterations grow");
+        ok = false;
+    }
+
+    // ---- Red–black Gauss–Seidel -------------------------------------------
+    let checked = RedBlackConfig {
+        sweeps: rb_sweeps,
+        check_every: Some(1),
+        ..RedBlackConfig::default()
+    };
+    let unchecked = RedBlackConfig {
+        check_every: None,
+        ..checked
+    };
+    let machine = Machine::new(nprocs, CostModel::ncube7());
+    let (rb_outcomes, rb_stats) = machine.run_stats(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        redblack_sweeps(proc, &mesh, &dist, &b, &checked)
+    });
+    let (_rb_quiet, quiet_stats) = Machine::new(nprocs, CostModel::ncube7()).run_stats(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        redblack_sweeps(proc, &mesh, &dist, &b, &unchecked)
+    });
+    let rb_native = NativeMachine::new(nprocs).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        redblack_sweeps(proc, &mesh, &dist, &b, &checked)
+    });
+    let (_, rb_seq_history) = redblack_sequential(&mesh, &b, &checked, &replay_dist);
+
+    let rb = &rb_outcomes[0];
+    println!(
+        "\nred-black Gauss-Seidel: {} sweeps, change norm {:.3e} -> {:.3e}",
+        rb_sweeps,
+        rb.change_history[0],
+        rb.change_history.last().unwrap()
+    );
+    println!(
+        "{:>14}  {:>12}  {:>12}  {:>10}  {:>6}  {:>14}  {:>16}",
+        "reductions",
+        "red halo",
+        "black halo",
+        "cache hit",
+        "miss",
+        "msgs (checked)",
+        "msgs (unchecked)"
+    );
+    println!(
+        "{:>14}  {:>12}  {:>12}  {:>10}  {:>6}  {:>14}  {:>16}",
+        rb.stats.reductions,
+        rb_outcomes
+            .iter()
+            .map(|x| x.red_recv_elements)
+            .sum::<usize>(),
+        rb_outcomes
+            .iter()
+            .map(|x| x.black_recv_elements)
+            .sum::<usize>(),
+        rb_outcomes.iter().map(|x| x.stats.cache.hits).sum::<u64>(),
+        rb_outcomes
+            .iter()
+            .map(|x| x.stats.cache.misses)
+            .sum::<u64>(),
+        rb_stats.totals.msgs_sent,
+        quiet_stats.totals.msgs_sent,
+    );
+
+    if rb.stats.cache.misses != 2 || rb.stats.loops_allocated != 2 {
+        println!("FAIL: the two colour loops must each inspect once into one shared cache");
+        ok = false;
+    }
+    if rb.change_history.last().unwrap() >= &rb.change_history[0] {
+        println!("FAIL: red-black change norm did not fall");
+        ok = false;
+    }
+    for n in rb_native.iter() {
+        if bits(&n.change_history) != bits(&rb.change_history) {
+            println!("FAIL: red-black change history diverges between dmsim and native");
+            ok = false;
+            break;
+        }
+    }
+    if bits(&rb.change_history) != bits(&rb_seq_history) {
+        println!("FAIL: red-black change history diverges from the sequential replay");
+        ok = false;
+    }
+
+    // Per-reduction message accounting: the counter delta between the
+    // checked and unchecked runs is exactly P·(P−1) messages of 8 bytes per
+    // reduction performed.
+    let machine_reductions: u64 = rb_outcomes.iter().map(|x| x.stats.reductions).sum();
+    let expected_msgs =
+        (machine_reductions / nprocs as u64) * (nprocs as u64) * (nprocs as u64 - 1);
+    let msg_delta = rb_stats.totals.msgs_sent - quiet_stats.totals.msgs_sent;
+    let byte_delta = rb_stats.totals.bytes_sent - quiet_stats.totals.bytes_sent;
+    println!(
+        "per-reduction accounting: {} reductions -> {} messages / {} bytes (expected {} / {})",
+        machine_reductions / nprocs as u64,
+        msg_delta,
+        byte_delta,
+        expected_msgs,
+        expected_msgs * 8,
+    );
+    if msg_delta != expected_msgs || byte_delta != expected_msgs * 8 {
+        println!("FAIL: reduction messages are not accounted exactly");
+        ok = false;
+    }
+
+    if ok {
+        println!(
+            "\nOK: CG and red-black converge with bit-identical histories across dmsim, native \
+             and the sequential replays; the inspector amortises across iterations; and every \
+             reduction's messages are accounted exactly"
         );
     }
     ok

@@ -276,6 +276,38 @@ impl ScheduleCache {
     pub fn peak_resident(&self) -> usize {
         self.peak_resident
     }
+
+    /// One snapshot of every gauge and counter — what the solvers copy into
+    /// their outcome structs (via `Session::stats`) instead of reading six
+    /// getters by hand.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_entries: self.map.len(),
+            resident_bytes: self.resident_bytes,
+            peak_resident: self.peak_resident,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`ScheduleCache`]'s meters (see
+/// [`ScheduleCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache hits so far.
+    pub hits: u64,
+    /// Cache misses (inspector executions) so far.
+    pub misses: u64,
+    /// Entries evicted so far.
+    pub evictions: u64,
+    /// Schedules currently resident.
+    pub resident_entries: usize,
+    /// Approximate bytes held by the resident schedules.
+    pub resident_bytes: usize,
+    /// Highest number of simultaneously resident schedules seen.
+    pub peak_resident: usize,
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use distrib::{combine_fingerprints, DimDist, Distribution};
 use crate::cache::{LoopKey, ScheduleCache};
 use crate::executor::{execute_sweep, ExecutorConfig, Fetcher};
 use crate::inspector::{owner_computes_iters, run_inspector};
-use crate::process::Process;
+use crate::process::{Process, Reduce, ReduceOp};
 use crate::schedule::CommSchedule;
 use crate::space::{IterSpace, Span};
 
@@ -209,6 +209,80 @@ impl<S: IterSpace> ParallelLoop<S> {
             local_data,
             body,
         )
+    }
+
+    /// Execute one sweep in which the loop is also a **reduction**: the body
+    /// returns one contribution per iteration and the loop's value is the
+    /// global reduction of all contributions under the typed operator `R` —
+    /// the paper's convergence tests and dot products as first-class loop
+    /// outputs instead of an out-of-band `allreduce` hack.
+    ///
+    /// The combining order is fixed and backend independent (the
+    /// [`ReduceOp`] determinism contract): contributions fold in ascending
+    /// **iteration** order on each rank — regardless of the executor's
+    /// local-then-nonlocal execution order — and the per-rank partials
+    /// combine in ascending **rank** order through the generic
+    /// [`Process::allreduce`].  The result is therefore bitwise identical on
+    /// every rank, across dmsim and native, and against a sequential replay
+    /// folding the same per-rank partial structure.
+    ///
+    /// The collective runs *inside* the planned pipeline: its messages go
+    /// through the backend like any other communication (so dmsim charges
+    /// them), and the folds charge one flop per combine.
+    #[allow(clippy::too_many_arguments)] // mirrors execute_config + the reduction op
+    pub fn execute_reduce<P, D, T, R, F>(
+        &self,
+        proc: &mut P,
+        config: ExecutorConfig,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        _op: Reduce<R>,
+        mut body: F,
+    ) -> R::Acc
+    where
+        P: Process,
+        D: Distribution + ?Sized,
+        T: Copy + Send + 'static,
+        R: ReduceOp,
+        F: FnMut(usize, &mut Fetcher<'_, T, P, D>) -> R::Input,
+    {
+        // Contributions arrive in executor order: the local iterations,
+        // then the nonlocal ones — two ascending runs.  Merge-fold them in
+        // ascending iteration order so the fold is a function of the loop
+        // alone, not of the schedule's local/nonlocal split.
+        let boundary = schedule.local_iters.len();
+        let mut contributions: Vec<(usize, R::Input)> =
+            Vec::with_capacity(boundary + schedule.nonlocal_iters.len());
+        execute_sweep(proc, config, schedule, data_dist, local_data, |i, fetch| {
+            let v = body(i, fetch);
+            contributions.push((i, v));
+        });
+        proc.charge_flops(contributions.len());
+        let (local, nonlocal) = contributions.split_at(boundary);
+        debug_assert!(local.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(nonlocal.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut acc = R::identity();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < local.len() && j < nonlocal.len() {
+            if local[i].0 < nonlocal[j].0 {
+                acc = R::combine(acc, R::lift(local[i].1));
+                i += 1;
+            } else {
+                acc = R::combine(acc, R::lift(nonlocal[j].1));
+                j += 1;
+            }
+        }
+        for &(_, v) in &local[i..] {
+            acc = R::combine(acc, R::lift(v));
+        }
+        for &(_, v) in &nonlocal[j..] {
+            acc = R::combine(acc, R::lift(v));
+        }
+        let partial = acc;
+        proc.charge_flops(proc.nprocs().saturating_sub(1));
+        let total = proc.allreduce(partial, |a, b| R::combine(*a, *b));
+        R::finish(total)
     }
 
     /// Like [`ParallelLoop::execute`] with an explicit [`ExecutorConfig`]

@@ -39,10 +39,17 @@
 //!   stale generations, redistribution reclaims retired placements by
 //!   fingerprint, and residency stays capped under adaptive-mesh churn.
 //! * [`forall`] — the typed front-end tying the pieces together:
-//!   [`ParallelLoop`], one plan→execute pipeline generic over an iteration
-//!   [`space`] ([`Span`] 1-D ranges, [`Rect`] rectangular 2-D/3-D boxes over
+//!   [`ParallelLoop`], one plan→execute→reduce pipeline generic over an
+//!   iteration [`space`] ([`Span`] 1-D ranges, [`Stripe`] strided colour
+//!   classes, [`Rect`] rectangular 2-D/3-D boxes over
 //!   `dist by [block, *]`-style [`distrib::ArrayDist`] decompositions,
-//!   linearised row-major through [`distrib::FlatDist`]).
+//!   linearised row-major through [`distrib::FlatDist`]).  Reductions are
+//!   first-class loop outputs ([`ParallelLoop::execute_reduce`]): the body's
+//!   per-iteration contributions fold under a typed
+//!   [`ReduceOp`] in a fixed, backend-independent order.
+//! * [`session`] — the per-rank [`Session`] owning the execute-side state
+//!   every program needs: the schedule cache, loop-id / sweep-tag / epoch
+//!   allocation, data-version tracking and reduction metering.
 //! * [`mod@redistribute`] — an extension: move a live distributed array from one
 //!   distribution to another with a closed-form schedule, supporting the
 //!   paper's "just change the dist clause" workflow across program phases.
@@ -65,17 +72,19 @@ pub mod ownermap;
 pub mod process;
 pub mod redistribute;
 pub mod schedule;
+pub mod session;
 pub mod space;
 
 pub use analysis::affine::AffineMap;
 pub use analysis::multi::MultiAffineMap;
 pub use array::DistArray;
-pub use cache::{LoopKey, ScheduleCache};
+pub use cache::{CacheStats, LoopKey, ScheduleCache};
 pub use executor::{execute_sweep, ExecutorConfig, Fetcher};
 pub use forall::{forall_local, ParallelLoop};
 pub use inspector::{owner_computes_range, run_inspector};
 pub use ownermap::DistOwnerMap;
-pub use process::Process;
+pub use process::{Max, Min, Norm2, Process, Reduce, ReduceOp, Sum};
 pub use redistribute::{redistribute, redistribute_epoch, redistribution_schedule};
 pub use schedule::{CommSchedule, RangeRecord};
-pub use space::{IterSpace, Rect, Span};
+pub use session::{Session, SessionStats};
+pub use space::{IterSpace, Rect, Span, Stripe};

@@ -20,4 +20,6 @@
 //! crate so backends can implement it without pulling in the analysis
 //! layer; this module re-exports it as the crate's official path.
 
-pub use kali_process::{tags, Counters, Process, Tag};
+pub use kali_process::{
+    combine_partials, tags, Counters, Max, Min, Norm2, Process, Reduce, ReduceOp, Sum, Tag,
+};

@@ -1,0 +1,535 @@
+//! The [`Session`]: one per-rank handle owning the execute-side runtime
+//! state a Kali program needs.
+//!
+//! The paper's programs are sequences of `forall`s interleaved with global
+//! reductions.  Before this module, every solver hand-wired the same
+//! plumbing: a `ScheduleCache` built by hand, `const LOOP_ID` magic numbers,
+//! a manually threaded sweep counter for executor tags, a manually threaded
+//! epoch counter for redistributions, `proc.time()` bracketing around every
+//! plan call, and raw `allreduce_sum_f64` calls outside the pipeline.  A
+//! `Session` owns all of it:
+//!
+//! * the **schedule cache** — one per session, shared by every loop the
+//!   session allocates (two interleaved `forall`s — red/black half-sweeps —
+//!   share the cache but never a schedule, because their loop ids differ);
+//! * **loop-id allocation** ([`Session::loop_1d`], [`Session::loop_over`]) —
+//!   ids are handed out in program order, which is identical on every rank
+//!   of an SPMD program, so the cache keys stay in lockstep;
+//! * **sweep-tag allocation** — [`Session::execute`] stamps each execution
+//!   with the next tag from one monotonically increasing counter (wrapping
+//!   inside the executor's tag window), so interleaved loops can never
+//!   confuse their in-flight messages;
+//! * **data-version tracking** — [`Session::bump_data_version`] after a mesh
+//!   adaptation makes every subsequent plan re-inspect exactly once;
+//! * **redistribution epochs** — [`Session::redistribute`] tags each move
+//!   with the next epoch and [`Session::retire_placement`] reclaims the
+//!   retired placement's schedules from the cache;
+//! * **metering** — inspector time (accumulated around every plan call) and
+//!   reduction counts/bytes ([`Session::execute_reduce`]), snapshotted by
+//!   [`Session::stats`] for the solvers' outcome structs.
+//!
+//! Reductions are **first-class loop outputs** here:
+//! [`Session::execute_reduce`] executes a planned sweep whose body returns
+//! one contribution per iteration and reduces them under a typed
+//! [`ReduceOp`] — deterministically ordered, so
+//! dmsim, native and a sequential replay agree bit for bit — while the
+//! collective's messages are charged like any other communication.
+
+use std::sync::Arc;
+
+use distrib::Distribution;
+
+use crate::cache::{CacheStats, ScheduleCache};
+use crate::executor::{ExecutorConfig, Fetcher};
+use crate::forall::ParallelLoop;
+use crate::process::{Process, Reduce, ReduceOp};
+use crate::redistribute::redistribute_epoch;
+use crate::schedule::CommSchedule;
+use crate::space::{IterSpace, Span};
+
+/// Per-rank execute-side runtime state: schedule cache, loop-id / sweep-tag /
+/// epoch allocation, data-version tracking and reduction metering (see the
+/// module docs).
+///
+/// A `Session` is SPMD state: every rank constructs one at the same point of
+/// the program and calls the same methods in the same order, which keeps the
+/// allocated ids, tags, versions and cache key sequences identical
+/// everywhere — the lockstep the collective inspector requires.
+#[derive(Debug)]
+pub struct Session {
+    cache: ScheduleCache,
+    next_loop_id: u64,
+    sweep: usize,
+    epoch: u64,
+    data_version: u64,
+    overlap: bool,
+    loops_allocated: u64,
+    sweeps_executed: u64,
+    redistributions: u64,
+    reductions: u64,
+    reduction_bytes: u64,
+    inspector_time: f64,
+}
+
+/// A snapshot of one session's meters, for outcome structs and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Schedule-cache meters (hits, misses, evictions, residency).
+    pub cache: CacheStats,
+    /// Loops allocated by this session.
+    pub loops_allocated: u64,
+    /// Sweeps executed (plain and reducing).
+    pub sweeps_executed: u64,
+    /// Redistributions performed.
+    pub redistributions: u64,
+    /// Reductions performed ([`Session::execute_reduce`] calls).
+    pub reductions: u64,
+    /// Payload bytes this rank sent for those reductions (the allgather's
+    /// `(P − 1) · size_of::<Acc>()` per reduction).
+    pub reduction_bytes: u64,
+    /// Simulated seconds this rank spent planning (inspector + closed-form
+    /// analysis), accumulated around every plan call.
+    pub inspector_time: f64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with the default schedule-cache capacity.
+    pub fn new() -> Self {
+        Session::with_cache_capacity(crate::cache::DEFAULT_CAPACITY)
+    }
+
+    /// A session whose schedule cache holds at most `capacity` schedules.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        Session {
+            cache: ScheduleCache::with_capacity(capacity),
+            next_loop_id: 1,
+            sweep: 0,
+            epoch: 0,
+            data_version: 0,
+            overlap: true,
+            loops_allocated: 0,
+            sweeps_executed: 0,
+            redistributions: 0,
+            reductions: 0,
+            reduction_bytes: 0,
+            inspector_time: 0.0,
+        }
+    }
+
+    /// Set whether executions overlap communication with local iterations
+    /// (the paper's executor shape; disabling it is the ablation knob).
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
+    }
+
+    /// Builder form of [`Session::set_overlap`].
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.set_overlap(overlap);
+        self
+    }
+
+    // ----------------------------------------------------------------
+    // Loop allocation
+    // ----------------------------------------------------------------
+
+    /// Allocate the next loop id.  Ids are handed out in program order
+    /// (identical on every rank of an SPMD program) and are unique within
+    /// the session — which is all the session's own cache requires.
+    pub fn alloc_loop_id(&mut self) -> u64 {
+        let id = self.next_loop_id;
+        self.next_loop_id += 1;
+        self.loops_allocated += 1;
+        id
+    }
+
+    /// Describe a loop over `space` with an owner-computes on-clause,
+    /// allocating its id from this session.
+    pub fn loop_over<S: IterSpace>(&mut self, space: S, on_dist: S::Dist) -> ParallelLoop<S> {
+        let id = self.alloc_loop_id();
+        ParallelLoop::over(id, space, on_dist)
+    }
+
+    /// Describe `forall i in 0..n on A[i].loc` (the 1-D shorthand),
+    /// allocating its id from this session.
+    pub fn loop_1d(&mut self, n: usize, on_dist: distrib::DimDist) -> ParallelLoop<Span> {
+        self.loop_over(Span::upto(n), on_dist)
+    }
+
+    // ----------------------------------------------------------------
+    // Data versions
+    // ----------------------------------------------------------------
+
+    /// The current data version (the generation of the run-time data
+    /// controlling subscripts — the paper's `adj` array).
+    pub fn data_version(&self) -> u64 {
+        self.data_version
+    }
+
+    /// Bump the data version (after a mesh adaptation): every subsequent
+    /// plan misses once, and the cache's generation self-invalidation
+    /// reclaims the dead generation's schedules.  Returns the new version.
+    pub fn bump_data_version(&mut self) -> u64 {
+        self.data_version += 1;
+        self.data_version
+    }
+
+    // ----------------------------------------------------------------
+    // Planning (timed, against the session's cache and version)
+    // ----------------------------------------------------------------
+
+    /// Plan affine references through [`ParallelLoop::plan`] using the
+    /// session's cache and current data version, accumulating the elapsed
+    /// (simulated) time into the session's inspector meter.
+    pub fn plan<P, S>(
+        &mut self,
+        proc: &mut P,
+        loop_: &ParallelLoop<S>,
+        data_dist: &S::Dist,
+        refs: &[S::Map],
+    ) -> Arc<CommSchedule>
+    where
+        P: Process,
+        S: IterSpace,
+    {
+        let before = proc.time();
+        let schedule = loop_.plan(proc, &mut self.cache, data_dist, refs, self.data_version);
+        self.inspector_time += proc.time() - before;
+        schedule
+    }
+
+    /// Plan data-dependent references through
+    /// [`ParallelLoop::plan_indirect`] using the session's cache and current
+    /// data version, accumulating the elapsed time into the inspector meter.
+    pub fn plan_indirect<P, S, D, F>(
+        &mut self,
+        proc: &mut P,
+        loop_: &ParallelLoop<S>,
+        data_dist: &D,
+        refs_of: F,
+    ) -> Arc<CommSchedule>
+    where
+        P: Process,
+        S: IterSpace,
+        D: Distribution + ?Sized,
+        F: FnMut(usize, &mut Vec<usize>),
+    {
+        let before = proc.time();
+        let schedule =
+            loop_.plan_indirect(proc, &mut self.cache, data_dist, self.data_version, refs_of);
+        self.inspector_time += proc.time() - before;
+        schedule
+    }
+
+    // ----------------------------------------------------------------
+    // Execution (sweep tags allocated here)
+    // ----------------------------------------------------------------
+
+    /// The executor configuration for the next sweep: the session's
+    /// monotonic sweep counter (wrapped inside the executor tag window by
+    /// [`ExecutorConfig::sweep`]) plus the session's overlap setting.
+    fn next_sweep_config(&mut self) -> ExecutorConfig {
+        let config = ExecutorConfig::sweep(self.sweep).with_overlap(self.overlap);
+        self.sweep += 1;
+        self.sweeps_executed += 1;
+        config
+    }
+
+    /// Execute one sweep of a planned loop, stamping it with the next sweep
+    /// tag.  Returns the number of iterations executed locally.
+    pub fn execute<P, S, D, T, F>(
+        &mut self,
+        proc: &mut P,
+        loop_: &ParallelLoop<S>,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        body: F,
+    ) -> usize
+    where
+        P: Process,
+        S: IterSpace,
+        D: Distribution + ?Sized,
+        T: Copy + Send + 'static,
+        F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
+    {
+        let config = self.next_sweep_config();
+        loop_.execute_config(proc, config, schedule, data_dist, local_data, body)
+    }
+
+    /// Execute one sweep whose value is a typed global reduction of the
+    /// body's per-iteration contributions
+    /// ([`ParallelLoop::execute_reduce`]), stamping it with the next sweep
+    /// tag and metering the reduction (count and bytes) in the session.
+    #[allow(clippy::too_many_arguments)] // mirrors ParallelLoop::execute_reduce
+    pub fn execute_reduce<P, S, D, T, R, F>(
+        &mut self,
+        proc: &mut P,
+        loop_: &ParallelLoop<S>,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        op: Reduce<R>,
+        body: F,
+    ) -> R::Acc
+    where
+        P: Process,
+        S: IterSpace,
+        D: Distribution + ?Sized,
+        T: Copy + Send + 'static,
+        R: ReduceOp,
+        F: FnMut(usize, &mut Fetcher<'_, T, P, D>) -> R::Input,
+    {
+        let config = self.next_sweep_config();
+        let value = loop_.execute_reduce(proc, config, schedule, data_dist, local_data, op, body);
+        self.reductions += 1;
+        self.reduction_bytes += (proc.nprocs() as u64 - 1) * std::mem::size_of::<R::Acc>() as u64;
+        value
+    }
+
+    // ----------------------------------------------------------------
+    // Redistribution (epochs allocated here)
+    // ----------------------------------------------------------------
+
+    /// Move a live array between distributions, tagging the traffic with
+    /// the session's next redistribution epoch.
+    pub fn redistribute<P, A, B, T>(
+        &mut self,
+        proc: &mut P,
+        from: &A,
+        to: &B,
+        local_data: &[T],
+    ) -> Vec<T>
+    where
+        P: Process,
+        A: Distribution + ?Sized,
+        B: Distribution + ?Sized,
+        T: Copy + Default + Send + 'static,
+    {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        self.redistributions += 1;
+        redistribute_epoch(proc, from, to, local_data, epoch)
+    }
+
+    /// Reclaim every cached schedule `loop_` built under `retired` — the
+    /// companion of a rebalancing [`Session::redistribute`]: once the data
+    /// has moved, schedules describing the old placement are dead weight.
+    /// Returns the number of entries reclaimed.
+    pub fn retire_placement<S, D>(&mut self, loop_: &ParallelLoop<S>, retired: &D) -> usize
+    where
+        S: IterSpace,
+        D: Distribution + ?Sized,
+    {
+        // The combined fingerprint in the cache key is version independent,
+        // so probing with version 0 names every generation built under the
+        // retired placement.
+        let fingerprint = loop_.cache_key(retired, 0).dist_fingerprint;
+        self.cache.invalidate_fingerprint(fingerprint)
+    }
+
+    // ----------------------------------------------------------------
+    // Introspection
+    // ----------------------------------------------------------------
+
+    /// Direct access to the schedule cache (escape hatch for tests and
+    /// tooling; programs normally go through the planning methods).
+    pub fn cache(&mut self) -> &mut ScheduleCache {
+        &mut self.cache
+    }
+
+    /// Simulated seconds this rank has spent planning so far.
+    pub fn inspector_time(&self) -> f64 {
+        self.inspector_time
+    }
+
+    /// Snapshot every session meter.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            cache: self.cache.stats(),
+            loops_allocated: self.loops_allocated,
+            sweeps_executed: self.sweeps_executed,
+            redistributions: self.redistributions,
+            reductions: self.reductions,
+            reduction_bytes: self.reduction_bytes,
+            inspector_time: self.inspector_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::affine::AffineMap;
+    use crate::process::Sum;
+    use distrib::DimDist;
+    use dmsim::{CostModel, Machine};
+
+    #[test]
+    fn sessions_allocate_distinct_loop_ids_and_share_one_cache() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(32, proc.nprocs());
+            let mut session = Session::new();
+            let a = session.loop_1d(32, dist.clone());
+            let b = session.loop_1d(32, dist.clone());
+            assert_ne!(a.loop_id, b.loop_id, "ids must be distinct");
+            let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 5) % 32);
+            session.plan_indirect(proc, &a, &dist, refs);
+            session.plan_indirect(proc, &b, &dist, refs);
+            let stats = session.stats();
+            assert_eq!(stats.cache.misses, 2, "one inspector run per loop");
+            assert_eq!(stats.loops_allocated, 2);
+            // Replanning either loop hits the shared cache.
+            session.plan_indirect(proc, &a, &dist, refs);
+            session.plan_indirect(proc, &b, &dist, refs);
+            assert_eq!(session.stats().cache.hits, 2);
+        });
+    }
+
+    #[test]
+    fn version_bumps_force_reinspection_through_the_session() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(24, proc.nprocs());
+            let mut session = Session::new();
+            let loop_ = session.loop_1d(24, dist.clone());
+            let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 7) % 24);
+            session.plan_indirect(proc, &loop_, &dist, refs);
+            session.plan_indirect(proc, &loop_, &dist, refs);
+            assert_eq!(session.stats().cache.misses, 1);
+            assert_eq!(session.bump_data_version(), 1);
+            session.plan_indirect(proc, &loop_, &dist, refs);
+            let stats = session.stats();
+            assert_eq!(stats.cache.misses, 2, "new version must re-inspect");
+            assert_eq!(
+                stats.cache.evictions, 1,
+                "the dead generation must be reclaimed"
+            );
+        });
+    }
+
+    #[test]
+    fn execute_allocates_monotonic_sweep_tags() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let n = 16;
+            let dist = DimDist::block(n, proc.nprocs());
+            let mut session = Session::new();
+            let loop_ = session.loop_1d(n - 1, dist.clone());
+            let schedule = session.plan(proc, &loop_, &dist, &[AffineMap::shift(1)]);
+            let local: Vec<f64> = dist
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| g as f64)
+                .collect();
+            let mut out = local.clone();
+            for _ in 0..3 {
+                session.execute(proc, &loop_, &schedule, &dist, &local, |i, fetch| {
+                    out[dist.local_index(i)] = fetch.fetch(i + 1);
+                });
+            }
+            assert_eq!(session.stats().sweeps_executed, 3);
+        });
+    }
+
+    #[test]
+    fn execute_reduce_meters_the_reduction() {
+        let machine = Machine::new(4, CostModel::ideal());
+        let results = machine.run(|proc| {
+            let n = 20;
+            let dist = DimDist::block(n, proc.nprocs());
+            let mut session = Session::new();
+            let loop_ = session.loop_1d(n, dist.clone());
+            let schedule = session.plan(proc, &loop_, &dist, &[AffineMap::identity()]);
+            let local: Vec<f64> = dist
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| g as f64)
+                .collect();
+            let total = session.execute_reduce(
+                proc,
+                &loop_,
+                &schedule,
+                &dist,
+                &local,
+                Reduce::<Sum<f64>>::new(),
+                |i, fetch| fetch.fetch(i),
+            );
+            (total, session.stats())
+        });
+        let expected: f64 = (0..20).map(|i| i as f64).sum();
+        for (total, stats) in &results {
+            assert_eq!(*total, expected);
+            assert_eq!(stats.reductions, 1);
+            assert_eq!(stats.reduction_bytes, 3 * 8, "(P-1) * size_of::<f64>()");
+            assert_eq!(stats.sweeps_executed, 1);
+        }
+        // Bitwise identical across ranks.
+        for w in results.windows(2) {
+            assert_eq!(w[0].0.to_bits(), w[1].0.to_bits());
+        }
+    }
+
+    #[test]
+    fn redistribute_allocates_epochs_and_retire_reclaims_schedules() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let n = 24;
+            let block = DimDist::block(n, proc.nprocs());
+            let cyclic = DimDist::cyclic(n, proc.nprocs());
+            let mut session = Session::new();
+            let loop_ = session.loop_1d(n, block.clone());
+            let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 5) % 24);
+            session.plan_indirect(proc, &loop_, &block, refs);
+            assert_eq!(session.stats().cache.resident_entries, 1);
+
+            let data: Vec<u64> = block
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| g as u64)
+                .collect();
+            let moved = session.redistribute(proc, &block, &cyclic, &data);
+            let expected: Vec<u64> = cyclic
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| g as u64)
+                .collect();
+            assert_eq!(moved, expected);
+            assert_eq!(session.stats().redistributions, 1);
+
+            // Retiring the old placement reclaims its schedule.
+            assert_eq!(session.retire_placement(&loop_, &block), 1);
+            assert_eq!(session.stats().cache.resident_entries, 0);
+            assert_eq!(session.stats().cache.evictions, 1);
+        });
+    }
+
+    #[test]
+    fn overlap_knob_threads_through_to_the_executor() {
+        // Results are independent of overlap; this just exercises the knob.
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let n = 16;
+            let dist = DimDist::block(n, proc.nprocs());
+            let mut session = Session::new().overlap(false);
+            let loop_ = session.loop_1d(n - 1, dist.clone());
+            let schedule = session.plan(proc, &loop_, &dist, &[AffineMap::shift(1)]);
+            let local: Vec<f64> = dist
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| (g * 3) as f64)
+                .collect();
+            let mut out = local.clone();
+            session.execute(proc, &loop_, &schedule, &dist, &local, |i, fetch| {
+                out[dist.local_index(i)] = fetch.fetch(i + 1);
+            });
+            session.set_overlap(true);
+        });
+    }
+}

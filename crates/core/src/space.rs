@@ -140,6 +140,87 @@ impl IterSpace for Span {
     }
 }
 
+/// A strided 1-D iteration set `{ lo, lo + step, lo + 2·step, … } ∩ [lo, hi)`
+/// — the space of a *coloured* sweep such as the red or black half of a
+/// red–black Gauss–Seidel relaxation (`forall i in 0..n by 2`).
+///
+/// A stripe loop executes only the congruence class it names, so its
+/// schedule covers exactly that class's references: two interleaved stripe
+/// loops over the same array (distinct loop ids) share one schedule cache
+/// without ever sharing a schedule.
+///
+/// Strided exec sets have no closed-form treatment in the compile-time
+/// analyser, so planning always falls back to the (cached) inspector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stripe {
+    /// First iteration (also the phase of the congruence class).
+    pub lo: usize,
+    /// One past the last candidate iteration.
+    pub hi: usize,
+    /// Stride between consecutive iterations.
+    pub step: usize,
+}
+
+impl Stripe {
+    /// The set `{ lo, lo + step, … } ∩ [lo, hi)`.
+    pub fn new(lo: usize, hi: usize, step: usize) -> Self {
+        assert!(lo <= hi, "degenerate range [{lo}, {hi})");
+        assert!(step > 0, "stride must be positive");
+        Stripe { lo, hi, step }
+    }
+
+    /// Number of iterations in the stripe.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo).div_ceil(self.step)
+    }
+
+    /// True when the stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// True when `i` belongs to the stripe.
+    pub fn contains(&self, i: usize) -> bool {
+        i >= self.lo && i < self.hi && (i - self.lo).is_multiple_of(self.step)
+    }
+}
+
+impl IterSpace for Stripe {
+    type Dist = DimDist;
+    type Map = AffineMap;
+
+    fn exec_iters(&self, on: &DimDist, rank: usize) -> Vec<usize> {
+        owner_computes_range(on, rank, self.lo, self.hi)
+            .into_iter()
+            .filter(|&i| (i - self.lo).is_multiple_of(self.step))
+            .collect()
+    }
+
+    fn analyze(
+        &self,
+        _on: &DimDist,
+        _data: &DimDist,
+        _refs: &[AffineMap],
+        _rank: usize,
+    ) -> Option<CommSchedule> {
+        // No closed form for strided exec sets: fall back to the inspector.
+        None
+    }
+
+    fn apply_map(&self, map: &AffineMap, iter: usize, data: &DimDist) -> Option<usize> {
+        map.apply(iter).filter(|&v| v < data.n())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        distrib::distribution::fnv1a([
+            0x5354_5250,
+            self.lo as u64,
+            self.hi as u64,
+            self.step as u64,
+        ])
+    }
+}
+
 /// A rectangular N-D iteration box `(lo_0..hi_0) × … × (lo_{d-1}..hi_{d-1})`
 /// within a multi-dimensional array shape, linearised row-major over that
 /// shape.
@@ -285,6 +366,34 @@ mod tests {
         assert!(narrow.exec_iters(&on, 3).is_empty());
         assert!(Span::new(7, 7).is_empty());
         assert_eq!(Span::new(3, 9).len(), 6);
+    }
+
+    #[test]
+    fn stripe_exec_iters_pick_one_congruence_class() {
+        let on = DimDist::block(40, 4);
+        let red = Stripe::new(0, 40, 2);
+        let black = Stripe::new(1, 40, 2);
+        assert_eq!(red.exec_iters(&on, 1), vec![10, 12, 14, 16, 18]);
+        assert_eq!(black.exec_iters(&on, 1), vec![11, 13, 15, 17, 19]);
+        // Together the two stripes cover every owned index exactly once.
+        let mut all: Vec<usize> = (0..4)
+            .flat_map(|r| {
+                red.exec_iters(&on, r)
+                    .into_iter()
+                    .chain(black.exec_iters(&on, r))
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+        assert_eq!(red.len(), 20);
+        assert_eq!(Stripe::new(0, 7, 3).len(), 3);
+        assert!(Stripe::new(5, 5, 2).is_empty());
+        assert!(red.contains(6) && !red.contains(7) && !red.contains(40));
+        // Distinct stripes never share a fingerprint (cache-key safety).
+        assert_ne!(red.fingerprint(), black.fingerprint());
+        assert_ne!(red.fingerprint(), Span::upto(40).fingerprint());
+        // Strided spaces always plan through the inspector.
+        assert!(red.analyze(&on, &on, &[AffineMap::identity()], 0).is_none());
     }
 
     #[test]

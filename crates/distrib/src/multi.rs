@@ -347,6 +347,10 @@ pub fn product_flat(dims: &[IndexSet], shape: &[usize]) -> IndexSet {
     }))
 }
 
+/// The most array dimensions a [`FlatDist`] supports (bounds the stack
+/// scratch its allocation-free translation paths use).
+const MAX_FLAT_DIMS: usize = 8;
+
 /// The row-major *flattened* view of an [`ArrayDist`]: a 1-D
 /// [`Distribution`] over `0..shape.product()` whose owner function, local
 /// storage layout and owned sets are those of the multi-dimensional
@@ -358,6 +362,20 @@ pub fn product_flat(dims: &[IndexSet], shape: &[usize]) -> IndexSet {
 /// multi-dimensional array unchanged — local storage is the row-major
 /// linearisation of the rank's local shape, exactly how a compiler would lay
 /// out the local piece.
+///
+/// ## Memoised translation
+///
+/// [`FlatDist::owner`] and [`FlatDist::local_index`] sit on the inspector's
+/// innermost path (one locality check *per reference*) and on the executor's
+/// fetch path, so the definitional route — unflatten into a fresh `Vec`,
+/// dispatch per-dimension owner calls, re-flatten through the owner's local
+/// shape — is construction-time work, not per-call work.  `new` memoises,
+/// per array dimension, the owner's **rank contribution** (the per-dimension
+/// owner composed with the grid stride) and the **local coordinate** of
+/// every global coordinate, plus each rank's local row-major strides; both
+/// calls then strength-reduce to one div-mod chain over the shape with table
+/// lookups — no allocation, no virtual dispatch.  The tables cost
+/// `O(Σ_d extent_d)` words, negligible next to the array itself.
 #[derive(Debug, Clone)]
 pub struct FlatDist {
     array: ArrayDist,
@@ -366,6 +384,15 @@ pub struct FlatDist {
     local_shapes: Vec<Vec<usize>>,
     local_counts: Vec<usize>,
     fingerprint: u64,
+    /// Per array dimension: each global coordinate's contribution to the
+    /// owning rank (per-dimension owner × grid stride); `None` for `*`
+    /// dimensions, which contribute nothing.
+    rank_contrib: Vec<Option<Vec<usize>>>,
+    /// Per array dimension: the local coordinate of each global coordinate;
+    /// `None` for `*` dimensions, where local = global.
+    local_along: Vec<Option<Vec<usize>>>,
+    /// Row-major strides of each rank's local shape.
+    local_strides: Vec<Vec<usize>>,
 }
 
 impl FlatDist {
@@ -377,11 +404,39 @@ impl FlatDist {
             "a replicated array has no owner function to flatten"
         );
         let shape = array.shape();
+        assert!(
+            shape.len() <= MAX_FLAT_DIMS,
+            "FlatDist supports at most {MAX_FLAT_DIMS} dimensions"
+        );
         let n = shape.iter().product();
         let nprocs = array.grid().len();
         let local_shapes: Vec<Vec<usize>> = (0..nprocs).map(|r| array.local_shape(r)).collect();
         let local_counts: Vec<usize> = local_shapes.iter().map(|s| s.iter().product()).collect();
         let fingerprint = array.fingerprint();
+
+        // Memoised per-dimension owner/local tables (see the type docs).
+        let mut rank_contrib: Vec<Option<Vec<usize>>> = vec![None; shape.len()];
+        let mut local_along: Vec<Option<Vec<usize>>> = vec![None; shape.len()];
+        let mut axis = 0usize;
+        for (d, assign) in array.dims().iter().enumerate() {
+            if let DimAssign::Distributed(dist) = assign {
+                let gstride: usize = array.grid().dims()[axis + 1..].iter().product();
+                rank_contrib[d] = Some((0..dist.n()).map(|i| dist.owner(i) * gstride).collect());
+                local_along[d] = Some((0..dist.n()).map(|i| dist.local_index(i)).collect());
+                axis += 1;
+            }
+        }
+        let local_strides: Vec<Vec<usize>> = local_shapes
+            .iter()
+            .map(|ls| {
+                let mut strides = vec![1usize; ls.len()];
+                for d in (0..ls.len().saturating_sub(1)).rev() {
+                    strides[d] = strides[d + 1] * ls[d + 1];
+                }
+                strides
+            })
+            .collect();
+
         FlatDist {
             array,
             shape,
@@ -389,7 +444,29 @@ impl FlatDist {
             local_shapes,
             local_counts,
             fingerprint,
+            rank_contrib,
+            local_along,
+            local_strides,
         }
+    }
+
+    /// One reverse div-mod pass over the shape: recover the multi-index
+    /// digits into `digits` (stack scratch) and accumulate the owning rank
+    /// from the memoised per-dimension contributions.
+    #[inline]
+    fn digits_and_rank(&self, flat: usize, digits: &mut [usize; MAX_FLAT_DIMS]) -> usize {
+        let mut rest = flat;
+        let mut rank = 0usize;
+        for d in (0..self.shape.len()).rev() {
+            let digit = rest % self.shape[d];
+            rest /= self.shape[d];
+            digits[d] = digit;
+            if let Some(contrib) = &self.rank_contrib[d] {
+                rank += contrib[digit];
+            }
+        }
+        debug_assert_eq!(rest, 0, "flat index outside the array");
+        rank
     }
 
     /// The underlying multi-dimensional decomposition.
@@ -429,20 +506,24 @@ impl Distribution for FlatDist {
 
     fn owner(&self, i: usize) -> usize {
         debug_assert!(i < self.n, "index {i} out of bounds (n = {})", self.n);
-        let idx = self.unflatten(i);
-        self.array
-            .owner(&idx)
-            .expect("FlatDist arrays are never replicated")
+        let mut digits = [0usize; MAX_FLAT_DIMS];
+        self.digits_and_rank(i, &mut digits)
     }
 
     fn local_index(&self, i: usize) -> usize {
-        let idx = self.unflatten(i);
-        let rank = self
-            .array
-            .owner(&idx)
-            .expect("FlatDist arrays are never replicated");
-        let local = self.array.global_to_local(&idx);
-        flatten_index(&self.local_shapes[rank], &local)
+        debug_assert!(i < self.n, "index {i} out of bounds (n = {})", self.n);
+        let mut digits = [0usize; MAX_FLAT_DIMS];
+        let rank = self.digits_and_rank(i, &mut digits);
+        let strides = &self.local_strides[rank];
+        let mut l = 0usize;
+        for d in 0..self.shape.len() {
+            let local = match &self.local_along[d] {
+                Some(table) => table[digits[d]],
+                None => digits[d],
+            };
+            l += local * strides[d];
+        }
+        l
     }
 
     fn global_index(&self, rank: usize, l: usize) -> usize {
@@ -655,6 +736,42 @@ mod tests {
         assert_eq!(d.local_set(1).range_count(), 8);
         assert_eq!(d.owner(d.flatten(&[5, 4])), 1);
         assert_eq!(d.local_index(d.flatten(&[5, 4])), 5 * 3 + 1);
+    }
+
+    #[test]
+    fn memoised_owner_tables_agree_with_the_definitional_route() {
+        // The memoised owner/local_index strength reduction must be
+        // observationally identical to the definitional computation
+        // (unflatten → per-dimension owner → grid rank → local flatten).
+        let cases = vec![
+            FlatDist::new(ArrayDist::block_rows(13, 7, 4)),
+            FlatDist::new(ArrayDist::block_cols(9, 11, 3)),
+            FlatDist::new(ArrayDist::new(
+                ProcGrid::new_2d(2, 3),
+                vec![
+                    DimAssign::Distributed(DimDist::block(10, 2)),
+                    DimAssign::Distributed(DimDist::cyclic(7, 3)),
+                ],
+            )),
+            FlatDist::new(ArrayDist::new(
+                ProcGrid::new(&[2, 2]),
+                vec![
+                    DimAssign::Distributed(DimDist::cyclic(5, 2)),
+                    DimAssign::Star(4),
+                    DimAssign::Distributed(DimDist::block_cyclic(9, 2, 2)),
+                ],
+            )),
+        ];
+        for d in cases {
+            for i in 0..d.n() {
+                let idx = d.unflatten(i);
+                let rank = d.array().owner(&idx).expect("not replicated");
+                assert_eq!(d.owner(i), rank, "owner of flat {i}");
+                let local = d.array().global_to_local(&idx);
+                let definitional = flatten_index(&d.array().local_shape(rank), &local);
+                assert_eq!(d.local_index(i), definitional, "local_index of flat {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! The `FlatDist` locality satellite: the memoised per-dimension owner
+//! tables must (a) agree exactly with the definitional translation route
+//! and (b) make owner resolution measurably cheaper on a large 2-D grid —
+//! the inspector performs one such resolution *per reference*, so this is
+//! the inspector-side win the ROADMAP item asks for.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use distrib::{ArrayDist, DimAssign, DimDist, Distribution, FlatDist, ProcGrid};
+
+/// The definitional owner route the memoisation replaced: unflatten into a
+/// fresh multi-index, dispatch the per-dimension owners, combine through the
+/// grid.  Kept here as the reference implementation.
+fn definitional_owner(d: &FlatDist, flat: usize) -> usize {
+    let idx = d.unflatten(flat);
+    d.array().owner(&idx).expect("FlatDist is never replicated")
+}
+
+fn large_grid() -> FlatDist {
+    // A 1024 × 1024 field over a 4 × 4 processor grid, [block, cyclic]:
+    // both dimensions distributed, so both per-dimension tables are hot.
+    FlatDist::new(ArrayDist::new(
+        ProcGrid::new_2d(4, 4),
+        vec![
+            DimAssign::Distributed(DimDist::block(1024, 4)),
+            DimAssign::Distributed(DimDist::cyclic(1024, 4)),
+        ],
+    ))
+}
+
+#[test]
+fn memoised_owner_agrees_with_the_definitional_route_on_a_large_grid() {
+    let d = large_grid();
+    // A stride that visits every congruence class of both dimensions.
+    for flat in (0..d.n()).step_by(997) {
+        assert_eq!(d.owner(flat), definitional_owner(&d, flat), "flat {flat}");
+        let rank = d.owner(flat);
+        let l = d.local_index(flat);
+        assert_eq!(d.global_index(rank, l), flat, "roundtrip of flat {flat}");
+    }
+}
+
+#[test]
+fn memoised_owner_beats_the_definitional_route_on_a_large_grid() {
+    let d = large_grid();
+    let n = d.n();
+    let probes = 1usize << 20;
+
+    // Walk a fixed pseudo-random probe sequence (the inspector's reference
+    // stream is not sequential either).  Best of three trials per route so
+    // scheduler noise cannot flip the comparison.
+    let probe = |k: usize| (k.wrapping_mul(2654435761)) % n;
+    let time_route = |f: &dyn Fn(usize) -> usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let mut acc = 0usize;
+            for k in 0..probes {
+                acc = acc.wrapping_add(f(black_box(probe(k))));
+            }
+            black_box(acc);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let memoised = time_route(&|i| d.owner(i));
+    let definitional = time_route(&|i| definitional_owner(&d, i));
+    assert!(
+        memoised < definitional,
+        "memoised owner tables must beat the allocating definitional route: \
+         memoised {memoised:.4}s vs definitional {definitional:.4}s over {probes} probes"
+    );
+}

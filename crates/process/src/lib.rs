@@ -23,9 +23,15 @@
 //! accounting.
 //!
 //! The [`tags`] module centralises the tag-space layout shared by every
-//! runtime component so tag ranges are disjoint by construction.
+//! runtime component so tag ranges are disjoint by construction.  The
+//! [`reduce`] module defines the typed reduction operators ([`ReduceOp`] and
+//! the built-in combiners) consumed by the generic [`Process::allreduce`]
+//! and by the runtime's `execute_reduce` pipeline.
 
+pub mod reduce;
 pub mod tags;
+
+pub use reduce::{combine_partials, Max, Min, Norm2, Reduce, ReduceOp, Sum};
 
 /// Message tag, used to match sends with receives (like MPI tags).
 ///
@@ -166,8 +172,35 @@ pub trait Process {
     ///
     /// The combining order (and therefore the exact rounding) is
     /// backend-defined; callers must not rely on bitwise agreement *between*
-    /// backends, only between ranks of one run.
+    /// backends, only between ranks of one run.  For reductions whose
+    /// rounding must be reproducible across backends (the typed
+    /// `execute_reduce` pipeline), use [`Process::allreduce`] instead.
     fn allreduce_sum_f64(&mut self, value: f64) -> f64;
+
+    /// Generic typed all-reduce with a **fixed, backend-independent**
+    /// combining order: gather every rank's value (rank-ordered, via
+    /// [`Process::allgather`]) and fold them in ascending rank order.
+    ///
+    /// The result is bitwise identical on every rank *and* across backends —
+    /// the property the typed reduction pipeline
+    /// (`ParallelLoop::execute_reduce`) builds its determinism contract on.
+    /// The traffic is the allgather's, so metering backends charge it like
+    /// any other communication.  `combine` must not depend on rank.
+    fn allreduce<T, F>(&mut self, value: T, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let gathered = self.allgather(vec![value]);
+        gathered
+            .into_iter()
+            .map(|mut per_rank| {
+                debug_assert_eq!(per_rank.len(), 1, "one contribution per rank");
+                per_rank.remove(0)
+            })
+            .reduce(|a, b| combine(&a, &b))
+            .expect("a machine has at least one rank")
+    }
 
     // ----------------------------------------------------------------
     // Cost-charging hooks (no-ops unless the backend meters them)
@@ -280,5 +313,14 @@ mod tests {
         assert_eq!(p.counters(), Counters::default());
         assert_eq!(p.allreduce_sum_f64(2.5), 2.5);
         assert_eq!(p.exchange(vec![(0, 1u8), (0, 2)]), vec![1, 2]);
+    }
+
+    #[test]
+    fn generic_allreduce_on_one_rank_returns_the_value() {
+        let mut p = Solo;
+        let v = p.allreduce(1.25f64, |a, b| a + b);
+        assert_eq!(v, 1.25);
+        let m = p.allreduce(7u64, |a, b| *a.max(b));
+        assert_eq!(m, 7);
     }
 }

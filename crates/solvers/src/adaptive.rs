@@ -15,7 +15,7 @@
 //!   sweep;
 //! * every rebalance changes the **distribution fingerprint** and
 //!   explicitly reclaims the retired placement's schedules
-//!   ([`ScheduleCache::invalidate_fingerprint`]);
+//!   ([`Session::retire_placement`]);
 //! * cache residency stays **bounded** no matter how many (version,
 //!   fingerprint) keys a long run mints — generation self-invalidation plus
 //!   the LRU bound, measured by the eviction/resident-bytes counters the
@@ -32,13 +32,10 @@
 
 use distrib::DimDist;
 use kali_core::process::{Counters, Process};
-use kali_core::{redistribute_epoch, ExecutorConfig, ParallelLoop, ScheduleCache};
+use kali_core::Session;
 use meshes::{adapt_step, evolve, AdaptConfig, AdjacencyMesh};
 
 use crate::partitioned::partitioned_dist;
-
-/// Stable loop id of the adaptive relaxation `forall`.
-const ADAPTIVE_LOOP_ID: u64 = 0x0041_4441_5054; // "ADAPT"
 
 /// Parameters of an adaptive-mesh Jacobi run.
 #[derive(Debug, Clone, Copy)]
@@ -173,8 +170,11 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
 
     let mut mesh = mesh.clone();
     let mut dist = dist.clone();
-    let mut relaxation = ParallelLoop::over_1d(ADAPTIVE_LOOP_ID, n, dist.clone());
-    let mut cache = ScheduleCache::with_capacity(config.cache_capacity);
+    let mut session = Session::with_cache_capacity(config.cache_capacity).overlap(config.overlap);
+    // One loop id for the relaxation across every placement it migrates
+    // through: a rebalance swaps the on-clause distribution in place (the
+    // fingerprint in the cache key tells the placements apart).
+    let mut relaxation = session.loop_1d(n, dist.clone());
 
     // Local pieces of the Figure 4 arrays under the current distribution.
     let mut a: Vec<f64> = dist.local_set(rank).iter().map(|g| initial[g]).collect();
@@ -183,9 +183,7 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
 
     let start_clock = proc.time();
     let counters_start = proc.counters();
-    let mut inspector_time = 0.0f64;
     let mut adapt_time = 0.0f64;
-    let mut data_version = 0u64;
     let mut adaptations = 0u64;
 
     for sweep in 0..config.sweeps {
@@ -194,17 +192,16 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
             let before_adapt = proc.time();
             mesh = adapt_step(&mesh, &config.adapt, adaptations);
             adaptations += 1;
-            data_version += 1;
+            session.bump_data_version();
             if config.rebalance {
                 let new_dist = partitioned_dist(proc, &mesh);
+                a = session.redistribute(proc, &dist, &new_dist, &a);
                 // The old placement is retired: reclaim every schedule built
                 // under it (any data version — the fingerprint alone marks
                 // them stale).
-                let stale_fp = relaxation.cache_key(&dist, 0).dist_fingerprint;
-                a = redistribute_epoch(proc, &dist, &new_dist, &a, data_version);
-                cache.invalidate_fingerprint(stale_fp);
+                session.retire_placement(&relaxation, &dist);
                 dist = new_dist;
-                relaxation = ParallelLoop::over_1d(ADAPTIVE_LOOP_ID, n, dist.clone());
+                relaxation.on_dist = dist.clone();
             }
             // Re-scatter adj/coef from the adapted mesh (count/degrees may
             // have changed even without a redistribution).
@@ -221,12 +218,11 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
         }
 
         // -- plan the relaxation (inspector only on version/placement change)
-        let before_inspector = proc.time();
         let schedule = {
             let dist_ref = &dist;
             let count_ref = &count;
             let adj_ref = &adj;
-            relaxation.plan_indirect(proc, &mut cache, &dist, data_version, |i, refs| {
+            session.plan_indirect(proc, &relaxation, &dist, |i, refs| {
                 let l = dist_ref.local_index(i);
                 let deg = count_ref[l] as usize;
                 for j in 0..deg {
@@ -234,60 +230,54 @@ pub fn adaptive_jacobi_sweeps<P: Process>(
                 }
             })
         };
-        inspector_time += proc.time() - before_inspector;
 
         // -- perform the relaxation ----------------------------------------
-        relaxation.execute_config(
-            proc,
-            ExecutorConfig::sweep(sweep).with_overlap(config.overlap),
-            &schedule,
-            &dist,
-            &old_a,
-            |i, fetch| {
-                let l = dist.local_index(i);
-                fetch.proc().charge_mem_refs(1); // count[i]
-                let deg = count[l] as usize;
-                let mut x = 0.0f64;
-                for j in 0..deg {
-                    fetch.proc().charge_loop_iters(1);
-                    fetch.proc().charge_mem_refs(2); // adj[i,j], coef[i,j]
-                    let nb = adj[l * width + j] as usize;
-                    let c = coef[l * width + j];
-                    let v = fetch.fetch(nb);
-                    fetch.proc().charge_flops(2);
-                    x += c * v;
-                }
-                if deg > 0 {
-                    fetch.proc().charge_mem_refs(1); // a[i] := x
-                    a[l] = x;
-                }
-            },
-        );
+        let a_mut = &mut a;
+        session.execute(proc, &relaxation, &schedule, &dist, &old_a, |i, fetch| {
+            let l = dist.local_index(i);
+            fetch.proc().charge_mem_refs(1); // count[i]
+            let deg = count[l] as usize;
+            let mut x = 0.0f64;
+            for j in 0..deg {
+                fetch.proc().charge_loop_iters(1);
+                fetch.proc().charge_mem_refs(2); // adj[i,j], coef[i,j]
+                let nb = adj[l * width + j] as usize;
+                let c = coef[l * width + j];
+                let v = fetch.fetch(nb);
+                fetch.proc().charge_flops(2);
+                x += c * v;
+            }
+            if deg > 0 {
+                fetch.proc().charge_mem_refs(1); // a[i] := x
+                a_mut[l] = x;
+            }
+        });
     }
 
     let total_time = proc.time() - start_clock;
     let counters = proc.counters().since(&counters_start);
+    let stats = session.stats();
 
     AdaptiveOutcome {
         local_a: a,
         adaptations,
-        inspector_time,
+        inspector_time: stats.inspector_time,
         adapt_time,
         total_time,
         counters,
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
-        cache_evictions: cache.evictions(),
-        cache_resident_entries: cache.len(),
-        cache_peak_resident: cache.peak_resident(),
-        cache_resident_bytes: cache.resident_bytes(),
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        cache_evictions: stats.cache.evictions,
+        cache_resident_entries: stats.cache.resident_entries,
+        cache_peak_resident: stats.cache.peak_resident,
+        cache_resident_bytes: stats.cache.resident_bytes,
     }
 }
 
 /// Scatter the mesh's `count`/`adj`/`coef` arrays to this rank's local rows
 /// under `dist` (the untimed set-up of Figure 4, repeated after every
-/// adaptation).
-fn scatter_mesh(
+/// adaptation).  Shared with the other mesh solvers (CG, red–black).
+pub(crate) fn scatter_mesh(
     mesh: &AdjacencyMesh,
     dist: &DimDist,
     rank: usize,

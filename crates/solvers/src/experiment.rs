@@ -61,6 +61,11 @@ pub struct ExperimentParams {
     pub overlap: bool,
     /// Ablation: re-run the inspector on every sweep.
     pub disable_schedule_cache: bool,
+    /// Check convergence with a global typed reduction every `k` sweeps
+    /// (`None` — the paper's timed runs — disables the check).  The
+    /// resulting value surfaces in `ExperimentRow::final_change`, and the
+    /// reduction count/bytes in the row's `CommReport`.
+    pub convergence_check_every: Option<usize>,
 }
 
 impl ExperimentParams {
@@ -76,6 +81,7 @@ impl ExperimentParams {
             extrapolate_from: None,
             overlap: true,
             disable_schedule_cache: false,
+            convergence_check_every: None,
         }
     }
 
@@ -92,6 +98,7 @@ impl ExperimentParams {
             extrapolate_from: if mesh_side > 256 { Some(2) } else { None },
             overlap: true,
             disable_schedule_cache: false,
+            convergence_check_every: None,
         }
     }
 }
@@ -135,7 +142,7 @@ pub fn run_jacobi_experiment_placed(
     let config = JacobiConfig {
         sweeps: measured_sweeps,
         overlap: params.overlap,
-        convergence_check_every: None,
+        convergence_check_every: params.convergence_check_every,
         disable_schedule_cache: params.disable_schedule_cache,
     };
 
@@ -189,6 +196,16 @@ pub fn run_jacobi_experiment_placed(
             cache_misses: outcomes.iter().map(|o| o.cache_misses).sum(),
             cache_evictions: outcomes.iter().map(|o| o.cache_evictions).sum(),
             cache_resident_bytes: outcomes.iter().map(|o| o.cache_resident_bytes).sum(),
+            reductions: outcomes.iter().map(|o| o.reductions).sum(),
+            reduction_bytes: outcomes.iter().map(|o| o.reduction_bytes).sum(),
+        },
+        // The convergence value describes the *measured* run; when the
+        // extrapolation truncated it, the value would not correspond to the
+        // row's claimed sweep count, so it is withheld.
+        final_change: if measured_sweeps == params.sweeps {
+            outcomes.first().and_then(|o| o.global_change)
+        } else {
+            None
         },
         phase_comms: Vec::new(),
     }
@@ -246,6 +263,7 @@ mod tests {
                 extrapolate_from: None,
                 overlap: true,
                 disable_schedule_cache: false,
+                convergence_check_every: None,
             };
             let row = run_jacobi_experiment_on_mesh(&params, &mesh, &initial);
             let formula = sequential_executor_time(&cost, &mesh, 3);
@@ -270,6 +288,7 @@ mod tests {
             extrapolate_from: None,
             overlap: true,
             disable_schedule_cache: false,
+            convergence_check_every: None,
         });
         let extrapolated = run_jacobi_experiment(&ExperimentParams {
             cost: CostModel::ncube7(),
@@ -280,6 +299,7 @@ mod tests {
             extrapolate_from: Some(3),
             overlap: true,
             disable_schedule_cache: false,
+            convergence_check_every: None,
         });
         let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
         assert!(rel(full.times.executor, extrapolated.times.executor) < 1e-9);
@@ -303,6 +323,7 @@ mod tests {
                 extrapolate_from: None,
                 overlap: true,
                 disable_schedule_cache: false,
+                convergence_check_every: None,
             })
             .times
             .total
@@ -323,6 +344,7 @@ mod tests {
             extrapolate_from: Some(2),
             overlap: true,
             disable_schedule_cache: false,
+            convergence_check_every: None,
         });
         let s = row.speedup.unwrap();
         assert!(s > 1.0, "speedup {s} should exceed 1");

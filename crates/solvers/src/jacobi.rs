@@ -27,7 +27,7 @@
 
 use distrib::DimDist;
 use kali_core::process::{Counters, Process};
-use kali_core::{ExecutorConfig, ParallelLoop, ScheduleCache};
+use kali_core::{AffineMap, Reduce, Session, Sum};
 use meshes::AdjacencyMesh;
 
 /// Parameters of a Jacobi run.
@@ -103,13 +103,21 @@ pub struct JacobiOutcome {
     /// Approximate bytes of schedules resident in the cache at the end of
     /// the run.
     pub cache_resident_bytes: usize,
+    /// Global squared change `Σ_i (a_i − old_a_i)²` of the **last**
+    /// convergence check, identical on every rank (and bitwise identical
+    /// across backends — the check goes through the typed reduction
+    /// pipeline).  `None` when convergence checking is disabled.
+    pub global_change: Option<f64>,
+    /// Every convergence check's global squared change, in sweep order.
+    pub change_history: Vec<f64>,
+    /// Global reductions performed (one per convergence check).
+    pub reductions: u64,
+    /// Payload bytes this rank sent for those reductions.
+    pub reduction_bytes: u64,
     /// Residual-style norm of the final local values (sum of squares), used
     /// by tests to compare against the sequential reference.
     pub local_norm: f64,
 }
-
-/// Stable loop id of the relaxation `forall` (the schedule-cache key).
-const RELAXATION_LOOP_ID: u64 = 0x4A41_434F_4249; // "JACOBI"
 
 /// Run `config.sweeps` Jacobi sweeps over `mesh` with node arrays
 /// distributed by `dist`, starting from the globally replicated `initial`
@@ -151,16 +159,22 @@ pub fn jacobi_sweeps<P: Process>(
         coef[l * width..l * width + cs.len()].copy_from_slice(cs);
     }
 
-    let mut cache = ScheduleCache::new();
-    let relaxation = ParallelLoop::over_1d(RELAXATION_LOOP_ID, n, dist.clone());
+    let mut session = Session::new().overlap(config.overlap);
+    let relaxation = session.loop_1d(n, dist.clone());
+    // The convergence check of Figure 4 ("code to check convergence") is its
+    // own forall over aligned arrays: identity subscripts, planned through
+    // the closed form (zero planning messages), reduced through the typed
+    // pipeline.
+    let convergence = session.loop_1d(n, dist.clone());
     let exec_iters = relaxation.exec_iters(rank);
 
     let start_clock = proc.time();
     let counters_start = proc.counters();
-    let mut inspector_time = 0.0f64;
     let mut schedule_ranges = 0usize;
     let mut recv_elements = 0usize;
     let mut recv_partners = 0usize;
+    let mut change_history = Vec::new();
+    let convergence_schedule = session.plan(proc, &convergence, dist, &[AffineMap::identity()]);
 
     for sweep in 0..config.sweeps {
         // -- copy mesh values: forall i on old_a[i].loc do old_a[i] := a[i] --
@@ -172,33 +186,25 @@ pub fn jacobi_sweeps<P: Process>(
         }
 
         // -- plan the relaxation forall (inspector, first sweep only) --------
-        let before_inspector = proc.time();
-        let data_version = if config.disable_schedule_cache {
-            sweep as u64
-        } else {
-            0
-        };
-        let schedule = relaxation.plan_indirect(proc, &mut cache, dist, data_version, |i, refs| {
+        if config.disable_schedule_cache && sweep > 0 {
+            session.bump_data_version();
+        }
+        let schedule = session.plan_indirect(proc, &relaxation, dist, |i, refs| {
             let l = dist.local_index(i);
             let deg = count[l] as usize;
             for j in 0..deg {
                 refs.push(adj[l * width + j] as usize);
             }
         });
-        inspector_time += proc.time() - before_inspector;
         schedule_ranges = schedule.range_count();
         recv_elements = schedule.recv_len;
         recv_partners = schedule.recv_partner_count();
 
         // -- perform relaxation (computational core) --------------------------
         debug_assert_eq!(exec_iters.len(), local_rows);
-        relaxation.execute_config(
-            proc,
-            ExecutorConfig::sweep(sweep).with_overlap(config.overlap),
-            &schedule,
-            dist,
-            &old_a,
-            |i, fetch| {
+        {
+            let a_mut = &mut a;
+            session.execute(proc, &relaxation, &schedule, dist, &old_a, |i, fetch| {
                 let l = dist.local_index(i);
                 fetch.proc().charge_mem_refs(1); // count[i]
                 let deg = count[l] as usize;
@@ -214,23 +220,32 @@ pub fn jacobi_sweeps<P: Process>(
                 }
                 if deg > 0 {
                     fetch.proc().charge_mem_refs(1); // a[i] := x
-                    a[l] = x;
+                    a_mut[l] = x;
                 }
-            },
-        );
+            });
+        }
 
         // -- code to check convergence ----------------------------------------
         if let Some(every) = config.convergence_check_every {
             if every > 0 && (sweep + 1) % every == 0 {
-                let mut local_change = 0.0f64;
-                for l in 0..local_rows {
-                    proc.charge_loop_iters(1);
-                    proc.charge_mem_refs(2);
-                    proc.charge_flops(3);
-                    let d = a[l] - old_a[l];
-                    local_change += d * d;
-                }
-                let _global_change = proc.allreduce_sum_f64(local_change);
+                let a_ref = &a;
+                let old_ref = &old_a;
+                let global_change = session.execute_reduce(
+                    proc,
+                    &convergence,
+                    &convergence_schedule,
+                    dist,
+                    &old_a,
+                    Reduce::<Sum<f64>>::new(),
+                    |i, fetch| {
+                        let l = dist.local_index(i);
+                        fetch.proc().charge_mem_refs(2);
+                        fetch.proc().charge_flops(3);
+                        let d = a_ref[l] - old_ref[l];
+                        d * d
+                    },
+                );
+                change_history.push(global_change);
             }
         }
     }
@@ -238,20 +253,25 @@ pub fn jacobi_sweeps<P: Process>(
     let total_time = proc.time() - start_clock;
     let counters = proc.counters().since(&counters_start);
     let local_norm = a.iter().map(|v| v * v).sum();
+    let stats = session.stats();
 
     JacobiOutcome {
         local_a: a,
-        inspector_time,
-        executor_time: total_time - inspector_time,
+        inspector_time: stats.inspector_time,
+        executor_time: total_time - stats.inspector_time,
         total_time,
         counters,
         schedule_ranges,
         recv_elements,
         recv_partners,
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
-        cache_evictions: cache.evictions(),
-        cache_resident_bytes: cache.resident_bytes(),
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
+        cache_evictions: stats.cache.evictions,
+        cache_resident_bytes: stats.cache.resident_bytes,
+        global_change: change_history.last().copied(),
+        change_history,
+        reductions: stats.reductions,
+        reduction_bytes: stats.reduction_bytes,
         local_norm,
     }
 }
@@ -411,6 +431,57 @@ mod tests {
         let expected = jacobi_sequential(&mesh, &initial, 6);
         let (got, _) = gather_solution(4, &mesh, &initial, &config, CostModel::ideal());
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn convergence_value_is_surfaced_not_discarded() {
+        // Regression: the solver used to allreduce the squared change and
+        // throw the result away (`_global_change`).  It now flows through
+        // the typed reduction pipeline into the outcome, identical on every
+        // rank and equal — bit for bit — to the replayed reduction over the
+        // sequential fields.
+        let grid = RegularGrid::square(8);
+        let mesh = grid.five_point_mesh();
+        let initial = grid.initial_field();
+        let nprocs = 4;
+        let config = JacobiConfig {
+            sweeps: 6,
+            convergence_check_every: Some(2),
+            ..JacobiConfig::default()
+        };
+        let (_, outcomes) = gather_solution(nprocs, &mesh, &initial, &config, CostModel::ideal());
+        let dist = DimDist::block(mesh.len(), nprocs);
+        // Checks fire after sweeps 2, 4, 6; each compares against the
+        // previous sweep's field.
+        let expected: Vec<f64> = [2usize, 4, 6]
+            .iter()
+            .map(|&s| {
+                let before = jacobi_sequential(&mesh, &initial, s - 1);
+                let after = jacobi_sequential(&mesh, &initial, s);
+                crate::reduce_replay::replay_sum(&dist, |i| {
+                    let d = after[i] - before[i];
+                    d * d
+                })
+            })
+            .collect();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for o in &outcomes {
+            assert_eq!(bits(&o.change_history), bits(&expected));
+            assert_eq!(
+                o.global_change.map(f64::to_bits),
+                Some(expected[2].to_bits())
+            );
+            assert_eq!(o.reductions, 3, "one reduction per check");
+            assert_eq!(o.reduction_bytes, 3 * (nprocs as u64 - 1) * 8);
+        }
+        // Checks disabled: no reductions, no value.
+        let quiet = JacobiConfig::with_sweeps(4);
+        let (_, outcomes) = gather_solution(nprocs, &mesh, &initial, &quiet, CostModel::ideal());
+        for o in &outcomes {
+            assert_eq!(o.global_change, None);
+            assert!(o.change_history.is_empty());
+            assert_eq!(o.reductions, 0);
+        }
     }
 
     #[test]

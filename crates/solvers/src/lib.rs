@@ -30,18 +30,38 @@
 //!   when the adjacency changed, and rebalancing runs repartition the new
 //!   connectivity and redistribute the live field — the workload that
 //!   stresses the paper's §3.2 amortisation claim under churn.
+//! * [`cg`] — conjugate gradient on the mesh's shifted graph Laplacian:
+//!   three interleaved `forall`s and two dot-product reductions per
+//!   iteration, all through one `Session`, with a bit-identical sequential
+//!   replay of the residual history (and a CG-under-churn mode reusing the
+//!   adaptive machinery).
+//! * [`redblack`] — red–black Gauss–Seidel: two stripe-spaced `forall`s
+//!   with distinct loop ids sharing one session cache, change-norm
+//!   reductions fused into the half-sweeps.
+//! * [`reduce_replay`] — sequential replay helpers reproducing the typed
+//!   reduction pipeline's deterministic fold structure for any placement.
+//!
+//! Every solver runs against a `kali_core::Session`: the session owns the
+//! schedule cache, allocates loop ids and sweep tags, tracks data versions
+//! and redistribution epochs, accumulates inspector time, and meters the
+//! typed reductions (`execute_reduce`) that replace the old out-of-band
+//! `allreduce_sum_f64` calls.
 
 pub mod adaptive;
+pub mod cg;
 pub mod experiment;
 pub mod jacobi;
 pub mod multidim;
 pub mod partitioned;
+pub mod redblack;
+pub mod reduce_replay;
 pub mod report;
 
 pub use adaptive::{
     adaptive_jacobi_sequential, adaptive_jacobi_sweeps, final_placement, gather_global,
     AdaptiveConfig, AdaptiveOutcome,
 };
+pub use cg::{cg_sequential, cg_solve, CgConfig, CgOutcome};
 pub use experiment::{
     run_jacobi_experiment, run_jacobi_experiment_on_mesh, run_jacobi_experiment_placed,
     sequential_executor_time, ExperimentParams, Placement,
@@ -52,4 +72,6 @@ pub use multidim::{
     phase_comm_reports, row_placement, MultiDimConfig, MultiDimOutcome, PhaseStats, PhaseStrategy,
 };
 pub use partitioned::{partition_owner_map, partitioned_dist};
+pub use redblack::{redblack_sequential, redblack_sweeps, RedBlackConfig, RedBlackOutcome};
+pub use reduce_replay::{replay_reduce, replay_reduce_filtered, replay_sum};
 pub use report::{CommReport, ExperimentRow, PhaseBreakdown};

@@ -32,13 +32,9 @@
 
 use distrib::{ArrayDist, Distribution, FlatDist};
 use kali_core::process::{Counters, Process};
-use kali_core::{redistribute_epoch, MultiAffineMap, ParallelLoop, Rect, ScheduleCache};
+use kali_core::{MultiAffineMap, Rect, Session};
 
 use crate::report::CommReport;
-
-/// Stable loop ids of the two stencil `forall`s.
-const VERTICAL_LOOP_ID: u64 = 0x4D44_5645_5254; // "MD VERT"
-const HORIZONTAL_LOOP_ID: u64 = 0x4D44_484F_525A; // "MD HORZ"
 
 /// How the field is placed across the phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -200,12 +196,10 @@ pub fn multidim_sweeps<P: Process>(
         .map(|l| initial[rows_dist.global_index(rank, l)])
         .collect();
 
-    let mut cache = ScheduleCache::new();
+    let mut session = Session::new();
     let mut phases: Vec<PhaseStats> = Vec::new();
     let start_clock = proc.time();
     let counters_start = proc.counters();
-    let mut sweep_no = 0usize;
-    let mut epoch = 0u64;
 
     // Plan each stencil once, up front: the loops, placements and reference
     // patterns never change across rounds, so re-planning per phase would
@@ -214,10 +208,10 @@ pub fn multidim_sweeps<P: Process>(
         PhaseStrategy::RowsThroughout => &rows_dist,
         PhaseStrategy::PhaseChange => &cols_dist,
     };
-    let loop_v = ParallelLoop::over(VERTICAL_LOOP_ID, v_space, v_dist.clone());
-    let schedule_v = loop_v.plan(proc, &mut cache, v_dist, &v_refs, 0);
-    let loop_h = ParallelLoop::over(HORIZONTAL_LOOP_ID, h_space, rows_dist.clone());
-    let schedule_h = loop_h.plan(proc, &mut cache, &rows_dist, &h_refs, 0);
+    let loop_v = session.loop_over(v_space, v_dist.clone());
+    let schedule_v = session.plan(proc, &loop_v, v_dist, &v_refs);
+    let loop_h = session.loop_over(h_space, rows_dist.clone());
+    let schedule_h = session.plan(proc, &loop_h, &rows_dist, &h_refs);
 
     // One stencil phase: `sweeps_per_phase` sweeps of a pre-planned stencil
     // under `dist`, double-buffered through `old_a`.
@@ -237,7 +231,7 @@ pub fn multidim_sweeps<P: Process>(
                     proc.charge_mem_refs(2);
                     old_a[l] = a[l];
                 }
-                loop_.execute(proc, sweep_no, schedule, dist, &old_a, |g, fetch| {
+                session.execute(proc, loop_, schedule, dist, &old_a, |g, fetch| {
                     let lo = fetch.fetch(g - $stride);
                     let mid = fetch.fetch(g);
                     let hi = fetch.fetch(g + $stride);
@@ -245,7 +239,6 @@ pub fn multidim_sweeps<P: Process>(
                     fetch.proc().charge_mem_refs(1);
                     a[dist.local_index(g)] = 0.25 * lo + 0.5 * mid + 0.25 * hi;
                 });
-                sweep_no += 1;
             }
             record_phase(
                 &mut phases,
@@ -257,13 +250,13 @@ pub fn multidim_sweeps<P: Process>(
         }};
     }
 
-    // Redistribute the live field between placements, epoch-tagged.
+    // Redistribute the live field between placements; the session tags each
+    // move with its next epoch.
     macro_rules! redistribute_phase {
         ($from:expr, $to:expr) => {{
             let phase_clock = proc.time();
             let phase_counters = proc.counters();
-            a = redistribute_epoch(proc, $from, $to, &a, epoch);
-            epoch += 1;
+            a = session.redistribute(proc, $from, $to, &a);
             record_phase(
                 &mut phases,
                 "redistribute",
@@ -292,12 +285,13 @@ pub fn multidim_sweeps<P: Process>(
         }
     }
 
+    let stats = session.stats();
     MultiDimOutcome {
         local_a: a,
         total_time: proc.time() - start_clock,
         counters: proc.counters().since(&counters_start),
-        cache_misses: cache.misses(),
-        cache_hits: cache.hits(),
+        cache_misses: stats.cache.misses,
+        cache_hits: stats.cache.hits,
         phases,
     }
 }

@@ -1,0 +1,410 @@
+//! Red–black Gauss–Seidel relaxation: **two interleaved `forall`s sharing
+//! one schedule cache** — the program shape the [`Session`] API exists for.
+//!
+//! The nodes are coloured by index parity (red = even, black = odd) and each
+//! sweep runs two half-sweeps:
+//!
+//! 1. the **red** `forall` updates every red node from a snapshot of the
+//!    field taken at the start of the half-sweep,
+//! 2. the **black** `forall` does the same — and therefore sees the red
+//!    values just written.
+//!
+//! Each half-sweep is a damped relaxation
+//! `a[i] := ½·a[i] + ½·Σ_j coef[i,j]·a[adj[i,j]]` (the self-weight makes the
+//! iteration aperiodic, so it converges on any connected mesh).  On a mesh
+//! whose parity classes are independent sets this is exactly classical
+//! red–black Gauss–Seidel; on general adjacency the same-colour references
+//! read the snapshot, which keeps the semantics deterministic and
+//! placement independent.
+//!
+//! The two half-sweeps are [`Stripe`]-spaced loops with **distinct loop
+//! ids**: each gets its own inspector run and its own cached schedule, but
+//! both live in the one session cache (two misses total, hits forever
+//! after).  Convergence is watched through the reduction pipeline: every
+//! [`RedBlackConfig::check_every`] sweeps, both half-sweeps run as
+//! [`Session::execute_reduce`] producing the squared change of the sweep,
+//! and the resulting history is bitwise identical across dmsim, native and
+//! the sequential replay ([`redblack_sequential`]).
+
+use distrib::DimDist;
+use kali_core::process::{Counters, Process};
+use kali_core::{Reduce, Session, SessionStats, Stripe, Sum};
+use meshes::AdjacencyMesh;
+
+use crate::adaptive::scatter_mesh;
+use crate::reduce_replay::replay_reduce_filtered;
+
+/// Parameters of a red–black run.
+#[derive(Debug, Clone, Copy)]
+pub struct RedBlackConfig {
+    /// Number of full sweeps (each = one red + one black half-sweep).
+    pub sweeps: usize,
+    /// Measure the squared change of the sweep (through the reduction
+    /// pipeline) every `k` sweeps; `None` disables the measurement.
+    pub check_every: Option<usize>,
+    /// Overlap communication with local iterations.
+    pub overlap: bool,
+}
+
+impl Default for RedBlackConfig {
+    fn default() -> Self {
+        RedBlackConfig {
+            sweeps: 50,
+            check_every: Some(1),
+            overlap: true,
+        }
+    }
+}
+
+impl RedBlackConfig {
+    /// A configuration with the given sweep count and defaults otherwise.
+    pub fn with_sweeps(sweeps: usize) -> Self {
+        RedBlackConfig {
+            sweeps,
+            ..RedBlackConfig::default()
+        }
+    }
+
+    /// True when sweep `sweep` measures its change norm.
+    fn checks(&self, sweep: usize) -> bool {
+        matches!(self.check_every, Some(k) if k > 0 && (sweep + 1).is_multiple_of(k))
+    }
+}
+
+/// Per-processor result of a red–black run.
+#[derive(Debug, Clone)]
+pub struct RedBlackOutcome {
+    /// Final values of the locally owned mesh nodes (in local-index order).
+    pub local_a: Vec<f64>,
+    /// Squared change `Σ_i (a_i' − a_i)²` of every checked sweep (red +
+    /// black halves), bitwise identical on every rank and backend.
+    pub change_history: Vec<f64>,
+    /// Simulated seconds this rank spent planning (from the session).
+    pub inspector_time: f64,
+    /// Total simulated seconds of the timed region on this rank.
+    pub total_time: f64,
+    /// Operation counters accumulated during the timed region.
+    pub counters: Counters,
+    /// Session meters: cache lifecycle plus reduction count/bytes.
+    pub stats: SessionStats,
+    /// Elements this rank receives per red half-sweep.
+    pub red_recv_elements: usize,
+    /// Elements this rank receives per black half-sweep.
+    pub black_recv_elements: usize,
+}
+
+/// The damped half-sweep update at node value `own` with neighbour sum
+/// `acc`: `½·own + ½·acc` (one shared definition keeps the distributed body
+/// and the sequential replay in exact arithmetic agreement).
+#[inline]
+fn damped(own: f64, acc: f64) -> f64 {
+    0.5 * own + 0.5 * acc
+}
+
+/// Run `config.sweeps` red–black sweeps over `mesh`, collectively.
+pub fn redblack_sweeps<P: Process>(
+    proc: &mut P,
+    mesh: &AdjacencyMesh,
+    dist: &DimDist,
+    initial: &[f64],
+    config: &RedBlackConfig,
+) -> RedBlackOutcome {
+    let rank = proc.rank();
+    let n = mesh.len();
+    assert_eq!(dist.n(), n, "distribution must cover every mesh node");
+    assert_eq!(initial.len(), n, "initial field must cover every mesh node");
+
+    let mut session = Session::new().overlap(config.overlap);
+    // Two interleaved foralls, distinct ids, one shared cache.
+    let red = session.loop_over(Stripe::new(0, n, 2), dist.clone());
+    let black = session.loop_over(Stripe::new(1, n, 2), dist.clone());
+
+    let (count, adj, coef, width) = scatter_mesh(mesh, dist, rank);
+    let local_rows = dist.local_count(rank);
+    let mut a: Vec<f64> = (0..local_rows)
+        .map(|l| initial[dist.global_index(rank, l)])
+        .collect();
+    let mut old_a = vec![0.0f64; local_rows];
+
+    let start_clock = proc.time();
+    let counters_start = proc.counters();
+
+    // Each colour's references are exactly its own nodes' adjacency, so the
+    // two schedules are disjoint halves of the Jacobi schedule.
+    let refs_of = |i: usize, refs: &mut Vec<usize>| {
+        let l = dist.local_index(i);
+        for j in 0..count[l] as usize {
+            refs.push(adj[l * width + j] as usize);
+        }
+    };
+    let red_schedule = session.plan_indirect(proc, &red, dist, refs_of);
+    let black_schedule = session.plan_indirect(proc, &black, dist, refs_of);
+    let red_recv_elements = red_schedule.recv_len;
+    let black_recv_elements = black_schedule.recv_len;
+
+    let mut change_history = Vec::new();
+
+    for sweep in 0..config.sweeps {
+        let check = config.checks(sweep);
+        let mut sweep_change = 0.0f64;
+        for (loop_, schedule) in [(&red, &red_schedule), (&black, &black_schedule)] {
+            // Snapshot for this half-sweep: same-colour references read it,
+            // cross-colour references see the other half's fresh values.
+            for l in 0..local_rows {
+                proc.charge_loop_iters(1);
+                proc.charge_mem_refs(2);
+                old_a[l] = a[l];
+            }
+            let body_value =
+                |l: usize, fetch: &mut kali_core::Fetcher<'_, f64, P, DimDist>| -> f64 {
+                    fetch.proc().charge_mem_refs(2); // count[i], a[i]
+                    let deg = count[l] as usize;
+                    let mut acc = 0.0f64;
+                    for j in 0..deg {
+                        fetch.proc().charge_loop_iters(1);
+                        fetch.proc().charge_mem_refs(2); // adj[i,j], coef[i,j]
+                        let nb = adj[l * width + j] as usize;
+                        let c = coef[l * width + j];
+                        let v = fetch.fetch(nb);
+                        fetch.proc().charge_flops(2);
+                        acc += c * v;
+                    }
+                    fetch.proc().charge_flops(2);
+                    if deg > 0 {
+                        damped(old_a[l], acc)
+                    } else {
+                        old_a[l]
+                    }
+                };
+            if check {
+                let a_mut = &mut a;
+                let old_ref = &old_a;
+                let half_change = session.execute_reduce(
+                    proc,
+                    loop_,
+                    schedule,
+                    dist,
+                    &old_a,
+                    Reduce::<Sum<f64>>::new(),
+                    |i, fetch| {
+                        let l = dist.local_index(i);
+                        let new = body_value(l, fetch);
+                        a_mut[l] = new;
+                        fetch.proc().charge_flops(3);
+                        let d = new - old_ref[l];
+                        d * d
+                    },
+                );
+                proc.charge_flops(1);
+                sweep_change += half_change;
+            } else {
+                let a_mut = &mut a;
+                session.execute(proc, loop_, schedule, dist, &old_a, |i, fetch| {
+                    let l = dist.local_index(i);
+                    a_mut[l] = body_value(l, fetch);
+                });
+            }
+        }
+        if check {
+            change_history.push(sweep_change);
+        }
+    }
+
+    let total_time = proc.time() - start_clock;
+    let counters = proc.counters().since(&counters_start);
+
+    RedBlackOutcome {
+        local_a: a,
+        change_history,
+        inspector_time: session.inspector_time(),
+        total_time,
+        counters,
+        stats: session.stats(),
+        red_recv_elements,
+        black_recv_elements,
+    }
+}
+
+/// Sequential replay of the same red–black run: identical half-sweep
+/// snapshots, identical arithmetic, identical reduction structure — the
+/// distributed field and change history match this bit for bit on every
+/// backend.  Returns `(field, change_history)`.
+pub fn redblack_sequential(
+    mesh: &AdjacencyMesh,
+    initial: &[f64],
+    config: &RedBlackConfig,
+    dist: &DimDist,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = mesh.len();
+    assert_eq!(initial.len(), n);
+    let mut a = initial.to_vec();
+    let mut old_a = vec![0.0f64; n];
+    let mut history = Vec::new();
+
+    for sweep in 0..config.sweeps {
+        let check = config.checks(sweep);
+        let mut sweep_change = 0.0f64;
+        for colour in 0..2usize {
+            old_a.copy_from_slice(&a);
+            for i in (colour..n).step_by(2) {
+                let deg = mesh.degree(i);
+                let mut acc = 0.0f64;
+                for j in 0..deg {
+                    acc += mesh.coefs(i)[j] * old_a[mesh.neighbors(i)[j] as usize];
+                }
+                a[i] = if deg > 0 {
+                    damped(old_a[i], acc)
+                } else {
+                    old_a[i]
+                };
+            }
+            if check {
+                let half = replay_reduce_filtered::<Sum<f64>, _, _, _>(
+                    dist,
+                    |i| i % 2 == colour,
+                    |i| {
+                        let d = a[i] - old_a[i];
+                        d * d
+                    },
+                );
+                sweep_change += half;
+            }
+        }
+        if check {
+            history.push(sweep_change);
+        }
+    }
+    (a, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioned::partitioned_dist;
+    use dmsim::{CostModel, Machine};
+    use meshes::{RegularGrid, UnstructuredMeshBuilder};
+
+    fn field(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 29) % 23) as f64 * 0.125).collect()
+    }
+
+    fn gather(dist: &DimDist, outcomes: &[RedBlackOutcome]) -> Vec<f64> {
+        crate::adaptive::gather_global(
+            dist,
+            &outcomes
+                .iter()
+                .map(|o| o.local_a.clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn two_loop_ids_share_one_cache_and_inspect_once_each() {
+        let mesh = UnstructuredMeshBuilder::new(8, 8).seed(5).build();
+        let initial = field(mesh.len());
+        let config = RedBlackConfig {
+            sweeps: 8,
+            check_every: None,
+            ..RedBlackConfig::default()
+        };
+        let machine = Machine::new(4, CostModel::ideal());
+        let outcomes = machine.run(|proc| {
+            let dist = DimDist::block(mesh.len(), proc.nprocs());
+            redblack_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+        for o in &outcomes {
+            assert_eq!(o.stats.loops_allocated, 2);
+            assert_eq!(o.stats.cache.misses, 2, "one inspector run per colour");
+            assert_eq!(
+                o.stats.cache.hits, 0,
+                "schedules are planned once, up front"
+            );
+            assert_eq!(o.stats.cache.resident_entries, 2);
+            assert_eq!(o.stats.sweeps_executed, 2 * 8);
+            assert_eq!(o.stats.reductions, 0);
+        }
+    }
+
+    #[test]
+    fn matches_the_sequential_replay_bitwise_under_partitioned_placement() {
+        let mesh = UnstructuredMeshBuilder::new(10, 10)
+            .seed(19)
+            .scramble_numbering(true)
+            .build();
+        let initial = field(mesh.len());
+        let config = RedBlackConfig {
+            sweeps: 12,
+            check_every: Some(3),
+            ..RedBlackConfig::default()
+        };
+        let nprocs = 4;
+        let machine = Machine::new(nprocs, CostModel::ideal());
+        let outcomes = machine.run(|proc| {
+            let dist = partitioned_dist(proc, &mesh);
+            redblack_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+        let dist = DimDist::custom(meshes::greedy_partition(&mesh, nprocs), nprocs);
+        let (seq_a, seq_history) = redblack_sequential(&mesh, &initial, &config, &dist);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for o in &outcomes {
+            assert_eq!(bits(&o.change_history), bits(&seq_history));
+            assert_eq!(o.stats.reductions, 2 * 4, "two per checked sweep");
+        }
+        assert_eq!(bits(&gather(&dist, &outcomes)), bits(&seq_a));
+    }
+
+    #[test]
+    fn change_norm_falls_monotonically_on_a_connected_mesh() {
+        let mesh = RegularGrid::square(10).five_point_mesh();
+        let initial = field(mesh.len());
+        let config = RedBlackConfig {
+            sweeps: 40,
+            check_every: Some(1),
+            ..RedBlackConfig::default()
+        };
+        let machine = Machine::new(4, CostModel::ideal());
+        let outcomes = machine.run(|proc| {
+            let dist = DimDist::block(mesh.len(), proc.nprocs());
+            redblack_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+        let history = &outcomes[0].change_history;
+        assert_eq!(history.len(), 40);
+        assert!(
+            history[39] < history[0] * 1e-3,
+            "relaxation must converge: {} -> {}",
+            history[0],
+            history[39]
+        );
+        for w in history.windows(2) {
+            assert!(w[1] <= w[0], "change norm must not increase: {w:?}");
+        }
+    }
+
+    #[test]
+    fn checked_and_unchecked_runs_produce_the_same_field() {
+        // The reduction is a pure output: turning it on must not change a
+        // single bit of the field.
+        let mesh = UnstructuredMeshBuilder::new(9, 9).seed(2).build();
+        let initial = field(mesh.len());
+        let run = |check_every| {
+            let config = RedBlackConfig {
+                sweeps: 6,
+                check_every,
+                ..RedBlackConfig::default()
+            };
+            let machine = Machine::new(4, CostModel::ideal());
+            let outcomes = machine.run(|proc| {
+                let dist = DimDist::block(mesh.len(), proc.nprocs());
+                redblack_sweeps(proc, &mesh, &dist, &initial, &config)
+            });
+            let dist = DimDist::block(mesh.len(), 4);
+            gather(&dist, &outcomes)
+        };
+        let with = run(Some(1));
+        let without = run(None);
+        assert_eq!(
+            with.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            without.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

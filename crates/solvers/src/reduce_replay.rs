@@ -1,0 +1,111 @@
+//! Sequential replay of the runtime's deterministic reductions.
+//!
+//! `execute_reduce` folds each rank's contributions in ascending iteration
+//! order and combines the per-rank partials in ascending rank order (the
+//! [`ReduceOp`] determinism contract).  A sequential replay that wants to
+//! match a distributed run **bit for bit** must fold with the same
+//! structure — a plain global-order sum only coincides with it when the
+//! distribution's owned sets are contiguous and ascending with rank (block),
+//! not for cyclic or partitioned placements.  These helpers replay the
+//! structure for any [`Distribution`].
+
+use distrib::Distribution;
+use kali_core::process::{combine_partials, ReduceOp};
+
+/// Replay a distributed `execute_reduce` over the full index space of
+/// `dist`: per-rank partials folded over the owned sets in ascending index
+/// order, combined in ascending rank order, then finished.
+pub fn replay_reduce<R, D, F>(dist: &D, mut contribution: F) -> R::Acc
+where
+    R: ReduceOp,
+    D: Distribution + ?Sized,
+    F: FnMut(usize) -> R::Input,
+{
+    replay_reduce_filtered::<R, D, _, _>(dist, |_| true, &mut contribution)
+}
+
+/// Like [`replay_reduce`], restricted to the iterations `keep` accepts —
+/// the replay of a reduction over a [`Stripe`](kali_core::Stripe)-spaced
+/// loop (a red or black half-sweep).
+pub fn replay_reduce_filtered<R, D, K, F>(dist: &D, mut keep: K, mut contribution: F) -> R::Acc
+where
+    R: ReduceOp,
+    D: Distribution + ?Sized,
+    K: FnMut(usize) -> bool,
+    F: FnMut(usize) -> R::Input,
+{
+    let partials: Vec<R::Acc> = (0..dist.nprocs())
+        .map(|rank| {
+            R::fold(
+                dist.local_set(rank)
+                    .iter()
+                    .filter(|&i| keep(i))
+                    .map(&mut contribution),
+            )
+        })
+        .collect();
+    R::finish(combine_partials::<R>(partials))
+}
+
+/// [`replay_reduce`] specialised to the ubiquitous `f64` sum.
+pub fn replay_sum<D, F>(dist: &D, contribution: F) -> f64
+where
+    D: Distribution + ?Sized,
+    F: FnMut(usize) -> f64,
+{
+    replay_reduce::<kali_core::Sum<f64>, D, F>(dist, contribution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrib::DimDist;
+    use kali_core::{Norm2, Sum};
+
+    #[test]
+    fn block_replay_coincides_with_the_global_order_sum() {
+        // Block owned sets are contiguous and ascending with rank, so the
+        // replay equals a plain left-to-right fold (including the per-rank
+        // identity starts, which add exactly 0.0 to nonnegative partials).
+        let dist = DimDist::block(64, 4);
+        let v: Vec<f64> = (0..64).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let replayed = replay_sum(&dist, |i| v[i]);
+        let partials: Vec<f64> = (0..4)
+            .map(|r| v[r * 16..(r + 1) * 16].iter().fold(0.0, |a, x| a + x))
+            .collect();
+        let manual = partials.into_iter().reduce(|a, b| a + b).unwrap();
+        assert_eq!(replayed.to_bits(), manual.to_bits());
+    }
+
+    #[test]
+    fn cyclic_replay_differs_from_the_global_order_sum() {
+        // The point of replaying the partial structure: under a cyclic
+        // placement the fold order differs from global order, and with
+        // rounding-sensitive values so does the result.
+        let dist = DimDist::cyclic(33, 4);
+        let v: Vec<f64> = (0..33).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let replayed = replay_sum(&dist, |i| v[i]);
+        let global: f64 = v.iter().sum();
+        assert_ne!(
+            replayed.to_bits(),
+            global.to_bits(),
+            "cyclic partial structure must be visible in the rounding"
+        );
+    }
+
+    #[test]
+    fn filtered_replay_folds_only_the_kept_iterations() {
+        let dist = DimDist::block(20, 2);
+        let evens =
+            replay_reduce_filtered::<Sum<f64>, _, _, _>(&dist, |i| i % 2 == 0, |i| i as f64);
+        assert_eq!(evens, (0..20).filter(|i| i % 2 == 0).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn norm2_replay_finishes_with_the_square_root() {
+        let dist = DimDist::block(2, 1);
+        let v = [3.0f64, 4.0];
+        let norm = replay_reduce::<Norm2, _, _>(&dist, |i| v[i]);
+        assert_eq!(norm, 5.0);
+    }
+}

@@ -32,13 +32,19 @@ pub struct CommReport {
     /// run, summed over processors — the number the bounded cache keeps
     /// from growing with the length of an adaptive run.
     pub cache_resident_bytes: usize,
+    /// Global typed reductions performed (`execute_reduce` calls), summed
+    /// over processors — the per-iteration collective count a CG-style
+    /// solver stresses.
+    pub reductions: u64,
+    /// Payload bytes sent for those reductions, summed over processors.
+    pub reduction_bytes: u64,
 }
 
 impl CommReport {
     /// Format the stats as one table line (no machine column).
     pub fn to_table_line(&self) -> String {
         format!(
-            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}",
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>10}",
             self.messages,
             self.bytes,
             self.nonlocal_refs,
@@ -46,14 +52,16 @@ impl CommReport {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
-            self.cache_resident_bytes
+            self.cache_resident_bytes,
+            self.reductions,
+            self.reduction_bytes
         )
     }
 
     /// Header matching [`CommReport::to_table_line`].
     pub fn table_header() -> String {
         format!(
-            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}",
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>10}",
             "messages",
             "bytes",
             "nonlocal refs",
@@ -61,7 +69,9 @@ impl CommReport {
             "cache hit",
             "miss",
             "evict",
-            "res bytes"
+            "res bytes",
+            "reduce",
+            "red bytes"
         )
     }
 }
@@ -112,6 +122,10 @@ pub struct ExperimentRow {
     pub speedup: Option<f64>,
     /// Machine-wide communication, locality and schedule-cache statistics.
     pub comm: CommReport,
+    /// Global squared change of the run's last convergence check, when the
+    /// program performed one (identical on every rank — the value flows
+    /// through the typed reduction pipeline instead of being discarded).
+    pub final_change: Option<f64>,
     /// Per-phase communication breakdown, for multi-phase programs (the 2-D
     /// phase-change demo reports its vertical/horizontal sweep phases and
     /// the row↔column redistribution separately so the cost of moving the
@@ -228,7 +242,10 @@ mod tests {
                 cache_misses: 1,
                 cache_evictions: 0,
                 cache_resident_bytes: 640,
+                reductions: 0,
+                reduction_bytes: 0,
             },
+            final_change: None,
             phase_comms: Vec::new(),
         };
         let line = row.to_table_line();
@@ -252,14 +269,18 @@ mod tests {
             cache_misses: 1,
             cache_evictions: 5,
             cache_resident_bytes: 888,
+            reductions: 21,
+            reduction_bytes: 504,
         };
         let line = comm.to_table_line();
-        for needle in ["42", "4242", "77", "13", "9", "1", "5", "888"] {
+        for needle in ["42", "4242", "77", "13", "9", "1", "5", "888", "21", "504"] {
             assert!(line.contains(needle), "{needle} missing from {line}");
         }
         assert!(CommReport::table_header().contains("nonlocal refs"));
         assert!(CommReport::table_header().contains("evict"));
         assert!(CommReport::table_header().contains("res bytes"));
+        assert!(CommReport::table_header().contains("reduce"));
+        assert!(CommReport::table_header().contains("red bytes"));
         let row = ExperimentRow {
             machine: "NCUBE/7".to_string(),
             nprocs: 8,
@@ -269,6 +290,7 @@ mod tests {
             times: PhaseBreakdown::default(),
             speedup: None,
             comm,
+            final_change: Some(0.5),
             phase_comms: vec![("vertical".to_string(), comm)],
         };
         assert!(row.to_comm_line().contains("NCUBE/7"));

@@ -356,6 +356,142 @@ fn multidim_phase_change_demo_is_bit_identical_across_backends() {
 }
 
 #[test]
+fn cg_residual_history_is_bit_identical_across_backends() {
+    // The reduction-heavy solver: two dot products per iteration through
+    // the typed pipeline.  The residual history — a *scalar* trace of every
+    // reduction — must agree bit for bit between dmsim, native and the
+    // sequential replay, under both block and partitioned placements.
+    use kali_repro::solvers::{cg_sequential, cg_solve, CgConfig};
+
+    let mesh = UnstructuredMeshBuilder::new(11, 12)
+        .seed(29)
+        .scramble_numbering(true)
+        .build();
+    let b: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 23) % 17) as f64 * 0.2 - 1.3)
+        .collect();
+    let config = CgConfig::with_iters(20);
+    let nprocs = 4;
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    for partitioned in [false, true] {
+        let simulated = Machine::new(nprocs, CostModel::ideal()).run(|proc| {
+            let dist = if partitioned {
+                partitioned_dist(proc, &mesh)
+            } else {
+                DimDist::block(mesh.len(), proc.nprocs())
+            };
+            cg_solve(proc, &mesh, &dist, &b, &config)
+        });
+        let native = NativeMachine::new(nprocs).run(|proc| {
+            let dist = if partitioned {
+                partitioned_dist(proc, &mesh)
+            } else {
+                DimDist::block(mesh.len(), proc.nprocs())
+            };
+            cg_solve(proc, &mesh, &dist, &b, &config)
+        });
+        let replay_dist = if partitioned {
+            DimDist::custom(greedy_partition(&mesh, nprocs), nprocs)
+        } else {
+            DimDist::block(mesh.len(), nprocs)
+        };
+        let (seq_x, seq_history) = cg_sequential(&mesh, &b, &config, &replay_dist);
+        for (s, n) in simulated.iter().zip(&native) {
+            assert_eq!(
+                bits(&s.residual_history),
+                bits(&seq_history),
+                "dmsim vs replay (partitioned = {partitioned})"
+            );
+            assert_eq!(
+                bits(&n.residual_history),
+                bits(&seq_history),
+                "native vs replay (partitioned = {partitioned})"
+            );
+            assert_eq!(s.stats.reductions, n.stats.reductions);
+            assert_eq!(
+                (s.stats.cache.hits, s.stats.cache.misses),
+                (n.stats.cache.hits, n.stats.cache.misses),
+                "cache lifecycle must agree between backends"
+            );
+        }
+        let sim_x = gather(
+            &replay_dist,
+            &simulated
+                .iter()
+                .map(|o| o.local_x.clone())
+                .collect::<Vec<_>>(),
+        );
+        let nat_x = gather(
+            &replay_dist,
+            &native.iter().map(|o| o.local_x.clone()).collect::<Vec<_>>(),
+        );
+        assert_eq!(bits(&sim_x), bits(&nat_x));
+        assert_eq!(bits(&sim_x), bits(&seq_x));
+    }
+}
+
+#[test]
+fn redblack_field_and_change_history_are_bit_identical_across_backends() {
+    // Two stripe loops (distinct ids, one session cache), change-norm
+    // reductions fused into the half-sweeps: field and history must agree
+    // bit for bit across dmsim, native and the sequential replay.
+    use kali_repro::solvers::{redblack_sequential, redblack_sweeps, RedBlackConfig};
+
+    let mesh = UnstructuredMeshBuilder::new(12, 10)
+        .seed(47)
+        .scramble_numbering(true)
+        .build();
+    let initial: Vec<f64> = (0..mesh.len())
+        .map(|i| ((i * 31) % 29) as f64 * 0.15)
+        .collect();
+    let config = RedBlackConfig {
+        sweeps: 10,
+        check_every: Some(2),
+        ..RedBlackConfig::default()
+    };
+    let nprocs = 4;
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let simulated = Machine::new(nprocs, CostModel::ideal()).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        redblack_sweeps(proc, &mesh, &dist, &initial, &config)
+    });
+    let native = NativeMachine::new(nprocs).run(|proc| {
+        let dist = partitioned_dist(proc, &mesh);
+        redblack_sweeps(proc, &mesh, &dist, &initial, &config)
+    });
+    let replay_dist = DimDist::custom(greedy_partition(&mesh, nprocs), nprocs);
+    let (seq_a, seq_history) = redblack_sequential(&mesh, &initial, &config, &replay_dist);
+
+    for (rank, (s, n)) in simulated.iter().zip(&native).enumerate() {
+        assert_eq!(bits(&s.change_history), bits(&seq_history), "rank {rank}");
+        assert_eq!(bits(&n.change_history), bits(&seq_history), "rank {rank}");
+        for o in [s, n] {
+            assert_eq!(o.stats.loops_allocated, 2, "rank {rank}");
+            assert_eq!(
+                o.stats.cache.misses, 2,
+                "rank {rank}: one inspector run per colour"
+            );
+            assert_eq!(o.stats.reductions, 2 * 5, "rank {rank}: two per check");
+        }
+    }
+    let sim_a = gather(
+        &replay_dist,
+        &simulated
+            .iter()
+            .map(|o| o.local_a.clone())
+            .collect::<Vec<_>>(),
+    );
+    let nat_a = gather(
+        &replay_dist,
+        &native.iter().map(|o| o.local_a.clone()).collect::<Vec<_>>(),
+    );
+    assert_eq!(bits(&sim_a), bits(&nat_a));
+    assert_eq!(bits(&sim_a), bits(&seq_a));
+}
+
+#[test]
 fn redistribution_works_on_the_native_backend() {
     let n = 97;
     let native = NativeMachine::new(4).run(|proc| {

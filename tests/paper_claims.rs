@@ -15,6 +15,7 @@ fn row(cost: CostModel, nprocs: usize, mesh_side: usize, sweeps: usize) -> Exper
         extrapolate_from: Some(2),
         overlap: true,
         disable_schedule_cache: false,
+        convergence_check_every: None,
     }
 }
 
