@@ -1,0 +1,10 @@
+//! Intra-rank scaling table: the same native Jacobi solve at worker-pool
+//! sizes 1, 2, 4 and 8, with wall-clock time and speedup over one worker,
+//! plus a bitwise identity check across every configuration.  `--smoke`
+//! (or `KALI_QUICK=1`) shrinks the grid for CI.
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || bench_tables::quick_mode();
+    if !bench_tables::run_native_scaling(smoke) {
+        std::process::exit(1);
+    }
+}

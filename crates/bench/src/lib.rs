@@ -1056,6 +1056,117 @@ fn measure_mesh_sweep(cost: dmsim::CostModel, nprocs: usize) -> Vec<ExperimentRo
         .collect()
 }
 
+/// Run the intra-rank scaling experiment (`table_native_scaling`) and print
+/// its table: the same native Jacobi solve at worker-pool sizes 1, 2, 4 and
+/// 8, with wall-clock time per configuration and speedup over the
+/// single-worker run.  The fields of every configuration are compared bit
+/// for bit — the worker pool is a performance knob, never a semantics knob.
+///
+/// Returns `true` when the fields are identical across all worker counts
+/// and — **only when the host actually has ≥ 4 hardware threads and this is
+/// not a smoke run** — the 4-worker configuration is at least 2× faster
+/// than 1 worker.  On smaller hosts the speedup row is informational (a
+/// 1-CPU machine cannot exhibit parallel speedup) and the binary still
+/// reports the table honestly.
+pub fn run_native_scaling(smoke: bool) -> bool {
+    use kali_core::Process;
+    use kali_native::NativeMachine;
+    use solvers::{jacobi_sweeps, JacobiConfig};
+    use std::time::Instant;
+
+    let (side, nprocs, sweeps) = if smoke { (64, 2, 3) } else { (1024, 2, 5) };
+    let grid = meshes::RegularGrid::square(side);
+    let mesh = grid.five_point_mesh();
+    let initial = grid.initial_field();
+    let worker_counts = [1usize, 2, 4, 8];
+
+    println!(
+        "\n=== Intra-rank scaling: native Jacobi on a {side}x{side} grid \
+         ({nprocs} processes, {sweeps} sweeps, chunked executor) ==="
+    );
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {hw} hardware thread(s)\n");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>14}",
+        "workers", "wall (s)", "speedup", "field"
+    );
+
+    let mut ok = true;
+    let mut baseline_fields: Option<Vec<Vec<u64>>> = None;
+    let mut baseline_secs = 0.0f64;
+    for &workers in &worker_counts {
+        let config = JacobiConfig {
+            sweeps,
+            workers: Some(workers),
+            ..JacobiConfig::default()
+        };
+        let start = Instant::now();
+        let outcomes = NativeMachine::new(nprocs).run(|proc| {
+            let dist = distrib::DimDist::block(mesh.len(), proc.nprocs());
+            jacobi_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let fields: Vec<Vec<u64>> = outcomes
+            .iter()
+            .map(|o| o.local_a.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let identical = match &baseline_fields {
+            None => {
+                baseline_fields = Some(fields);
+                baseline_secs = secs;
+                true
+            }
+            Some(base) => *base == fields,
+        };
+        if !identical {
+            ok = false;
+        }
+        println!(
+            "{:>8}  {:>12.3}  {:>9.2}x  {:>14}",
+            workers,
+            secs,
+            baseline_secs / secs,
+            if identical { "identical" } else { "DIVERGED" }
+        );
+    }
+
+    if !ok {
+        println!("\nFAIL: worker count changed the solution bits");
+        return false;
+    }
+    println!("\nOK: fields bitwise identical at every worker count");
+    if !smoke && hw >= 4 {
+        // The acceptance threshold only means something when the hardware
+        // can actually run 4 workers concurrently.
+        let config = JacobiConfig {
+            sweeps,
+            workers: Some(4),
+            ..JacobiConfig::default()
+        };
+        let start = Instant::now();
+        let _ = NativeMachine::new(nprocs).run(|proc| {
+            let dist = distrib::DimDist::block(mesh.len(), proc.nprocs());
+            jacobi_sweeps(proc, &mesh, &dist, &initial, &config)
+        });
+        let four = start.elapsed().as_secs_f64();
+        let speedup = baseline_secs / four;
+        if speedup < 2.0 {
+            println!("FAIL: expected >= 2x at 4 workers, measured {speedup:.2}x");
+            ok = false;
+        } else {
+            println!("OK: {speedup:.2}x at 4 workers (threshold 2x)");
+        }
+    } else if hw < 4 {
+        println!(
+            "note: host has {hw} hardware thread(s); the 2x-at-4-workers \
+             check needs >= 4 and was skipped"
+        );
+    }
+    ok
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,12 @@ use distrib::Distribution;
 use crate::process::{tags, Process, Tag};
 use crate::schedule::CommSchedule;
 
+/// Default chunk length (in iterations) for the chunked executor when no
+/// explicit chunk size is configured.  Large enough that per-chunk overhead
+/// (one result `Vec`, one cost flush) is negligible, small enough that a
+/// worker pool load-balances across chunks.
+pub const DEFAULT_CHUNK: usize = 2048;
+
 /// Knobs for the executor, mostly used by the ablation benchmarks.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutorConfig {
@@ -32,6 +38,15 @@ pub struct ExecutorConfig {
     pub overlap: bool,
     /// Tag offset distinguishing successive executions (sweep number).
     pub tag: Tag,
+    /// Intra-rank worker threads for the chunked executor
+    /// ([`execute_sweep_chunked`]).  `1` (the default) runs every chunk
+    /// inline on the calling thread — no threads are spawned and behaviour
+    /// is identical to the scalar path.  Results never depend on this knob.
+    pub workers: usize,
+    /// Chunk length for the chunked executor, in iterations; `0` (the
+    /// default) picks [`DEFAULT_CHUNK`].  Results never depend on this knob
+    /// either — only the granularity of work distribution does.
+    pub chunk: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -39,6 +54,8 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             overlap: true,
             tag: 0,
+            workers: 1,
+            chunk: 0,
         }
     }
 }
@@ -54,8 +71,8 @@ impl ExecutorConfig {
     /// apart can never be confused.
     pub fn sweep(sweep: usize) -> Self {
         ExecutorConfig {
-            overlap: true,
             tag: (sweep as Tag) % tags::SPAN,
+            ..ExecutorConfig::default()
         }
     }
 
@@ -64,6 +81,28 @@ impl ExecutorConfig {
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
         self
+    }
+
+    /// The same configuration with the given intra-rank worker count
+    /// (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The same configuration with the given chunk length (`0` = default).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// The chunk length this configuration resolves to.
+    pub fn effective_chunk(&self) -> usize {
+        if self.chunk > 0 {
+            self.chunk
+        } else {
+            DEFAULT_CHUNK
+        }
     }
 }
 
@@ -149,20 +188,7 @@ where
         "schedule belongs to a different processor"
     );
     let tag = tags::executor_tag(config.tag);
-
-    // ---- Send phase --------------------------------------------------------
-    for (to_proc, records) in schedule.send_messages() {
-        let count: usize = records.iter().map(|r| r.len()).sum();
-        let mut payload = Vec::with_capacity(count);
-        for record in records {
-            for g in record.low..record.high {
-                // Gather: translate and read each owned element.
-                proc.charge_mem_refs(2);
-                payload.push(local_data[data_dist.local_index(g)]);
-            }
-        }
-        proc.send_vec(to_proc, tag, payload);
-    }
+    send_phase(proc, schedule, data_dist, local_data, tag);
 
     if config.overlap {
         // Paper order: local iterations run while messages are in flight.
@@ -241,36 +267,319 @@ fn run_iters<P, D, T, F>(
     }
 }
 
-/// Receive every scheduled message and scatter it into the communication
-/// buffer according to the range records' buffer offsets.
+/// Gather and send every scheduled outgoing message: one packed contiguous
+/// buffer per destination, drawn from the backend's buffer pool
+/// ([`Process::acquire_send_buffer`]) so a steady-state sweep allocates
+/// nothing on pooling backends.
+fn send_phase<P, D, T>(
+    proc: &mut P,
+    schedule: &CommSchedule,
+    data_dist: &D,
+    local_data: &[T],
+    tag: Tag,
+) where
+    P: Process,
+    D: Distribution + ?Sized,
+    T: Copy + Send + 'static,
+{
+    for (to_proc, records) in schedule.send_messages() {
+        let count: usize = records.iter().map(|r| r.len()).sum();
+        let mut payload = proc.acquire_send_buffer::<T>(count);
+        for record in records {
+            // Gather: translate and read each owned element (2 memory
+            // references apiece, charged in bulk per record).
+            proc.charge_mem_refs(2 * record.len());
+            for g in record.low..record.high {
+                payload.push(local_data[data_dist.local_index(g)]);
+            }
+        }
+        proc.send_packed(to_proc, tag, payload);
+    }
+}
+
+/// Receive every scheduled message directly into one contiguous
+/// communication buffer.
+///
+/// [`CommSchedule::from_recv_sets`] assigns buffer offsets densely in
+/// exactly the order [`CommSchedule::recv_messages`] iterates (ascending
+/// sender, ascending `low`), so appending each incoming message lands every
+/// element at its record's offset — no per-element scatter, no `Option`
+/// intermediary, one allocation per sweep.  A debug-only check verifies the
+/// dense-layout contract record by record.
 fn receive_all<P, T>(proc: &mut P, schedule: &CommSchedule, tag: Tag) -> Vec<T>
 where
     P: Process,
     T: Copy + Send + 'static,
 {
-    let mut recv_buf: Vec<Option<T>> = vec![None; schedule.recv_len];
+    debug_assert!(
+        schedule.recv_layout_is_dense(),
+        "packed receive requires the dense buffer layout from_recv_sets assigns"
+    );
+    let mut recv_buf: Vec<T> = Vec::with_capacity(schedule.recv_len);
     for (from_proc, records) in schedule.recv_messages() {
-        let payload: Vec<T> = proc.recv_vec(from_proc, tag);
         let expected: usize = records.iter().map(|r| r.len()).sum();
-        assert_eq!(
-            payload.len(),
-            expected,
-            "message from {from_proc} has {} elements, schedule expects {expected}",
-            payload.len()
+        debug_assert_eq!(
+            records.first().map(|r| r.buffer),
+            Some(recv_buf.len()),
+            "message from {from_proc} does not start at the buffer cursor"
         );
-        let mut cursor = 0usize;
-        for record in records {
-            for k in 0..record.len() {
-                proc.charge_mem_refs(2);
-                recv_buf[record.buffer + k] = Some(payload[cursor]);
-                cursor += 1;
-            }
+        let got = proc.recv_packed_append(from_proc, tag, &mut recv_buf);
+        assert_eq!(
+            got, expected,
+            "message from {from_proc} has {got} elements, schedule expects {expected}"
+        );
+        // Unpack cost: one translate + one store per element, as before.
+        proc.charge_mem_refs(2 * expected);
+    }
+    debug_assert_eq!(
+        recv_buf.len(),
+        schedule.recv_len,
+        "receive buffer not completely filled"
+    );
+    recv_buf
+}
+
+// ----------------------------------------------------------------------
+// Chunked intra-rank parallel execution
+// ----------------------------------------------------------------------
+
+/// Cost counters accumulated by one chunk of iterations, merged into the
+/// process deterministically after the chunk completes.
+///
+/// The chunked executor runs loop bodies off the rank's own thread, where no
+/// `&mut P` exists; bodies charge into this plain struct instead, and the
+/// executor flushes every chunk's counters **in ascending chunk order** at
+/// the phase boundary.  The bulk charge hooks repeat the singular ones, so
+/// a metering backend's clock sees the same additions as the scalar path —
+/// only their grouping changes, never the totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkCosts {
+    /// Loop iterations of control overhead.
+    pub loop_iters: usize,
+    /// Local memory references.
+    pub mem_refs: usize,
+    /// Floating-point operations.
+    pub flops: usize,
+    /// Procedure calls.
+    pub calls: usize,
+    /// Local distributed-array accesses.
+    pub local_accesses: usize,
+    /// Nonlocal accesses resolved by binary search.
+    pub nonlocal_accesses: usize,
+}
+
+impl ChunkCosts {
+    /// Charge this chunk's accumulated costs to the process.  `ranges` is
+    /// the schedule's record count (the `r` of the binary-search cost).
+    fn flush_into<P: Process>(&self, proc: &mut P, ranges: usize) {
+        proc.charge_loop_iters(self.loop_iters);
+        proc.charge_mem_refs(self.mem_refs);
+        proc.charge_flops(self.flops);
+        proc.charge_calls(self.calls);
+        proc.charge_local_accesses(self.local_accesses);
+        proc.charge_nonlocal_accesses(ranges, self.nonlocal_accesses);
+    }
+}
+
+/// The chunked twin of [`Fetcher`]: resolves global indices to values for a
+/// loop body running inside a chunk, **without** a process handle.
+///
+/// Access costs (and any body arithmetic charged through the `charge_*`
+/// methods) accumulate in a per-chunk [`ChunkCosts`] that the executor
+/// merges deterministically afterwards, so the same body produces the same
+/// accounting at any worker count.
+pub struct ChunkFetcher<'a, T, D: Distribution + ?Sized = dyn Distribution> {
+    dist: &'a D,
+    rank: usize,
+    local_data: &'a [T],
+    recv_buf: &'a [T],
+    schedule: &'a CommSchedule,
+    costs: ChunkCosts,
+}
+
+impl<'a, T: Copy, D: Distribution + ?Sized> ChunkFetcher<'a, T, D> {
+    /// Fetch the value of global element `g` of the referenced array.
+    ///
+    /// Panics if `g` is neither owned nor covered by the schedule, exactly
+    /// like [`Fetcher::fetch`]; the panic propagates to the calling rank
+    /// when the worker scope joins, and the chunk's costs are discarded
+    /// unflushed (nothing is charged for work that never completed).
+    pub fn fetch(&mut self, g: usize) -> T {
+        if self.dist.is_local(self.rank, g) {
+            self.costs.local_accesses += 1;
+            self.local_data[self.dist.local_index(g)]
+        } else {
+            let pos = self.schedule.find(g).unwrap_or_else(|| {
+                panic!(
+                    "global index {g} is neither local to rank {} nor in its receive schedule",
+                    self.rank
+                )
+            });
+            self.costs.nonlocal_accesses += 1;
+            self.recv_buf[pos]
         }
     }
-    recv_buf
-        .into_iter()
-        .map(|v| v.expect("receive buffer slot never filled"))
-        .collect()
+
+    /// True when the element is stored locally (no communication needed).
+    pub fn is_local(&self, g: usize) -> bool {
+        self.dist.is_local(self.rank, g)
+    }
+
+    /// Charge `n` floating-point operations to this chunk.
+    pub fn charge_flops(&mut self, n: usize) {
+        self.costs.flops += n;
+    }
+
+    /// Charge `n` local memory references to this chunk.
+    pub fn charge_mem_refs(&mut self, n: usize) {
+        self.costs.mem_refs += n;
+    }
+
+    /// Charge `n` loop iterations of control overhead to this chunk.
+    pub fn charge_loop_iters(&mut self, n: usize) {
+        self.costs.loop_iters += n;
+    }
+
+    /// Charge `n` procedure calls to this chunk.
+    pub fn charge_calls(&mut self, n: usize) {
+        self.costs.calls += n;
+    }
+}
+
+/// Run one phase's iteration list in fixed-boundary chunks on the worker
+/// pool, returning each chunk's body values and accumulated costs in
+/// ascending chunk order.
+#[allow(clippy::too_many_arguments)]
+fn run_chunked_phase<D, T, V, F>(
+    iters: &[usize],
+    schedule: &CommSchedule,
+    data_dist: &D,
+    local_data: &[T],
+    recv_buf: &[T],
+    workers: usize,
+    chunk: usize,
+    body: &F,
+) -> Vec<(Vec<V>, ChunkCosts)>
+where
+    D: Distribution + ?Sized + Sync,
+    T: Copy + Sync,
+    V: Send,
+    F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
+{
+    let bounds = crate::pool::chunk_bounds(iters.len(), chunk);
+    crate::pool::run_chunks(workers, bounds.len(), |ci| {
+        let (start, end) = bounds[ci];
+        let mut fetcher = ChunkFetcher {
+            dist: data_dist,
+            rank: schedule.rank,
+            local_data,
+            recv_buf,
+            schedule,
+            costs: ChunkCosts::default(),
+        };
+        let mut values = Vec::with_capacity(end - start);
+        for &i in &iters[start..end] {
+            fetcher.costs.loop_iters += 1;
+            values.push(body(i, &mut fetcher));
+        }
+        (values, fetcher.costs)
+    })
+}
+
+/// Merge one phase's chunk results back on the rank's thread: flush each
+/// chunk's costs, then hand each `(iteration, value)` pair to `sink`, both
+/// in ascending chunk (and therefore ascending iteration) order.
+fn apply_chunk_results<P, V, W>(
+    proc: &mut P,
+    ranges: usize,
+    iters: &[usize],
+    results: Vec<(Vec<V>, ChunkCosts)>,
+    sink: &mut W,
+) where
+    P: Process,
+    W: FnMut(usize, V),
+{
+    let mut cursor = 0usize;
+    for (values, costs) in results {
+        costs.flush_into(proc, ranges);
+        for value in values {
+            sink(iters[cursor], value);
+            cursor += 1;
+        }
+    }
+    debug_assert_eq!(cursor, iters.len(), "every iteration produced a value");
+}
+
+/// Execute one sweep of a `forall` with the **chunked intra-rank parallel
+/// executor**.
+///
+/// The communication structure is identical to [`execute_sweep`] (send,
+/// local iterations, receive, nonlocal iterations — Figure 3 of the paper);
+/// the difference is how an iteration list runs: it is split into
+/// deterministic fixed-boundary chunks ([`ExecutorConfig::chunk`]) executed
+/// on up to [`ExecutorConfig::workers`] threads via
+/// [`crate::pool::run_chunks`].
+///
+/// Determinism contract:
+///
+/// * `body` is a **read-only view** of the sweep: `Fn` (not `FnMut`),
+///   fetching through a [`ChunkFetcher`]; it returns one value per
+///   iteration instead of writing in place.
+/// * All writes happen on the calling thread through `sink(i, value)`,
+///   invoked in ascending iteration order within each phase.
+/// * Per-chunk cost counters merge in ascending chunk order, so metered
+///   totals match the scalar path at every `(workers, chunk)` setting.
+///
+/// Consequently results and counters are a function of the schedule and the
+/// body alone — never of the worker count or chunk size.
+///
+/// Returns the number of iterations executed locally.
+pub fn execute_sweep_chunked<P, D, T, V, F, W>(
+    proc: &mut P,
+    config: ExecutorConfig,
+    schedule: &CommSchedule,
+    data_dist: &D,
+    local_data: &[T],
+    body: F,
+    mut sink: W,
+) -> usize
+where
+    P: Process,
+    D: Distribution + ?Sized + Sync,
+    T: Copy + Send + Sync + 'static,
+    V: Send,
+    F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
+    W: FnMut(usize, V),
+{
+    let rank = proc.rank();
+    debug_assert_eq!(
+        schedule.rank, rank,
+        "schedule belongs to a different processor"
+    );
+    let tag = tags::executor_tag(config.tag);
+    let workers = config.workers.max(1);
+    let chunk = config.effective_chunk();
+    let ranges = schedule.range_count();
+    send_phase(proc, schedule, data_dist, local_data, tag);
+
+    let run_phase = |proc: &mut P, iters: &[usize], recv_buf: &[T], sink: &mut W| {
+        let results = run_chunked_phase(
+            iters, schedule, data_dist, local_data, recv_buf, workers, chunk, &body,
+        );
+        apply_chunk_results(proc, ranges, iters, results, sink);
+    };
+
+    if config.overlap {
+        // Paper order: local iterations run while messages are in flight.
+        run_phase(proc, &schedule.local_iters, &[], &mut sink);
+        let recv_buf = receive_all(proc, schedule, tag);
+        run_phase(proc, &schedule.nonlocal_iters, &recv_buf, &mut sink);
+    } else {
+        let recv_buf = receive_all(proc, schedule, tag);
+        run_phase(proc, &schedule.local_iters, &recv_buf, &mut sink);
+        run_phase(proc, &schedule.nonlocal_iters, &recv_buf, &mut sink);
+    }
+    schedule.local_iters.len() + schedule.nonlocal_iters.len()
 }
 
 #[cfg(test)]
@@ -293,7 +602,7 @@ mod tests {
             let mut new_a = local_a.clone();
             execute_sweep(
                 proc,
-                ExecutorConfig { overlap, tag: 0 },
+                ExecutorConfig::default().with_overlap(overlap),
                 &schedule,
                 &dist,
                 &local_a,
@@ -499,6 +808,134 @@ mod tests {
         let c = ExecutorConfig::sweep(7).with_overlap(false);
         assert!(!c.overlap);
         assert_eq!(c.tag, 7);
+    }
+
+    /// The shift of Figure 1 on the chunked executor: any worker count and
+    /// chunk size must reproduce the scalar path bit for bit, including the
+    /// metered counters.
+    #[test]
+    fn chunked_shift_matches_scalar_at_any_workers_and_chunk() {
+        let n = 64;
+        let nprocs = 4;
+        let run = |workers: usize, chunk: usize, chunked: bool| {
+            let machine = Machine::new(nprocs, CostModel::ncube7());
+            machine.run_stats(|proc| {
+                let dist = DimDist::block(n, proc.nprocs());
+                let rank = proc.rank();
+                let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| g as f64).collect();
+                let exec = owner_computes_iters(&dist, rank, n - 1);
+                let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
+                let mut new_a = local_a.clone();
+                if chunked {
+                    execute_sweep_chunked(
+                        proc,
+                        ExecutorConfig::default()
+                            .with_workers(workers)
+                            .with_chunk(chunk),
+                        &schedule,
+                        &dist,
+                        &local_a,
+                        |i, fetch| fetch.fetch(i + 1),
+                        |i, v| new_a[dist.local_index(i)] = v,
+                    );
+                } else {
+                    execute_sweep(
+                        proc,
+                        ExecutorConfig::default(),
+                        &schedule,
+                        &dist,
+                        &local_a,
+                        |i, fetch| {
+                            let v = fetch.fetch(i + 1);
+                            new_a[dist.local_index(i)] = v;
+                        },
+                    );
+                }
+                new_a
+            })
+        };
+        let (scalar_vals, scalar_stats) = run(1, 0, false);
+        for workers in [1usize, 2, 4] {
+            for chunk in [0usize, 1, 3, 7, 1024] {
+                let (vals, stats) = run(workers, chunk, true);
+                assert_eq!(vals, scalar_vals, "workers={workers} chunk={chunk}");
+                assert_eq!(
+                    stats.totals, scalar_stats.totals,
+                    "counters diverged at workers={workers} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    /// Body charges through the `ChunkFetcher` merge into the process in
+    /// chunk order, matching an equivalent scalar body charging directly.
+    #[test]
+    fn chunk_costs_merge_to_the_scalar_totals() {
+        let n = 40;
+        let run = |chunked: bool| {
+            let machine = Machine::new(2, CostModel::ncube7());
+            let (_, stats) = machine.run_stats(|proc| {
+                let dist = DimDist::block(n, proc.nprocs());
+                let rank = proc.rank();
+                let local_a: Vec<f64> = dist.local_set(rank).iter().map(|g| g as f64).collect();
+                let exec = owner_computes_iters(&dist, rank, n - 1);
+                let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i + 1));
+                if chunked {
+                    execute_sweep_chunked(
+                        proc,
+                        ExecutorConfig::default().with_workers(3).with_chunk(4),
+                        &schedule,
+                        &dist,
+                        &local_a,
+                        |i, fetch| {
+                            fetch.charge_flops(2);
+                            fetch.charge_mem_refs(3);
+                            fetch.charge_calls(1);
+                            fetch.fetch(i + 1)
+                        },
+                        |_i, _v: f64| {},
+                    );
+                } else {
+                    execute_sweep(
+                        proc,
+                        ExecutorConfig::default(),
+                        &schedule,
+                        &dist,
+                        &local_a,
+                        |i, fetch| {
+                            fetch.proc().charge_flops(2);
+                            fetch.proc().charge_mem_refs(3);
+                            fetch.proc().charge_calls(1);
+                            let _ = fetch.fetch(i + 1);
+                        },
+                    );
+                }
+            });
+            stats.totals
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD worker panicked")]
+    fn chunked_fetch_of_unscheduled_element_panics() {
+        let machine = Machine::new(2, CostModel::ideal());
+        machine.run(|proc| {
+            let dist = DimDist::block(8, 2);
+            let rank = proc.rank();
+            let local_a: Vec<f64> = dist.local_set(rank).iter().map(|_| 0.0).collect();
+            let exec = owner_computes_iters(&dist, rank, 8);
+            let schedule = run_inspector(proc, &dist, &exec, |i, refs| refs.push(i));
+            execute_sweep_chunked(
+                proc,
+                ExecutorConfig::default().with_workers(2).with_chunk(2),
+                &schedule,
+                &dist,
+                &local_a,
+                |i, fetch| fetch.fetch((i + 4) % 8),
+                |_i, _v: f64| {},
+            );
+        });
     }
 
     #[test]

@@ -41,7 +41,9 @@ use std::sync::Arc;
 use distrib::{combine_fingerprints, DimDist, Distribution};
 
 use crate::cache::{LoopKey, ScheduleCache};
-use crate::executor::{execute_sweep, ExecutorConfig, Fetcher};
+use crate::executor::{
+    execute_sweep, execute_sweep_chunked, ChunkFetcher, ExecutorConfig, Fetcher,
+};
 use crate::inspector::{owner_computes_iters, run_inspector};
 use crate::process::{Process, Reduce, ReduceOp};
 use crate::schedule::CommSchedule;
@@ -258,31 +260,7 @@ impl<S: IterSpace> ParallelLoop<S> {
             let v = body(i, fetch);
             contributions.push((i, v));
         });
-        proc.charge_flops(contributions.len());
-        let (local, nonlocal) = contributions.split_at(boundary);
-        debug_assert!(local.windows(2).all(|w| w[0].0 < w[1].0));
-        debug_assert!(nonlocal.windows(2).all(|w| w[0].0 < w[1].0));
-        let mut acc = R::identity();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < local.len() && j < nonlocal.len() {
-            if local[i].0 < nonlocal[j].0 {
-                acc = R::combine(acc, R::lift(local[i].1));
-                i += 1;
-            } else {
-                acc = R::combine(acc, R::lift(nonlocal[j].1));
-                j += 1;
-            }
-        }
-        for &(_, v) in &local[i..] {
-            acc = R::combine(acc, R::lift(v));
-        }
-        for &(_, v) in &nonlocal[j..] {
-            acc = R::combine(acc, R::lift(v));
-        }
-        let partial = acc;
-        proc.charge_flops(proc.nprocs().saturating_sub(1));
-        let total = proc.allreduce(partial, |a, b| R::combine(*a, *b));
-        R::finish(total)
+        fold_and_allreduce::<P, R>(proc, boundary, contributions)
     }
 
     /// Like [`ParallelLoop::execute`] with an explicit [`ExecutorConfig`]
@@ -304,6 +282,138 @@ impl<S: IterSpace> ParallelLoop<S> {
     {
         execute_sweep(proc, config, schedule, data_dist, local_data, body)
     }
+
+    /// Round the configured chunk length up to the space's preferred
+    /// alignment ([`IterSpace::chunk_align`]) — whole rows for [`Rect`]
+    /// spaces, a no-op elsewhere.  Alignment shapes chunk boundaries only;
+    /// results are identical at every alignment.
+    ///
+    /// [`Rect`]: crate::space::Rect
+    fn align_chunk(&self, mut config: ExecutorConfig) -> ExecutorConfig {
+        let align = self.space.chunk_align().max(1);
+        if align > 1 {
+            config.chunk = config.effective_chunk().div_ceil(align) * align;
+        }
+        config
+    }
+
+    /// Execute one sweep on the **chunked intra-rank parallel executor**
+    /// ([`execute_sweep_chunked`]): the body is a read-only `Fn` returning
+    /// one value per iteration, writes happen on the calling thread through
+    /// `sink(i, value)` in ascending iteration order per phase, and
+    /// `config.workers` threads may run chunks concurrently.  Chunk lengths
+    /// are aligned to the space ([`IterSpace::chunk_align`]) so `Rect`
+    /// chunks cover whole rows.  Results and metered counters are identical
+    /// at every `(workers, chunk)` setting.
+    #[allow(clippy::too_many_arguments)] // mirrors execute + the sink
+    pub fn execute_chunked<P, D, T, V, F, W>(
+        &self,
+        proc: &mut P,
+        config: ExecutorConfig,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        body: F,
+        sink: W,
+    ) -> usize
+    where
+        P: Process,
+        D: Distribution + ?Sized + Sync,
+        T: Copy + Send + Sync + 'static,
+        V: Send,
+        F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
+        W: FnMut(usize, V),
+    {
+        let config = self.align_chunk(config);
+        execute_sweep_chunked(proc, config, schedule, data_dist, local_data, body, sink)
+    }
+
+    /// The chunked twin of [`ParallelLoop::execute_reduce`]: the body
+    /// returns `(value, contribution)` per iteration; values reach `sink`
+    /// on the calling thread (ascending iteration order per phase) and the
+    /// contributions fold under `R` in exactly the order the scalar path
+    /// folds them — ascending iteration order per rank, then ascending rank
+    /// order — so the reduction's bits never depend on the worker count or
+    /// chunk size.
+    #[allow(clippy::too_many_arguments)] // mirrors execute_reduce + the sink
+    pub fn execute_reduce_chunked<P, D, T, V, R, F, W>(
+        &self,
+        proc: &mut P,
+        config: ExecutorConfig,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        _op: Reduce<R>,
+        body: F,
+        mut sink: W,
+    ) -> R::Acc
+    where
+        P: Process,
+        D: Distribution + ?Sized + Sync,
+        T: Copy + Send + Sync + 'static,
+        V: Send,
+        R: ReduceOp,
+        R::Input: Send,
+        F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> (V, R::Input) + Sync,
+        W: FnMut(usize, V),
+    {
+        let config = self.align_chunk(config);
+        let boundary = schedule.local_iters.len();
+        let mut contributions: Vec<(usize, R::Input)> =
+            Vec::with_capacity(boundary + schedule.nonlocal_iters.len());
+        execute_sweep_chunked(
+            proc,
+            config,
+            schedule,
+            data_dist,
+            local_data,
+            body,
+            |i, (v, c)| {
+                sink(i, v);
+                contributions.push((i, c));
+            },
+        );
+        fold_and_allreduce::<P, R>(proc, boundary, contributions)
+    }
+}
+
+/// Fold per-iteration reduction contributions in the fixed deterministic
+/// order and combine across ranks: contributions arrive as two ascending
+/// runs (local iterations first, nonlocal after, split at `boundary`), are
+/// merge-folded in ascending **iteration** order, and the per-rank partials
+/// combine in ascending **rank** order through [`Process::allreduce`].
+/// Shared by the scalar and chunked reduce paths so both produce identical
+/// bits by construction.
+fn fold_and_allreduce<P: Process, R: ReduceOp>(
+    proc: &mut P,
+    boundary: usize,
+    contributions: Vec<(usize, R::Input)>,
+) -> R::Acc {
+    proc.charge_flops(contributions.len());
+    let (local, nonlocal) = contributions.split_at(boundary);
+    debug_assert!(local.windows(2).all(|w| w[0].0 < w[1].0));
+    debug_assert!(nonlocal.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut acc = R::identity();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < local.len() && j < nonlocal.len() {
+        if local[i].0 < nonlocal[j].0 {
+            acc = R::combine(acc, R::lift(local[i].1));
+            i += 1;
+        } else {
+            acc = R::combine(acc, R::lift(nonlocal[j].1));
+            j += 1;
+        }
+    }
+    for &(_, v) in &local[i..] {
+        acc = R::combine(acc, R::lift(v));
+    }
+    for &(_, v) in &nonlocal[j..] {
+        acc = R::combine(acc, R::lift(v));
+    }
+    let partial = acc;
+    proc.charge_flops(proc.nprocs().saturating_sub(1));
+    let total = proc.allreduce(partial, |a, b| R::combine(*a, *b));
+    R::finish(total)
 }
 
 impl ParallelLoop<Span> {

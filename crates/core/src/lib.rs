@@ -69,6 +69,7 @@ pub mod executor;
 pub mod forall;
 pub mod inspector;
 pub mod ownermap;
+pub mod pool;
 pub mod process;
 pub mod redistribute;
 pub mod schedule;
@@ -79,7 +80,9 @@ pub use analysis::affine::AffineMap;
 pub use analysis::multi::MultiAffineMap;
 pub use array::DistArray;
 pub use cache::{CacheStats, LoopKey, ScheduleCache};
-pub use executor::{execute_sweep, ExecutorConfig, Fetcher};
+pub use executor::{
+    execute_sweep, execute_sweep_chunked, ChunkCosts, ChunkFetcher, ExecutorConfig, Fetcher,
+};
 pub use forall::{forall_local, ParallelLoop};
 pub use inspector::{owner_computes_range, run_inspector};
 pub use ownermap::DistOwnerMap;

@@ -1,0 +1,179 @@
+//! Intra-rank worker pool for chunked executor phases.
+//!
+//! One SPMD rank can use several OS threads to run the *compute* part of an
+//! executor phase — the iteration chunks — while all communication and all
+//! cost accounting stay on the rank's own thread.  The pool is built on
+//! [`std::thread::scope`] (no extra dependencies, no long-lived threads):
+//! workers are spawned for the duration of one phase, claim chunk indices
+//! from a shared atomic counter, and send `(index, result)` pairs back over
+//! a channel.  The caller reassembles results **by chunk index**, so the
+//! output is a deterministic function of the chunk boundaries alone — which
+//! worker ran which chunk, and in what order, is unobservable.
+//!
+//! With `workers <= 1` (the default everywhere) the chunks run inline on the
+//! calling thread and no threads are spawned, so the dmsim simulator's cost
+//! accounting and the single-threaded behaviour are bit-for-bit untouched.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Run `run(0..n_chunks)` across up to `workers` threads (the calling
+/// thread participates) and return the results in ascending chunk order.
+///
+/// * Deterministic: the returned `Vec` depends only on `run` and
+///   `n_chunks`, never on scheduling.
+/// * Panic-safe: a panic inside `run` on any worker propagates to the
+///   caller when the scope joins.
+/// * Cheap when serial: `workers <= 1` or `n_chunks <= 1` runs inline with
+///   no thread, no channel, no atomics.
+pub fn run_chunks<V, F>(workers: usize, n_chunks: usize, run: F) -> Vec<V>
+where
+    V: Send,
+    F: Fn(usize) -> V + Sync,
+{
+    if workers <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(run).collect();
+    }
+
+    let mut slots: Vec<Option<V>> = (0..n_chunks).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, V)>();
+    let n_threads = workers.min(n_chunks);
+
+    std::thread::scope(|scope| {
+        for _ in 1..n_threads {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                // A send can only fail after the receiver is gone, which
+                // only happens if the scope is already unwinding.
+                if tx.send((i, run(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        // The calling thread claims chunks too: with W workers requested,
+        // W threads compute (W - 1 spawned + this one).
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                break;
+            }
+            let v = run(i);
+            slots[i] = Some(v);
+        }
+        drop(tx);
+        // Spawned workers' results drain here; `recv` errors exactly when
+        // every sender is dropped (worker finished or panicked).  A worker
+        // panic surfaces when the scope joins, below.
+        while let Ok((i, v)) = rx.recv() {
+            slots[i] = Some(v);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk index was claimed and completed"))
+        .collect()
+}
+
+/// Split `len` items into fixed-boundary chunks of `chunk` items (the last
+/// chunk takes the remainder), returned as `(start, end)` index pairs.
+///
+/// Boundaries depend only on `(len, chunk)` — this is what makes chunked
+/// execution reproducible: every worker count walks the same chunks.
+pub fn chunk_bounds(len: usize, chunk: usize) -> Vec<(usize, usize)> {
+    let chunk = chunk.max(1);
+    let mut bounds = Vec::with_capacity(len.div_ceil(chunk));
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_the_range_exactly_once() {
+        for len in [0usize, 1, 5, 64, 100, 101] {
+            for chunk in [1usize, 3, 64, 1000] {
+                let bounds = chunk_bounds(len, chunk);
+                let mut expect = 0;
+                for &(s, e) in &bounds {
+                    assert_eq!(s, expect);
+                    assert!(e > s && e - s <= chunk);
+                    expect = e;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+        assert!(chunk_bounds(0, 8).is_empty());
+    }
+
+    #[test]
+    fn chunk_zero_is_clamped_to_one() {
+        assert_eq!(chunk_bounds(3, 0), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn results_come_back_in_chunk_order_for_any_worker_count() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [0usize, 1, 2, 3, 8, 64] {
+            let got = run_chunks(workers, 37, |i| i * i);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn the_pool_actually_uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        // Many more chunks than workers plus a short spin gives every
+        // thread a chance to claim at least one chunk; the assertion is
+        // only that more than one *may* appear, not a strict count —
+        // on a single-CPU host the spawned workers can still lose every
+        // race, so require only that the set is non-empty and results are
+        // right (determinism is covered by the test above).
+        let n = 64;
+        let got = run_chunks(4, n, |i| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            i + 1
+        });
+        assert_eq!(got, (1..=n).collect::<Vec<_>>());
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run_chunks(4, 16, |i| {
+                if i == 7 {
+                    panic!("boom in chunk 7");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn serial_path_spawns_nothing_and_preserves_order() {
+        let tid = std::thread::current().id();
+        let got = run_chunks(1, 10, |i| (i, std::thread::current().id()));
+        for (i, (j, t)) in got.iter().enumerate() {
+            assert_eq!(i, *j);
+            assert_eq!(*t, tid);
+        }
+    }
+}

@@ -201,6 +201,21 @@ impl CommSchedule {
         group_by_proc(&self.send_records, |r| r.to_proc)
     }
 
+    /// True when the receive-buffer offsets are densely sequential in
+    /// `(from_proc, low)` order — the layout [`CommSchedule::from_recv_sets`]
+    /// produces.  The executor's packed receive path relies on this: it
+    /// appends each incoming message to one contiguous buffer and every
+    /// element must land exactly at its record's `buffer` offset.
+    pub fn recv_layout_is_dense(&self) -> bool {
+        let mut pos = 0usize;
+        let contiguous = self.recv_records.iter().all(|r| {
+            let ok = r.buffer == pos;
+            pos += r.len();
+            ok
+        });
+        contiguous && pos == self.recv_len
+    }
+
     /// Find the communication-buffer position of a received global index by
     /// binary search over the range records — the access path the executor
     /// uses for nonlocal references (`O(log r)`).
@@ -358,6 +373,14 @@ mod tests {
         assert_eq!(s.recv_records[1].buffer, 3);
         assert_eq!(s.recv_records[2].buffer, 5);
         assert_eq!(s.range_count(), 3);
+        assert!(s.recv_layout_is_dense());
+    }
+
+    #[test]
+    fn perturbed_offsets_are_not_a_dense_layout() {
+        let mut s = sample_schedule();
+        s.recv_records[1].buffer += 1;
+        assert!(!s.recv_layout_is_dense());
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use distrib::Distribution;
 
 use crate::cache::{CacheStats, ScheduleCache};
-use crate::executor::{ExecutorConfig, Fetcher};
+use crate::executor::{ChunkFetcher, ExecutorConfig, Fetcher};
 use crate::forall::ParallelLoop;
 use crate::process::{Process, Reduce, ReduceOp};
 use crate::redistribute::redistribute_epoch;
@@ -63,6 +63,8 @@ pub struct Session {
     epoch: u64,
     data_version: u64,
     overlap: bool,
+    workers: usize,
+    chunk: usize,
     loops_allocated: u64,
     sweeps_executed: u64,
     redistributions: u64,
@@ -98,6 +100,12 @@ impl Default for Session {
     }
 }
 
+/// Read a non-negative integer knob from the environment; unset, empty or
+/// unparsable values fall back to the caller's default.
+fn env_knob(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
 impl Session {
     /// A session with the default schedule-cache capacity.
     pub fn new() -> Self {
@@ -105,6 +113,13 @@ impl Session {
     }
 
     /// A session whose schedule cache holds at most `capacity` schedules.
+    ///
+    /// The intra-rank worker-pool knobs initialise from the environment:
+    /// `KALI_WORKERS` (threads per rank for the chunked executor, default 1)
+    /// and `KALI_CHUNK` (chunk length in iterations, default 0 = auto).
+    /// Neither affects results — only wall-clock speed on the native
+    /// backend — which is what lets an unmodified program be driven at any
+    /// worker count from the outside.
     pub fn with_cache_capacity(capacity: usize) -> Self {
         Session {
             cache: ScheduleCache::with_capacity(capacity),
@@ -113,6 +128,8 @@ impl Session {
             epoch: 0,
             data_version: 0,
             overlap: true,
+            workers: env_knob("KALI_WORKERS").unwrap_or(1).max(1),
+            chunk: env_knob("KALI_CHUNK").unwrap_or(0),
             loops_allocated: 0,
             sweeps_executed: 0,
             redistributions: 0,
@@ -132,6 +149,37 @@ impl Session {
     pub fn overlap(mut self, overlap: bool) -> Self {
         self.set_overlap(overlap);
         self
+    }
+
+    /// Set the intra-rank worker-thread count for chunked executions
+    /// (clamped to at least 1).  With 1 worker no threads are spawned; any
+    /// other count changes wall-clock speed only, never results — the
+    /// chunked executor's determinism contract.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The intra-rank worker-thread count chunked executions will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Builder form of [`Session::set_workers`].
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Set the chunk length (iterations per chunk) for chunked executions;
+    /// `0` picks the default and spaces may round it up to their preferred
+    /// alignment (whole rows for `Rect`).  Never affects results.
+    pub fn set_chunk_size(&mut self, chunk: usize) {
+        self.chunk = chunk;
+    }
+
+    /// The configured chunk length (`0` = auto).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
     }
 
     // ----------------------------------------------------------------
@@ -234,7 +282,10 @@ impl Session {
     /// monotonic sweep counter (wrapped inside the executor tag window by
     /// [`ExecutorConfig::sweep`]) plus the session's overlap setting.
     fn next_sweep_config(&mut self) -> ExecutorConfig {
-        let config = ExecutorConfig::sweep(self.sweep).with_overlap(self.overlap);
+        let config = ExecutorConfig::sweep(self.sweep)
+            .with_overlap(self.overlap)
+            .with_workers(self.workers)
+            .with_chunk(self.chunk);
         self.sweep += 1;
         self.sweeps_executed += 1;
         config
@@ -287,6 +338,72 @@ impl Session {
     {
         let config = self.next_sweep_config();
         let value = loop_.execute_reduce(proc, config, schedule, data_dist, local_data, op, body);
+        self.reductions += 1;
+        self.reduction_bytes += (proc.nprocs() as u64 - 1) * std::mem::size_of::<R::Acc>() as u64;
+        value
+    }
+
+    /// Execute one sweep on the chunked intra-rank parallel executor
+    /// ([`ParallelLoop::execute_chunked`]), stamping it with the next sweep
+    /// tag and threading the session's worker/chunk knobs through.  The
+    /// body is a read-only `Fn`; writes go through `sink` on the calling
+    /// thread in ascending iteration order per phase.
+    #[allow(clippy::too_many_arguments)] // mirrors execute + the sink
+    pub fn execute_chunked<P, S, D, T, V, F, W>(
+        &mut self,
+        proc: &mut P,
+        loop_: &ParallelLoop<S>,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        body: F,
+        sink: W,
+    ) -> usize
+    where
+        P: Process,
+        S: IterSpace,
+        D: Distribution + ?Sized + Sync,
+        T: Copy + Send + Sync + 'static,
+        V: Send,
+        F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
+        W: FnMut(usize, V),
+    {
+        let config = self.next_sweep_config();
+        loop_.execute_chunked(proc, config, schedule, data_dist, local_data, body, sink)
+    }
+
+    /// Execute one reducing sweep on the chunked executor
+    /// ([`ParallelLoop::execute_reduce_chunked`]), stamping it with the
+    /// next sweep tag and metering the reduction like
+    /// [`Session::execute_reduce`].  Bitwise identical to the scalar path
+    /// at every worker count and chunk size.
+    #[allow(clippy::too_many_arguments)] // mirrors execute_reduce + the sink
+    pub fn execute_reduce_chunked<P, S, D, T, V, R, F, W>(
+        &mut self,
+        proc: &mut P,
+        loop_: &ParallelLoop<S>,
+        schedule: &CommSchedule,
+        data_dist: &D,
+        local_data: &[T],
+        op: Reduce<R>,
+        body: F,
+        sink: W,
+    ) -> R::Acc
+    where
+        P: Process,
+        S: IterSpace,
+        D: Distribution + ?Sized + Sync,
+        T: Copy + Send + Sync + 'static,
+        V: Send,
+        R: ReduceOp,
+        R::Input: Send,
+        F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> (V, R::Input) + Sync,
+        W: FnMut(usize, V),
+    {
+        let config = self.next_sweep_config();
+        let value = loop_.execute_reduce_chunked(
+            proc, config, schedule, data_dist, local_data, op, body, sink,
+        );
         self.reductions += 1;
         self.reduction_bytes += (proc.nprocs() as u64 - 1) * std::mem::size_of::<R::Acc>() as u64;
         value
@@ -508,6 +625,90 @@ mod tests {
             assert_eq!(session.stats().cache.resident_entries, 0);
             assert_eq!(session.stats().cache.evictions, 1);
         });
+    }
+
+    #[test]
+    fn worker_and_chunk_knobs_default_sane_and_are_settable() {
+        // Note: this does not set the KALI_WORKERS env var (process-global
+        // state would race other tests); the env path is covered by the CI
+        // job running the equivalence suite under KALI_WORKERS=4.
+        let mut s = Session::new();
+        assert!(s.workers() >= 1);
+        s.set_workers(0);
+        assert_eq!(s.workers(), 1, "worker count clamps to at least 1");
+        let s = Session::new().with_workers(6);
+        assert_eq!(s.workers(), 6);
+        let mut s = Session::new();
+        assert_eq!(s.chunk_size(), 0);
+        s.set_chunk_size(512);
+        assert_eq!(s.chunk_size(), 512);
+    }
+
+    #[test]
+    fn chunked_session_execution_matches_scalar_bitwise() {
+        let run = |workers: usize, chunk: usize, chunked: bool| {
+            let machine = Machine::new(2, CostModel::ncube7());
+            machine.run_stats(|proc| {
+                let n = 33;
+                let dist = DimDist::block(n, proc.nprocs());
+                let mut session = Session::new();
+                session.set_workers(workers);
+                session.set_chunk_size(chunk);
+                let loop_ = session.loop_1d(n - 1, dist.clone());
+                let schedule = session.plan(proc, &loop_, &dist, &[AffineMap::shift(1)]);
+                let local: Vec<f64> = dist
+                    .local_set(proc.rank())
+                    .iter()
+                    .map(|g| 0.1 * (g as f64 + 1.0))
+                    .collect();
+                let mut out = local.clone();
+                let norm = if chunked {
+                    session.execute_reduce_chunked(
+                        proc,
+                        &loop_,
+                        &schedule,
+                        &dist,
+                        &local,
+                        Reduce::<Sum<f64>>::new(),
+                        |i, fetch| {
+                            let v = fetch.fetch(i + 1);
+                            (v, v * v)
+                        },
+                        |i, v| out[dist.local_index(i)] = v,
+                    )
+                } else {
+                    session.execute_reduce(
+                        proc,
+                        &loop_,
+                        &schedule,
+                        &dist,
+                        &local,
+                        Reduce::<Sum<f64>>::new(),
+                        |i, fetch| {
+                            let v = fetch.fetch(i + 1);
+                            out[dist.local_index(i)] = v;
+                            v * v
+                        },
+                    )
+                };
+                (out, norm, session.stats())
+            })
+        };
+        let (scalar, scalar_stats) = run(1, 0, false);
+        for workers in [1usize, 3] {
+            for chunk in [0usize, 1, 5] {
+                let (chunked, stats) = run(workers, chunk, true);
+                for (a, b) in scalar.iter().zip(&chunked) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "reduction bits diverged");
+                    assert_eq!(a.2, b.2, "session meters diverged");
+                }
+                assert_eq!(
+                    stats.totals, scalar_stats.totals,
+                    "machine counters diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,17 @@ pub trait IterSpace: Clone + std::fmt::Debug {
     /// the space, so two loops sharing a `loop_id` but ranging over
     /// different windows must never share a cached schedule.
     fn fingerprint(&self) -> u64;
+
+    /// Preferred chunk-length alignment for the chunked executor, in
+    /// iterations.  Chunk boundaries are rounded up to a multiple of this so
+    /// each chunk walks memory-friendly units — `1` (the default) means no
+    /// preference; [`Rect`] returns its innermost row extent so chunks cover
+    /// whole rows of the box (cache-blocked traversal of the row-major
+    /// linearisation).  Alignment only shapes chunk boundaries; results are
+    /// identical at every alignment.
+    fn chunk_align(&self) -> usize {
+        1
+    }
 }
 
 /// A 1-D half-open iteration range `lo..hi` — the space of
@@ -349,12 +360,33 @@ impl IterSpace for Rect {
                 ),
         )
     }
+
+    /// Cache-blocked chunking: align chunks to whole rows of the box (the
+    /// innermost dimension's extent), so each chunk of the row-major
+    /// linearisation walks contiguous memory runs.
+    fn chunk_align(&self) -> usize {
+        self.ranges
+            .last()
+            .map(|&(lo, hi)| (hi - lo).max(1))
+            .unwrap_or(1)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use distrib::ArrayDist;
+
+    #[test]
+    fn chunk_alignment_is_rows_for_rect_and_one_elsewhere() {
+        assert_eq!(Span::upto(40).chunk_align(), 1);
+        assert_eq!(Stripe::new(0, 40, 2).chunk_align(), 1);
+        // 6×8 interior box: rows of 8-2 = 6 iterations.
+        assert_eq!(Rect::interior(&[8, 8]).chunk_align(), 6);
+        assert_eq!(Rect::full(&[4, 16]).chunk_align(), 16);
+        // Degenerate innermost range still aligns to at least 1.
+        assert_eq!(Rect::full(&[4, 16]).restrict(1, 3, 3).chunk_align(), 1);
+    }
 
     #[test]
     fn span_exec_iters_is_range_aware() {

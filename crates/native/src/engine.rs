@@ -9,6 +9,7 @@
 //! type error would be fatal.
 
 use std::any::Any;
+use std::collections::{HashMap, VecDeque};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use kali_process::{tags, Process, Tag};
@@ -19,6 +20,17 @@ use kali_process::{tags, Process, Tag};
 /// tags live below bit 63, and collective tags are `2^63 | seq` with
 /// `seq < 2^32` plus a stage offset in bits 32..40.
 const POISON_TAG: Tag = Tag::MAX;
+
+/// Tag of a buffer-return packet: after [`Process::recv_packed_append`]
+/// copies a packed message out, the spent `Vec` travels back to its sender
+/// under this tag and lands in the sender's buffer pool, so steady-state
+/// packed messaging recycles allocations instead of growing the heap.
+/// Like [`POISON_TAG`], unreachable by any real tag (see above).
+const RETURN_TAG: Tag = Tag::MAX - 1;
+
+/// Upper bound on pooled send buffers retained per process; returns beyond
+/// the cap are simply dropped (the pool is an optimisation, not a ledger).
+const POOL_CAP: usize = 64;
 
 /// A message in flight between two native processes.
 #[derive(Debug)]
@@ -83,7 +95,8 @@ impl NativeMachine {
                         nprocs: p,
                         senders,
                         receiver: rx,
-                        pending: Vec::new(),
+                        pending: HashMap::new(),
+                        pool: Vec::new(),
                         coll_seq: 0,
                     };
                     // Catch panics so peers blocked in `recv` can be woken
@@ -123,7 +136,15 @@ pub struct NativeProc {
     nprocs: usize,
     senders: Vec<Sender<Packet>>,
     receiver: Receiver<Packet>,
-    pending: Vec<Packet>,
+    /// Out-of-order arrivals, indexed by `(src, tag)` with FIFO order
+    /// preserved per key.  A receive probes its key in O(1) instead of
+    /// scanning every buffered packet — with many outstanding tags (one per
+    /// in-flight sweep and collective) the old linear scan made every
+    /// buffered receive O(pending).
+    pending: HashMap<(usize, Tag), VecDeque<Box<dyn Any + Send>>>,
+    /// Recycled packed send buffers, returned by peers via [`RETURN_TAG`]
+    /// packets; drawn from by [`Process::acquire_send_buffer`].
+    pool: Vec<Box<dyn Any + Send>>,
     /// Monotonic counter deriving unique tags for collective operations
     /// (all processes call collectives in the same order in an SPMD
     /// program, so the counters stay in lock step).
@@ -133,32 +154,67 @@ pub struct NativeProc {
 impl NativeProc {
     fn send_packet<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
-        let packet = Packet {
-            src: self.rank,
-            tag,
-            payload: Box::new(value),
-        };
         if dst == self.rank {
-            self.pending.push(packet);
+            // Self-sends bypass the channel and go straight to the pending
+            // buffer.
+            self.pending
+                .entry((self.rank, tag))
+                .or_default()
+                .push_back(Box::new(value));
         } else {
             self.senders[dst]
-                .send(packet)
+                .send(Packet {
+                    src: self.rank,
+                    tag,
+                    payload: Box::new(value),
+                })
                 .expect("destination process hung up");
         }
     }
 
+    /// Pull one buffered payload for `(src, tag)`, dropping the queue when
+    /// it empties — tags are mostly unique per sweep, so an emptied queue
+    /// would otherwise linger in the map forever.
+    fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Box<dyn Any + Send>> {
+        let queue = self.pending.get_mut(&(src, tag))?;
+        let payload = queue.pop_front();
+        if queue.is_empty() {
+            self.pending.remove(&(src, tag));
+        }
+        payload
+    }
+
+    /// Park a returned send buffer in the pool (bounded by [`POOL_CAP`]).
+    fn stash_returned(&mut self, buffer: Box<dyn Any + Send>) {
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(buffer);
+        }
+    }
+
+    /// Drain everything currently sitting in the channel without blocking:
+    /// returned buffers go to the pool, regular packets to the pending
+    /// buffer.  Called before handing out a send buffer so returns that
+    /// already arrived get recycled.
+    fn drain_incoming(&mut self) {
+        while let Ok(packet) = self.receiver.try_recv() {
+            if packet.tag == POISON_TAG {
+                panic!("peer process {} panicked mid-run", packet.src);
+            }
+            if packet.tag == RETURN_TAG {
+                self.stash_returned(packet.payload);
+            } else {
+                self.pending
+                    .entry((packet.src, packet.tag))
+                    .or_default()
+                    .push_back(packet.payload);
+            }
+        }
+    }
+
     fn recv_packet<T: 'static>(&mut self, src: usize, tag: Tag) -> T {
-        let packet = if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.tag == tag && m.src == src)
-        {
-            // Plain remove, not swap_remove: the pending buffer must keep
-            // same-(src, tag) packets in arrival order to honour the
-            // trait's FIFO delivery guarantee.
-            self.pending.remove(pos)
-        } else {
-            loop {
+        let payload = match self.take_pending(src, tag) {
+            Some(payload) => payload,
+            None => loop {
                 let packet = self
                     .receiver
                     .recv()
@@ -166,14 +222,20 @@ impl NativeProc {
                 if packet.tag == POISON_TAG {
                     panic!("peer process {} panicked mid-run", packet.src);
                 }
-                if packet.tag == tag && packet.src == src {
-                    break packet;
+                if packet.tag == RETURN_TAG {
+                    self.stash_returned(packet.payload);
+                    continue;
                 }
-                self.pending.push(packet);
-            }
+                if packet.tag == tag && packet.src == src {
+                    break packet.payload;
+                }
+                self.pending
+                    .entry((packet.src, packet.tag))
+                    .or_default()
+                    .push_back(packet.payload);
+            },
         };
-        let src = packet.src;
-        *packet.payload.downcast::<T>().unwrap_or_else(|_| {
+        *payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "message payload type mismatch: src={} dst={} tag={} expected {}",
                 src,
@@ -281,12 +343,24 @@ impl Process for NativeProc {
         let n = self.nprocs;
         let me = self.rank;
         let tag = self.next_collective_tag();
-        for dst in 0..n {
-            if dst != me {
-                self.send_packet(dst, tag, items.clone());
+        // Clone for every peer except the last, then *move* the original
+        // into the last send — n−1 clones instead of n.  The copy kept for
+        // our own result slot is split off before the move.
+        let last_peer = (0..n).rev().find(|&d| d != me);
+        let mut mine = Some(match last_peer {
+            Some(last) => {
+                let own = items.clone();
+                for dst in 0..n {
+                    if dst != me && dst != last {
+                        self.send_packet(dst, tag, items.clone());
+                    }
+                }
+                self.send_packet(last, tag, items);
+                own
             }
-        }
-        let mut mine = Some(items);
+            // Single-process run: nobody to send to.
+            None => items,
+        });
         (0..n)
             .map(|src| {
                 if src == me {
@@ -296,6 +370,50 @@ impl Process for NativeProc {
                 }
             })
             .collect()
+    }
+
+    /// Hand out a recycled packed buffer when one of the right element type
+    /// is in the pool, avoiding an allocation per `(dest, sweep)` message.
+    fn acquire_send_buffer<T: Send + 'static>(&mut self, capacity: usize) -> Vec<T> {
+        self.drain_incoming();
+        if let Some(pos) = self.pool.iter().position(|b| b.is::<Vec<T>>()) {
+            let boxed = self.pool.swap_remove(pos);
+            let mut buf = *boxed
+                .downcast::<Vec<T>>()
+                .expect("pool slot type re-checked by position()");
+            buf.clear();
+            buf.reserve(capacity);
+            buf
+        } else {
+            Vec::with_capacity(capacity)
+        }
+    }
+
+    /// Zero-copy packed receive: append the incoming payload to `out`, then
+    /// hand the spent buffer back to the sender over the return channel so
+    /// its allocation is reused for the next sweep.
+    fn recv_packed_append<T: Copy + Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        out: &mut Vec<T>,
+    ) -> usize {
+        let mut values: Vec<T> = self.recv_packet(src, tag);
+        let got = values.len();
+        out.extend_from_slice(&values);
+        values.clear();
+        if src == self.rank {
+            self.stash_returned(Box::new(values));
+        } else {
+            // Best effort: the peer may already have exited, in which case
+            // the buffer is simply dropped.
+            let _ = self.senders[src].send(Packet {
+                src: self.rank,
+                tag: RETURN_TAG,
+                payload: Box::new(values),
+            });
+        }
+        got
     }
 
     fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
@@ -461,6 +579,71 @@ mod tests {
             }
         });
         assert_eq!(r[1], vec![1, 2, 3], "same-(src, tag) delivery must be FIFO");
+    }
+
+    #[test]
+    fn many_outstanding_out_of_order_tags_resolve_correctly() {
+        // 300 tags, two same-tag packets each, received in reverse tag
+        // order: the first receive parks 599 packets in the pending buffer.
+        // Exercises the (src, tag)-keyed index — with the old linear scan
+        // this was O(pending) per receive — and per-key FIFO under load.
+        const TAGS: u64 = 300;
+        let m = NativeMachine::new(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                for t in 0..TAGS {
+                    p.send(1, t, (t, 0u64));
+                    p.send(1, t, (t, 1u64));
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                for t in (0..TAGS).rev() {
+                    let first: (u64, u64) = p.recv(0, t);
+                    let second: (u64, u64) = p.recv(0, t);
+                    assert_eq!(first, (t, 0), "per-tag FIFO: first packet of tag {t}");
+                    assert_eq!(second, (t, 1), "per-tag FIFO: second packet of tag {t}");
+                    got.push(first.0);
+                }
+                got
+            }
+        });
+        let expected: Vec<u64> = (0..TAGS).rev().collect();
+        assert_eq!(r[1], expected);
+    }
+
+    #[test]
+    fn packed_send_buffers_recycle_through_the_return_channel() {
+        // A packed send's buffer must come home: rank 0 sends a packed
+        // message, rank 1 copies it out and returns the spent Vec, and rank
+        // 0's next acquire_send_buffer hands back the *same allocation*
+        // (witnessed by pointer equality).
+        let m = NativeMachine::new(2);
+        let r = m.run(|p| {
+            if p.rank() == 0 {
+                let mut buf: Vec<u64> = p.acquire_send_buffer(32);
+                buf.extend(0..32u64);
+                let first_ptr = buf.as_ptr() as usize;
+                p.send_packed(1, 7, buf);
+                // The dissemination barrier completes only after rank 1 has
+                // received and returned the buffer; channels are FIFO per
+                // peer, so the return packet precedes rank 1's barrier
+                // packet and is parked in the pool on the way.
+                p.barrier();
+                let again: Vec<u64> = p.acquire_send_buffer(32);
+                (first_ptr, again.as_ptr() as usize, again.capacity())
+            } else {
+                let mut out: Vec<u64> = Vec::new();
+                let got = p.recv_packed_append(0, 7, &mut out);
+                assert_eq!(got, 32);
+                assert_eq!(out, (0..32u64).collect::<Vec<_>>());
+                p.barrier();
+                (0, 0, 0)
+            }
+        });
+        let (first, second, cap) = r[0];
+        assert_eq!(first, second, "recycled buffer must reuse the allocation");
+        assert!(cap >= 32);
     }
 
     #[test]

@@ -148,6 +148,43 @@ pub trait Process {
     }
 
     // ----------------------------------------------------------------
+    // Packed messaging (pooled buffers; defaults fall back to send_vec)
+    // ----------------------------------------------------------------
+
+    /// Obtain an empty send buffer with at least `capacity` reserved, to be
+    /// filled and handed to [`Process::send_packed`].
+    ///
+    /// Backends with a buffer pool (the native backend) hand out a recycled
+    /// allocation when one of the right element type is available; the
+    /// default is a fresh `Vec`, so metering backends see exactly the
+    /// behaviour they saw before pooling existed.
+    fn acquire_send_buffer<T: Send + 'static>(&mut self, capacity: usize) -> Vec<T> {
+        Vec::with_capacity(capacity)
+    }
+
+    /// Send one packed contiguous buffer to `dst`.  Semantically identical
+    /// to [`Process::send_vec`]; the separate entry point lets pooling
+    /// backends reclaim the allocation after delivery.
+    fn send_packed<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
+        self.send_vec(dst, tag, values)
+    }
+
+    /// Receive a packed buffer from `src` and append its elements to `out`,
+    /// returning how many elements arrived.  Pooling backends return the
+    /// spent buffer to its sender for reuse; the default simply receives and
+    /// copies.
+    fn recv_packed_append<T: Copy + Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: Tag,
+        out: &mut Vec<T>,
+    ) -> usize {
+        let values = self.recv_vec::<T>(src, tag);
+        out.extend_from_slice(&values);
+        values.len()
+    }
+
+    // ----------------------------------------------------------------
     // Collectives
     // ----------------------------------------------------------------
 
@@ -224,6 +261,27 @@ pub trait Process {
     /// Charge one nonlocal access resolved by binary search over `ranges`
     /// range records (the paper's "search overhead").
     fn charge_nonlocal_access(&mut self, _ranges: usize) {}
+
+    /// Charge `n` local accesses at once.  The default repeats
+    /// [`Process::charge_local_access`] `n` times so a metering backend's
+    /// clock advances through the identical sequence of additions it would
+    /// see from `n` singular calls — bulk charging is a call-count
+    /// optimisation, never an accounting change.
+    fn charge_local_accesses(&mut self, n: usize) {
+        for _ in 0..n {
+            self.charge_local_access();
+        }
+    }
+
+    /// Charge `n` nonlocal accesses, each resolved by binary search over
+    /// `ranges` records.  Same contract as
+    /// [`Process::charge_local_accesses`]: the default repeats the singular
+    /// hook so simulated clocks round identically.
+    fn charge_nonlocal_accesses(&mut self, ranges: usize, n: usize) {
+        for _ in 0..n {
+            self.charge_nonlocal_access(ranges);
+        }
+    }
 
     /// Charge one inspector locality check (owner computation for one
     /// reference).
@@ -322,5 +380,115 @@ mod tests {
         assert_eq!(v, 1.25);
         let m = p.allreduce(7u64, |a, b| *a.max(b));
         assert_eq!(m, 7);
+    }
+
+    #[test]
+    fn default_acquire_send_buffer_is_a_fresh_reserved_vec() {
+        let mut p = Solo;
+        let buf: Vec<f64> = p.acquire_send_buffer(64);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 64);
+    }
+
+    /// A loopback process that queues self-sends, to exercise the packed
+    /// defaults (`send_packed` → `send_vec`, `recv_packed_append` →
+    /// `recv_vec` + copy) end to end.
+    struct Loopback {
+        queued: Vec<(Tag, Box<dyn std::any::Any>)>,
+    }
+
+    impl Process for Loopback {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn nprocs(&self) -> usize {
+            1
+        }
+        fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+            assert_eq!(dst, 0);
+            self.queued.push((tag, Box::new(value)));
+        }
+        fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
+            self.send(dst, tag, values);
+        }
+        fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+            assert_eq!(src, 0);
+            let pos = self
+                .queued
+                .iter()
+                .position(|(t, _)| *t == tag)
+                .expect("no matching message");
+            *self.queued.remove(pos).1.downcast::<T>().unwrap()
+        }
+        fn barrier(&mut self) {}
+        fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+            items.into_iter().map(|(_, item)| item).collect()
+        }
+        fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+            vec![items]
+        }
+        fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+            value
+        }
+    }
+
+    #[test]
+    fn packed_defaults_round_trip_through_send_vec() {
+        let mut p = Loopback { queued: Vec::new() };
+        let mut buf = p.acquire_send_buffer::<u32>(3);
+        buf.extend_from_slice(&[5, 6, 7]);
+        p.send_packed(0, 42, buf);
+        let mut out = vec![1u32];
+        let n = p.recv_packed_append(0, 42, &mut out);
+        assert_eq!(n, 3);
+        assert_eq!(out, vec![1, 5, 6, 7]);
+    }
+
+    #[test]
+    fn bulk_charge_defaults_delegate_to_singular_hooks() {
+        /// Counts singular-hook invocations to prove the bulk defaults
+        /// repeat them exactly `n` times.
+        struct Metered {
+            local: usize,
+            nonlocal: Vec<usize>,
+        }
+        impl Process for Metered {
+            fn rank(&self) -> usize {
+                0
+            }
+            fn nprocs(&self) -> usize {
+                1
+            }
+            fn send<T: Send + 'static>(&mut self, _d: usize, _t: Tag, _v: T) {}
+            fn send_vec<T: Send + 'static>(&mut self, _d: usize, _t: Tag, _v: Vec<T>) {}
+            fn recv<T: Send + 'static>(&mut self, _s: usize, _t: Tag) -> T {
+                unreachable!()
+            }
+            fn barrier(&mut self) {}
+            fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+                items.into_iter().map(|(_, item)| item).collect()
+            }
+            fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+                vec![items]
+            }
+            fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+                value
+            }
+            fn charge_local_access(&mut self) {
+                self.local += 1;
+            }
+            fn charge_nonlocal_access(&mut self, ranges: usize) {
+                self.nonlocal.push(ranges);
+            }
+        }
+
+        let mut p = Metered {
+            local: 0,
+            nonlocal: Vec::new(),
+        };
+        p.charge_local_accesses(5);
+        p.charge_nonlocal_accesses(9, 3);
+        assert_eq!(p.local, 5);
+        assert_eq!(p.nonlocal, vec![9, 9, 9]);
     }
 }

@@ -61,6 +61,13 @@ pub struct CgConfig {
     pub overlap: bool,
     /// Residency bound of the session's schedule cache.
     pub cache_capacity: usize,
+    /// Intra-rank worker threads for the chunked executor (`None` keeps the
+    /// session default, which honours `KALI_WORKERS`).  The residual
+    /// history is bitwise identical at every worker count.
+    pub workers: Option<usize>,
+    /// Chunk size for the chunked executor (`None` keeps the session
+    /// default, which honours `KALI_CHUNK`).
+    pub chunk: Option<usize>,
 }
 
 impl Default for CgConfig {
@@ -71,6 +78,8 @@ impl Default for CgConfig {
             adapt: AdaptConfig::default(),
             overlap: true,
             cache_capacity: kali_core::cache::DEFAULT_CAPACITY,
+            workers: None,
+            chunk: None,
         }
     }
 }
@@ -135,6 +144,12 @@ pub fn cg_solve<P: Process>(
 
     let mut mesh = mesh.clone();
     let mut session = Session::with_cache_capacity(config.cache_capacity).overlap(config.overlap);
+    if let Some(w) = config.workers {
+        session.set_workers(w);
+    }
+    if let Some(c) = config.chunk {
+        session.set_chunk_size(c);
+    }
     // The three foralls of one CG iteration, ids allocated in program order.
     let matvec = session.loop_1d(n, dist.clone());
     let update = session.loop_1d(n, dist.clone());
@@ -149,6 +164,13 @@ pub fn cg_solve<P: Process>(
         .collect();
     let mut p = r.clone();
     let mut q = vec![0.0f64; local_rows];
+    // Write-side buffers for the chunked executor: its body sees a
+    // read-only view, so sweeps that update a vector they also read write
+    // the new values here and swap afterwards.  `x_new + swap` is bitwise
+    // identical to `x += …` — same operands, same operation.
+    let mut x_next = vec![0.0f64; local_rows];
+    let mut r_next = vec![0.0f64; local_rows];
+    let mut p_next = vec![0.0f64; local_rows];
 
     let start_clock = proc.time();
     let counters_start = proc.counters();
@@ -162,7 +184,7 @@ pub fn cg_solve<P: Process>(
     // rho = ⟨r, r⟩, as a pure reduction sweep over the update loop.
     let mut rho = {
         let r_ref = &r;
-        session.execute_reduce(
+        session.execute_reduce_chunked(
             proc,
             &update,
             &update_schedule,
@@ -170,10 +192,11 @@ pub fn cg_solve<P: Process>(
             &r,
             Reduce::<Sum<f64>>::new(),
             |i, fetch| {
-                fetch.proc().charge_flops(1);
+                fetch.charge_flops(1);
                 let v = r_ref[dist.local_index(i)];
-                v * v
+                ((), v * v)
             },
+            |_, ()| {},
         )
     };
     let mut residual_history = vec![rho];
@@ -203,8 +226,10 @@ pub fn cg_solve<P: Process>(
         schedule_ranges = matvec_schedule.range_count();
         let pq = {
             let p_ref = &p;
+            let count_ref = &count;
+            let adj_ref = &adj;
             let q_mut = &mut q;
-            session.execute_reduce(
+            session.execute_reduce_chunked(
                 proc,
                 &matvec,
                 &matvec_schedule,
@@ -213,22 +238,24 @@ pub fn cg_solve<P: Process>(
                 Reduce::<Sum<f64>>::new(),
                 |i, fetch| {
                     let l = dist.local_index(i);
-                    fetch.proc().charge_mem_refs(2); // count[i], p[i]
-                    let deg = count[l] as usize;
-                    fetch.proc().charge_flops(2);
+                    fetch.charge_mem_refs(2); // count[i], p[i]
+                    let deg = count_ref[l] as usize;
+                    fetch.charge_flops(2);
                     let mut acc = (1.0 + deg as f64) * p_ref[l];
                     for j in 0..deg {
-                        fetch.proc().charge_loop_iters(1);
-                        fetch.proc().charge_mem_refs(1); // adj[i,j]
-                        let nb = adj[l * width + j] as usize;
+                        fetch.charge_loop_iters(1);
+                        fetch.charge_mem_refs(1); // adj[i,j]
+                        let nb = adj_ref[l * width + j] as usize;
                         let v = fetch.fetch(nb);
-                        fetch.proc().charge_flops(1);
+                        fetch.charge_flops(1);
                         acc -= v;
                     }
-                    fetch.proc().charge_mem_refs(1); // q[i] := acc
-                    q_mut[l] = acc;
-                    fetch.proc().charge_flops(1);
-                    p_ref[l] * acc
+                    fetch.charge_mem_refs(1); // q[i] := acc
+                    fetch.charge_flops(1);
+                    (acc, p_ref[l] * acc)
+                },
+                |i, acc| {
+                    q_mut[dist.local_index(i)] = acc;
                 },
             )
         };
@@ -241,9 +268,11 @@ pub fn cg_solve<P: Process>(
         let rho_new = {
             let p_ref = &p;
             let q_ref = &q;
-            let x_mut = &mut x;
-            let r_mut = &mut r;
-            session.execute_reduce(
+            let x_ref = &x;
+            let r_ref = &r;
+            let x_sink = &mut x_next;
+            let r_sink = &mut r_next;
+            session.execute_reduce_chunked(
                 proc,
                 &update,
                 &update_schedule,
@@ -252,15 +281,21 @@ pub fn cg_solve<P: Process>(
                 Reduce::<Sum<f64>>::new(),
                 |i, fetch| {
                     let l = dist.local_index(i);
-                    fetch.proc().charge_mem_refs(4);
-                    fetch.proc().charge_flops(5);
-                    x_mut[l] += alpha * p_ref[l];
-                    r_mut[l] -= alpha * q_ref[l];
-                    let d = r_mut[l];
-                    d * d
+                    fetch.charge_mem_refs(4);
+                    fetch.charge_flops(5);
+                    let xn = x_ref[l] + alpha * p_ref[l];
+                    let rn = r_ref[l] - alpha * q_ref[l];
+                    ((xn, rn), rn * rn)
+                },
+                |i, (xn, rn)| {
+                    let l = dist.local_index(i);
+                    x_sink[l] = xn;
+                    r_sink[l] = rn;
                 },
             )
         };
+        std::mem::swap(&mut x, &mut x_next);
+        std::mem::swap(&mut r, &mut r_next);
         residual_history.push(rho_new);
         iterations = iter + 1;
         let beta = rho_new / rho;
@@ -269,8 +304,9 @@ pub fn cg_solve<P: Process>(
         // -- p := r + β p --------------------------------------------------
         {
             let r_ref = &r;
-            let p_mut = &mut p;
-            session.execute(
+            let p_ref = &p;
+            let p_sink = &mut p_next;
+            session.execute_chunked(
                 proc,
                 &direction,
                 &direction_schedule,
@@ -278,12 +314,16 @@ pub fn cg_solve<P: Process>(
                 &r,
                 |i, fetch| {
                     let l = dist.local_index(i);
-                    fetch.proc().charge_mem_refs(3);
-                    fetch.proc().charge_flops(2);
-                    p_mut[l] = r_ref[l] + beta * p_mut[l];
+                    fetch.charge_mem_refs(3);
+                    fetch.charge_flops(2);
+                    r_ref[l] + beta * p_ref[l]
+                },
+                |i, v| {
+                    p_sink[dist.local_index(i)] = v;
                 },
             );
         }
+        std::mem::swap(&mut p, &mut p_next);
 
         if rho == 0.0 {
             break; // converged exactly; rho identical everywhere

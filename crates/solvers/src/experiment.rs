@@ -144,6 +144,7 @@ pub fn run_jacobi_experiment_placed(
         overlap: params.overlap,
         convergence_check_every: params.convergence_check_every,
         disable_schedule_cache: params.disable_schedule_cache,
+        ..JacobiConfig::default()
     };
 
     let machine = Machine::new(params.nprocs, params.cost.clone());

@@ -46,6 +46,13 @@ pub struct JacobiConfig {
     /// Re-run the inspector on every sweep instead of caching the schedule —
     /// the ablation quantifying §3.2's amortisation argument.
     pub disable_schedule_cache: bool,
+    /// Intra-rank worker threads for the chunked executor (`None` keeps the
+    /// session default, which honours `KALI_WORKERS`).  Results are bitwise
+    /// identical at every worker count.
+    pub workers: Option<usize>,
+    /// Chunk size for the chunked executor (`None` keeps the session
+    /// default, which honours `KALI_CHUNK`).
+    pub chunk: Option<usize>,
 }
 
 impl Default for JacobiConfig {
@@ -55,6 +62,8 @@ impl Default for JacobiConfig {
             overlap: true,
             convergence_check_every: None,
             disable_schedule_cache: false,
+            workers: None,
+            chunk: None,
         }
     }
 }
@@ -160,6 +169,12 @@ pub fn jacobi_sweeps<P: Process>(
     }
 
     let mut session = Session::new().overlap(config.overlap);
+    if let Some(w) = config.workers {
+        session.set_workers(w);
+    }
+    if let Some(c) = config.chunk {
+        session.set_chunk_size(c);
+    }
     let relaxation = session.loop_1d(n, dist.clone());
     // The convergence check of Figure 4 ("code to check convergence") is its
     // own forall over aligned arrays: identity subscripts, planned through
@@ -201,28 +216,45 @@ pub fn jacobi_sweeps<P: Process>(
         recv_partners = schedule.recv_partner_count();
 
         // -- perform relaxation (computational core) --------------------------
+        // Chunked executor: the body computes each node's new value on a
+        // worker thread against a read-only view; the sink applies the
+        // writes on the calling thread in ascending iteration order.
         debug_assert_eq!(exec_iters.len(), local_rows);
         {
             let a_mut = &mut a;
-            session.execute(proc, &relaxation, &schedule, dist, &old_a, |i, fetch| {
-                let l = dist.local_index(i);
-                fetch.proc().charge_mem_refs(1); // count[i]
-                let deg = count[l] as usize;
-                let mut x = 0.0f64;
-                for j in 0..deg {
-                    fetch.proc().charge_loop_iters(1);
-                    fetch.proc().charge_mem_refs(2); // adj[i,j], coef[i,j]
-                    let nb = adj[l * width + j] as usize;
-                    let c = coef[l * width + j];
-                    let v = fetch.fetch(nb);
-                    fetch.proc().charge_flops(2); // multiply + accumulate
-                    x += c * v;
-                }
-                if deg > 0 {
-                    fetch.proc().charge_mem_refs(1); // a[i] := x
-                    a_mut[l] = x;
-                }
-            });
+            session.execute_chunked(
+                proc,
+                &relaxation,
+                &schedule,
+                dist,
+                &old_a,
+                |i, fetch| {
+                    let l = dist.local_index(i);
+                    fetch.charge_mem_refs(1); // count[i]
+                    let deg = count[l] as usize;
+                    let mut x = 0.0f64;
+                    for j in 0..deg {
+                        fetch.charge_loop_iters(1);
+                        fetch.charge_mem_refs(2); // adj[i,j], coef[i,j]
+                        let nb = adj[l * width + j] as usize;
+                        let c = coef[l * width + j];
+                        let v = fetch.fetch(nb);
+                        fetch.charge_flops(2); // multiply + accumulate
+                        x += c * v;
+                    }
+                    if deg > 0 {
+                        fetch.charge_mem_refs(1); // a[i] := x
+                        Some(x)
+                    } else {
+                        None
+                    }
+                },
+                |i, x| {
+                    if let Some(x) = x {
+                        a_mut[dist.local_index(i)] = x;
+                    }
+                },
+            );
         }
 
         // -- code to check convergence ----------------------------------------
@@ -230,7 +262,7 @@ pub fn jacobi_sweeps<P: Process>(
             if every > 0 && (sweep + 1) % every == 0 {
                 let a_ref = &a;
                 let old_ref = &old_a;
-                let global_change = session.execute_reduce(
+                let global_change = session.execute_reduce_chunked(
                     proc,
                     &convergence,
                     &convergence_schedule,
@@ -239,11 +271,12 @@ pub fn jacobi_sweeps<P: Process>(
                     Reduce::<Sum<f64>>::new(),
                     |i, fetch| {
                         let l = dist.local_index(i);
-                        fetch.proc().charge_mem_refs(2);
-                        fetch.proc().charge_flops(3);
+                        fetch.charge_mem_refs(2);
+                        fetch.charge_flops(3);
                         let d = a_ref[l] - old_ref[l];
-                        d * d
+                        ((), d * d)
                     },
+                    |_, ()| {},
                 );
                 change_history.push(global_change);
             }

@@ -44,6 +44,13 @@ pub struct RedBlackConfig {
     pub check_every: Option<usize>,
     /// Overlap communication with local iterations.
     pub overlap: bool,
+    /// Intra-rank worker threads for the chunked executor (`None` keeps the
+    /// session default, which honours `KALI_WORKERS`).  The field and
+    /// change history are bitwise identical at every worker count.
+    pub workers: Option<usize>,
+    /// Chunk size for the chunked executor (`None` keeps the session
+    /// default, which honours `KALI_CHUNK`).
+    pub chunk: Option<usize>,
 }
 
 impl Default for RedBlackConfig {
@@ -52,6 +59,8 @@ impl Default for RedBlackConfig {
             sweeps: 50,
             check_every: Some(1),
             overlap: true,
+            workers: None,
+            chunk: None,
         }
     }
 }
@@ -115,6 +124,12 @@ pub fn redblack_sweeps<P: Process>(
     assert_eq!(initial.len(), n, "initial field must cover every mesh node");
 
     let mut session = Session::new().overlap(config.overlap);
+    if let Some(w) = config.workers {
+        session.set_workers(w);
+    }
+    if let Some(c) = config.chunk {
+        session.set_chunk_size(c);
+    }
     // Two interleaved foralls, distinct ids, one shared cache.
     let red = session.loop_over(Stripe::new(0, n, 2), dist.clone());
     let black = session.loop_over(Stripe::new(1, n, 2), dist.clone());
@@ -155,31 +170,34 @@ pub fn redblack_sweeps<P: Process>(
                 proc.charge_mem_refs(2);
                 old_a[l] = a[l];
             }
+            let old_ref = &old_a;
+            let count_ref = &count;
+            let adj_ref = &adj;
+            let coef_ref = &coef;
             let body_value =
-                |l: usize, fetch: &mut kali_core::Fetcher<'_, f64, P, DimDist>| -> f64 {
-                    fetch.proc().charge_mem_refs(2); // count[i], a[i]
-                    let deg = count[l] as usize;
+                |l: usize, fetch: &mut kali_core::ChunkFetcher<'_, f64, DimDist>| -> f64 {
+                    fetch.charge_mem_refs(2); // count[i], a[i]
+                    let deg = count_ref[l] as usize;
                     let mut acc = 0.0f64;
                     for j in 0..deg {
-                        fetch.proc().charge_loop_iters(1);
-                        fetch.proc().charge_mem_refs(2); // adj[i,j], coef[i,j]
-                        let nb = adj[l * width + j] as usize;
-                        let c = coef[l * width + j];
+                        fetch.charge_loop_iters(1);
+                        fetch.charge_mem_refs(2); // adj[i,j], coef[i,j]
+                        let nb = adj_ref[l * width + j] as usize;
+                        let c = coef_ref[l * width + j];
                         let v = fetch.fetch(nb);
-                        fetch.proc().charge_flops(2);
+                        fetch.charge_flops(2);
                         acc += c * v;
                     }
-                    fetch.proc().charge_flops(2);
+                    fetch.charge_flops(2);
                     if deg > 0 {
-                        damped(old_a[l], acc)
+                        damped(old_ref[l], acc)
                     } else {
-                        old_a[l]
+                        old_ref[l]
                     }
                 };
             if check {
                 let a_mut = &mut a;
-                let old_ref = &old_a;
-                let half_change = session.execute_reduce(
+                let half_change = session.execute_reduce_chunked(
                     proc,
                     loop_,
                     schedule,
@@ -189,20 +207,29 @@ pub fn redblack_sweeps<P: Process>(
                     |i, fetch| {
                         let l = dist.local_index(i);
                         let new = body_value(l, fetch);
-                        a_mut[l] = new;
-                        fetch.proc().charge_flops(3);
+                        fetch.charge_flops(3);
                         let d = new - old_ref[l];
-                        d * d
+                        (new, d * d)
+                    },
+                    |i, new| {
+                        a_mut[dist.local_index(i)] = new;
                     },
                 );
                 proc.charge_flops(1);
                 sweep_change += half_change;
             } else {
                 let a_mut = &mut a;
-                session.execute(proc, loop_, schedule, dist, &old_a, |i, fetch| {
-                    let l = dist.local_index(i);
-                    a_mut[l] = body_value(l, fetch);
-                });
+                session.execute_chunked(
+                    proc,
+                    loop_,
+                    schedule,
+                    dist,
+                    &old_a,
+                    |i, fetch| body_value(dist.local_index(i), fetch),
+                    |i, new| {
+                        a_mut[dist.local_index(i)] = new;
+                    },
+                );
             }
         }
         if check {
