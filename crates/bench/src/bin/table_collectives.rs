@@ -1,0 +1,18 @@
+//! Communication fast paths: tree collectives and closed-form stripes.
+//!
+//! Measures the machine-wide message cost of the binomial-tree allreduce
+//! against the flat allgather-fold it replaced (and the recursive-doubling
+//! allgather) across a processor sweep, checking `2(P−1)` messages of 8
+//! bytes per reduction and bitwise-identical results across ranks, backends
+//! and the `tree_combine_partials` replay.  Then checks the stripe
+//! planner's zero-message claim: red–black planning on a chain mesh runs
+//! no inspector and sends nothing, while a scrambled mesh still pays the
+//! inspector's global exchange.  `--smoke` (or `KALI_QUICK=1`) shrinks the
+//! run for CI; any violated invariant exits nonzero so CI fails loudly.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || bench_tables::quick_mode();
+    if !bench_tables::run_collectives(smoke) {
+        std::process::exit(1);
+    }
+}

@@ -4,9 +4,9 @@
 //! both backends and checks the Session API's claims: bit-identical
 //! residual/change histories across dmsim, native and the sequential
 //! replays; inspector cost amortised across iterations; and exact
-//! per-reduction message accounting (every reduction is `P·(P−1)` messages
-//! of 8 bytes, visible as the dmsim counter delta between a checked and an
-//! unchecked run).  `--smoke` (or `KALI_QUICK=1`) shrinks the run for CI;
+//! per-reduction message accounting (every reduction is the tree
+//! allreduce's `2(P−1)` messages of 8 bytes, visible as the dmsim counter
+//! delta between a checked and an unchecked run).  `--smoke` (or `KALI_QUICK=1`) shrinks the run for CI;
 //! any violated invariant exits nonzero so CI fails loudly.
 
 fn main() {

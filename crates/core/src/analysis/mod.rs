@@ -18,15 +18,18 @@
 //! the compile-time path applies.
 
 //!
-//! The compile-time path exists at two dimensionalities: [`compile_time`]
-//! for 1-D ranges and [`multi`] for rectangular N-D iteration spaces over
+//! The compile-time path exists at three shapes: [`compile_time`] for 1-D
+//! ranges, [`stripe`] for strided 1-D congruence classes (red–black
+//! colourings), and [`multi`] for rectangular N-D iteration spaces over
 //! `dist by [block, *]`-style decompositions, where every set factorises
 //! into per-dimension interval sets.
 
 pub mod affine;
 pub mod compile_time;
 pub mod multi;
+pub mod stripe;
 
 pub use affine::AffineMap;
 pub use compile_time::{analyze, LoopSpec};
 pub use multi::{analyze_multi, MultiAffineMap};
+pub use stripe::{analyze_stripe, StripeSpec};

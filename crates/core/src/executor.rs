@@ -394,6 +394,15 @@ pub struct ChunkFetcher<'a, T, D: Distribution + ?Sized = dyn Distribution> {
     local_data: &'a [T],
     recv_buf: &'a [T],
     schedule: &'a CommSchedule,
+    /// Chunk-local schedule window: the `(low, high, buffer)` receive
+    /// record hit by the most recent nonlocal reference.  Stencil chunks
+    /// touch long runs of consecutive ghost elements, so the common case
+    /// resolves inside this window with two compares and an add; the
+    /// schedule's `O(log r)` binary search runs only when a reference
+    /// leaves the window.  Starts empty (`high == 0` matches nothing) and
+    /// never escapes the chunk, so results and cost accounting are
+    /// identical at every `(workers, chunk)` setting.
+    window: (usize, usize, usize),
     costs: ChunkCosts,
 }
 
@@ -409,12 +418,19 @@ impl<'a, T: Copy, D: Distribution + ?Sized> ChunkFetcher<'a, T, D> {
             self.costs.local_accesses += 1;
             self.local_data[self.dist.local_index(g)]
         } else {
-            let pos = self.schedule.find(g).unwrap_or_else(|| {
-                panic!(
-                    "global index {g} is neither local to rank {} nor in its receive schedule",
-                    self.rank
-                )
-            });
+            let (low, high, buffer) = self.window;
+            let pos = if g >= low && g < high {
+                buffer + (g - low)
+            } else {
+                let record = self.schedule.find_record(g).unwrap_or_else(|| {
+                    panic!(
+                        "global index {g} is neither local to rank {} nor in its receive schedule",
+                        self.rank
+                    )
+                });
+                self.window = record;
+                record.2 + (g - record.0)
+            };
             self.costs.nonlocal_accesses += 1;
             self.recv_buf[pos]
         }
@@ -475,6 +491,7 @@ where
             local_data,
             recv_buf,
             schedule,
+            window: (0, 0, 0),
             costs: ChunkCosts::default(),
         };
         let mut values = Vec::with_capacity(end - start);
@@ -729,9 +746,6 @@ mod tests {
         fn allgather<U: Clone + Send + 'static>(&mut self, items: Vec<U>) -> Vec<Vec<U>> {
             vec![items]
         }
-        fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-            value
-        }
         fn charge_local_access(&mut self) {
             self.local_charges += 1;
         }
@@ -787,6 +801,49 @@ mod tests {
         assert_eq!(fetcher.fetch(2), 0.0);
         assert_eq!(proc.local_charges, 1);
         assert_eq!(proc.nonlocal_charges, 0);
+    }
+
+    #[test]
+    fn chunk_fetcher_window_agrees_with_the_schedule_search() {
+        // The chunk-local window is a pure cache: hits, misses, window
+        // switches and re-entries must all return exactly what a fresh
+        // `CommSchedule::find` returns, and every nonlocal fetch must be
+        // counted regardless of which path resolved it.
+        use distrib::IndexSet;
+        let dist = DimDist::block(8, 2); // rank 0 owns 0..4; 4..8 nonlocal
+        let recv_sets = vec![IndexSet::new(), IndexSet::from_range(4, 8)];
+        let schedule = CommSchedule::from_recv_sets(0, &recv_sets, vec![], vec![]);
+        let local_data = [0.5f64, 1.5, 2.5, 3.5];
+        let recv_buf = [40.0f64, 50.0, 60.0, 70.0];
+        let mut fetcher = ChunkFetcher {
+            dist: &dist,
+            rank: 0,
+            local_data: &local_data,
+            recv_buf: &recv_buf,
+            schedule: &schedule,
+            window: (0, 0, 0),
+            costs: ChunkCosts::default(),
+        };
+        // Interleave local hits, the first nonlocal miss (seeds the
+        // window), in-window runs, and repeats after leaving the window.
+        let pattern = [4usize, 5, 6, 1, 7, 4, 0, 6];
+        let mut nonlocal = 0;
+        for &g in &pattern {
+            let expected = match schedule.find(g) {
+                Some(pos) => {
+                    nonlocal += 1;
+                    recv_buf[pos]
+                }
+                None => local_data[dist.local_index(g)],
+            };
+            assert_eq!(fetcher.fetch(g).to_bits(), expected.to_bits());
+        }
+        assert_eq!(fetcher.costs.nonlocal_accesses, nonlocal);
+        assert_eq!(fetcher.costs.local_accesses, pattern.len() - nonlocal);
+        // The window now covers the receive range; an out-of-schedule
+        // index still panics instead of resolving through stale state.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fetcher.fetch(9)));
+        assert!(result.is_err(), "index 9 is outside the schedule");
     }
 
     #[test]

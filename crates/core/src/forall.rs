@@ -45,7 +45,7 @@ use crate::executor::{
     execute_sweep, execute_sweep_chunked, ChunkFetcher, ExecutorConfig, Fetcher,
 };
 use crate::inspector::{owner_computes_iters, run_inspector};
-use crate::process::{Process, Reduce, ReduceOp};
+use crate::process::{tree_children, Process, Reduce, ReduceOp};
 use crate::schedule::CommSchedule;
 use crate::space::{IterSpace, Span};
 
@@ -223,10 +223,11 @@ impl<S: IterSpace> ParallelLoop<S> {
     /// [`ReduceOp`] determinism contract): contributions fold in ascending
     /// **iteration** order on each rank — regardless of the executor's
     /// local-then-nonlocal execution order — and the per-rank partials
-    /// combine in ascending **rank** order through the generic
-    /// [`Process::allreduce`].  The result is therefore bitwise identical on
-    /// every rank, across dmsim and native, and against a sequential replay
-    /// folding the same per-rank partial structure.
+    /// combine with the fixed **binomial-tree bracketing** through the
+    /// generic [`Process::allreduce`] (`2(P−1)` messages).  The result is
+    /// therefore bitwise identical on every rank, across dmsim and native,
+    /// and against a sequential replay folding the same per-rank partial
+    /// structure with `tree_combine_partials`.
     ///
     /// The collective runs *inside* the planned pipeline: its messages go
     /// through the backend like any other communication (so dmsim charges
@@ -381,9 +382,19 @@ impl<S: IterSpace> ParallelLoop<S> {
 /// order and combine across ranks: contributions arrive as two ascending
 /// runs (local iterations first, nonlocal after, split at `boundary`), are
 /// merge-folded in ascending **iteration** order, and the per-rank partials
-/// combine in ascending **rank** order through [`Process::allreduce`].
-/// Shared by the scalar and chunked reduce paths so both produce identical
-/// bits by construction.
+/// combine with the **binomial-tree bracketing** through
+/// [`Process::allreduce`].  Shared by the scalar and chunked reduce paths
+/// so both produce identical bits by construction.
+///
+/// **Bracketing contract.**  The cross-rank combine below must bracket
+/// exactly like `tree_combine_partials::<R>` — `Process::allreduce`'s
+/// documented behaviour — because the solvers' sequential replays
+/// (`replay_reduce`) fold per-rank partials with that helper and assert
+/// bitwise equality against this function's result.  Passing `R::combine`
+/// through unchanged (never a rank-dependent or order-swapped closure) is
+/// what keeps a future op addition from silently producing
+/// backend-divergent bits; the reduction-determinism suite pins it for
+/// every built-in op.
 fn fold_and_allreduce<P: Process, R: ReduceOp>(
     proc: &mut P,
     boundary: usize,
@@ -411,7 +422,9 @@ fn fold_and_allreduce<P: Process, R: ReduceOp>(
         acc = R::combine(acc, R::lift(v));
     }
     let partial = acc;
-    proc.charge_flops(proc.nprocs().saturating_sub(1));
+    // Each rank performs one combine per reduce-tree child it absorbs
+    // (machine-wide P − 1 combines, the same work the flat fold did once).
+    proc.charge_flops(tree_children(proc.nprocs(), proc.rank()));
     let total = proc.allreduce(partial, |a, b| R::combine(*a, *b));
     R::finish(total)
 }
@@ -455,6 +468,30 @@ mod tests {
     use crate::space::Rect;
     use distrib::ArrayDist;
     use dmsim::{CostModel, Machine};
+
+    #[test]
+    fn allreduce_brackets_exactly_like_tree_combine_partials() {
+        // The bracketing contract `fold_and_allreduce` relies on: the
+        // collective's cross-rank combine is `tree_combine_partials`, bit
+        // for bit, at power-of-two and ragged rank counts.
+        use crate::process::{tree_combine_partials, Sum};
+        for nprocs in [2usize, 3, 4, 7, 8] {
+            let partials: Vec<f64> = (0..nprocs).map(|r| 0.1 * (r as f64 + 1.0)).collect();
+            let expected = tree_combine_partials::<Sum<f64>>(partials.clone());
+            let machine = Machine::new(nprocs, CostModel::ideal());
+            let results = machine.run(|proc| {
+                let mine = partials[proc.rank()];
+                proc.allreduce(mine, |a, b| a + b)
+            });
+            for (rank, got) in results.iter().enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    expected.to_bits(),
+                    "P={nprocs} rank {rank}: collective bracketing diverged from the replay"
+                );
+            }
+        }
+    }
 
     #[test]
     fn forall_local_visits_exactly_the_owned_indices() {

@@ -78,6 +78,7 @@ pub mod space;
 
 pub use analysis::affine::AffineMap;
 pub use analysis::multi::MultiAffineMap;
+pub use analysis::stripe::{analyze_stripe, StripeSpec};
 pub use array::DistArray;
 pub use cache::{CacheStats, LoopKey, ScheduleCache};
 pub use executor::{

@@ -220,16 +220,25 @@ impl CommSchedule {
     /// binary search over the range records — the access path the executor
     /// uses for nonlocal references (`O(log r)`).
     pub fn find(&self, global: usize) -> Option<usize> {
+        self.find_record(global)
+            .map(|(low, _, buffer)| buffer + (global - low))
+    }
+
+    /// Locate the whole receive record covering a global index — `(low,
+    /// high, buffer)` with `low <= global < high` — with one binary search.
+    ///
+    /// This is [`CommSchedule::find`] without the final offset arithmetic:
+    /// the chunked executor hoists the returned record as a chunk-local
+    /// window, so a run of references landing in the same record resolves
+    /// by offset arithmetic alone and pays the `O(log r)` search only when
+    /// the run leaves the window.
+    pub fn find_record(&self, global: usize) -> Option<(usize, usize, usize)> {
         let idx = self.lookup.partition_point(|&(low, _, _)| low <= global);
         if idx == 0 {
             return None;
         }
         let (low, high, buffer) = self.lookup[idx - 1];
-        if global < high {
-            Some(buffer + (global - low))
-        } else {
-            None
-        }
+        (global < high).then_some((low, high, buffer))
     }
 
     /// The set of global indices this processor receives (for tests and
@@ -396,6 +405,26 @@ mod tests {
         assert_eq!(s.find(9), None);
         assert_eq!(s.find(25), None);
         assert_eq!(s.find(31), None);
+    }
+
+    #[test]
+    fn find_record_returns_the_covering_window() {
+        let s = sample_schedule();
+        assert_eq!(s.find_record(10), Some((10, 13, 0)));
+        assert_eq!(s.find_record(12), Some((10, 13, 0)));
+        assert_eq!(s.find_record(21), Some((20, 22, 3)));
+        assert_eq!(s.find_record(30), Some((30, 31, 5)));
+        assert_eq!(s.find_record(13), None);
+        assert_eq!(s.find_record(9), None);
+        assert_eq!(s.find_record(31), None);
+        // `find` is exactly `find_record` plus offset arithmetic, so a
+        // cached window can never disagree with a fresh search.
+        for g in 0..40 {
+            assert_eq!(
+                s.find(g),
+                s.find_record(g).map(|(low, _, buffer)| buffer + (g - low))
+            );
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ use distrib::Distribution;
 use crate::cache::{CacheStats, ScheduleCache};
 use crate::executor::{ChunkFetcher, ExecutorConfig, Fetcher};
 use crate::forall::ParallelLoop;
-use crate::process::{Process, Reduce, ReduceOp};
+use crate::process::{tree_allreduce_sends, Process, Reduce, ReduceOp};
 use crate::redistribute::redistribute_epoch;
 use crate::schedule::CommSchedule;
 use crate::space::{IterSpace, Span};
@@ -86,8 +86,10 @@ pub struct SessionStats {
     pub redistributions: u64,
     /// Reductions performed ([`Session::execute_reduce`] calls).
     pub reductions: u64,
-    /// Payload bytes this rank sent for those reductions (the allgather's
-    /// `(P − 1) · size_of::<Acc>()` per reduction).
+    /// Payload bytes this rank sent for those reductions: the tree
+    /// allreduce's per-rank share, `tree_allreduce_sends(P, rank) ·
+    /// size_of::<Acc>()` per reduction (summed over ranks this is the
+    /// tree's `2(P − 1)` messages).
     pub reduction_bytes: u64,
     /// Simulated seconds this rank spent planning (inspector + closed-form
     /// analysis), accumulated around every plan call.
@@ -339,7 +341,8 @@ impl Session {
         let config = self.next_sweep_config();
         let value = loop_.execute_reduce(proc, config, schedule, data_dist, local_data, op, body);
         self.reductions += 1;
-        self.reduction_bytes += (proc.nprocs() as u64 - 1) * std::mem::size_of::<R::Acc>() as u64;
+        self.reduction_bytes += tree_allreduce_sends(proc.nprocs(), proc.rank()) as u64
+            * std::mem::size_of::<R::Acc>() as u64;
         value
     }
 
@@ -405,7 +408,8 @@ impl Session {
             proc, config, schedule, data_dist, local_data, op, body, sink,
         );
         self.reductions += 1;
-        self.reduction_bytes += (proc.nprocs() as u64 - 1) * std::mem::size_of::<R::Acc>() as u64;
+        self.reduction_bytes += tree_allreduce_sends(proc.nprocs(), proc.rank()) as u64
+            * std::mem::size_of::<R::Acc>() as u64;
         value
     }
 
@@ -581,12 +585,19 @@ mod tests {
             (total, session.stats())
         });
         let expected: f64 = (0..20).map(|i| i as f64).sum();
-        for (total, stats) in &results {
+        for (rank, (total, stats)) in results.iter().enumerate() {
             assert_eq!(*total, expected);
             assert_eq!(stats.reductions, 1);
-            assert_eq!(stats.reduction_bytes, 3 * 8, "(P-1) * size_of::<f64>()");
+            assert_eq!(
+                stats.reduction_bytes,
+                tree_allreduce_sends(4, rank) as u64 * 8,
+                "tree sends * size_of::<f64>()"
+            );
             assert_eq!(stats.sweeps_executed, 1);
         }
+        // Machine-wide, the tree's 2(P-1) messages of 8 bytes.
+        let machine_bytes: u64 = results.iter().map(|(_, s)| s.reduction_bytes).sum();
+        assert_eq!(machine_bytes, 2 * 3 * 8);
         // Bitwise identical across ranks.
         for w in results.windows(2) {
             assert_eq!(w[0].0.to_bits(), w[1].0.to_bits());

@@ -25,6 +25,7 @@ use distrib::{product_flat, unflatten_index, DimDist, Distribution, FlatDist, In
 use crate::analysis::affine::AffineMap;
 use crate::analysis::compile_time::{analyze, LoopSpec};
 use crate::analysis::multi::{analyze_multi, MultiAffineMap};
+use crate::analysis::stripe::{analyze_stripe, StripeSpec};
 use crate::inspector::owner_computes_range;
 use crate::schedule::CommSchedule;
 
@@ -160,8 +161,10 @@ impl IterSpace for Span {
 /// loops over the same array (distinct loop ids) share one schedule cache
 /// without ever sharing a schedule.
 ///
-/// Strided exec sets have no closed-form treatment in the compile-time
-/// analyser, so planning always falls back to the (cached) inspector.
+/// For unit-stride (shift/identity) reference subscripts the stripe has a
+/// closed-form schedule ([`analyze_stripe`](crate::analysis::stripe)):
+/// planning exchanges **zero messages** and never runs the inspector.
+/// Other subscripts fall back to the (cached) inspector, as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Stripe {
     /// First iteration (also the phase of the congruence class).
@@ -209,13 +212,20 @@ impl IterSpace for Stripe {
 
     fn analyze(
         &self,
-        _on: &DimDist,
-        _data: &DimDist,
-        _refs: &[AffineMap],
-        _rank: usize,
+        on: &DimDist,
+        data: &DimDist,
+        refs: &[AffineMap],
+        rank: usize,
     ) -> Option<CommSchedule> {
-        // No closed form for strided exec sets: fall back to the inspector.
-        None
+        let spec = StripeSpec {
+            lo: self.lo,
+            hi: self.hi,
+            step: self.step,
+            on_dist: on.clone(),
+            data_dist: data.clone(),
+            ref_maps: refs.to_vec(),
+        };
+        analyze_stripe(&spec, rank)
     }
 
     fn apply_map(&self, map: &AffineMap, iter: usize, data: &DimDist) -> Option<usize> {
@@ -424,8 +434,19 @@ mod tests {
         // Distinct stripes never share a fingerprint (cache-key safety).
         assert_ne!(red.fingerprint(), black.fingerprint());
         assert_ne!(red.fingerprint(), Span::upto(40).fingerprint());
-        // Strided spaces always plan through the inspector.
-        assert!(red.analyze(&on, &on, &[AffineMap::identity()], 0).is_none());
+        // Unit-stride stripes now plan in closed form — no inspector — and
+        // the schedule's iteration lists are exactly `exec_iters`.
+        for rank in 0..4 {
+            let s = red
+                .analyze(&on, &on, &[AffineMap::identity()], rank)
+                .expect("unit-stride stripe must have a closed form");
+            let mut iters = s.local_iters.clone();
+            iters.extend(&s.nonlocal_iters);
+            iters.sort_unstable();
+            assert_eq!(iters, red.exec_iters(&on, rank));
+        }
+        // Non-unit-stride subscripts still fall back to the inspector.
+        assert!(red.analyze(&on, &on, &[AffineMap::new(2, 0)], 0).is_none());
     }
 
     #[test]

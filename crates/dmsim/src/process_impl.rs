@@ -7,6 +7,13 @@
 //! and each cost hook charges the corresponding composite price from the
 //! machine's [`CostModel`](crate::CostModel) — so the paper-table accounting
 //! is exactly what it was when the runtime called the simulator directly.
+//!
+//! Reductions (`allreduce`, `allreduce_sum_f64`) deliberately stay at the
+//! trait's provided binomial-tree implementation: it runs on the timed
+//! `send`/`recv` mapped here, so every tree message is charged through the
+//! cost model like any other point-to-point traffic, and the bracketing
+//! (hence the bits) is identical to the native backend's and the
+//! sequential replay's.
 
 use kali_process::{Counters, Process, Tag};
 
@@ -46,10 +53,6 @@ impl Process for Proc {
     fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
         let bytes = items.len() * std::mem::size_of::<T>();
         collectives::allgather(self, items, bytes)
-    }
-
-    fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-        collectives::allreduce_sum_f64(self, value)
     }
 
     fn charge_flops(&mut self, n: usize) {

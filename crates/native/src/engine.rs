@@ -416,27 +416,9 @@ impl Process for NativeProc {
         got
     }
 
-    fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-        let n = self.nprocs;
-        let me = self.rank;
-        let tag = self.next_collective_tag();
-        for dst in 0..n {
-            if dst != me {
-                self.send_packet(dst, tag, value);
-            }
-        }
-        // Sum in rank order so every rank rounds identically.
-        let mut sum = 0.0f64;
-        for src in 0..n {
-            if src == me {
-                sum += value;
-            } else {
-                let v: f64 = self.recv_packet(src, tag);
-                sum += v;
-            }
-        }
-        sum
-    }
+    // `allreduce` / `allreduce_sum_f64` use the trait's provided
+    // binomial-tree implementation over this backend's `send`/`recv`, so
+    // the bracketing (and the bits) match dmsim and the sequential replay.
 }
 
 #[cfg(test)]

@@ -16,11 +16,16 @@
 //!   It leaves the cost hooks at their no-op defaults.
 //!
 //! The trait is deliberately minimal: ranks, typed point-to-point
-//! `send`/`recv` matched on `(source, tag)`, the three collective shapes the
-//! runtime needs (barrier, personalised all-to-all, allgather, plus an `f64`
-//! sum-allreduce for convergence tests), and *optional* cost hooks that
-//! default to no-ops so native backends pay nothing for the simulator's
-//! accounting.
+//! `send`/`recv` matched on `(source, tag)`, the collective shapes the
+//! runtime needs (barrier, personalised all-to-all, allgather), and
+//! *optional* cost hooks that default to no-ops so native backends pay
+//! nothing for the simulator's accounting.  Reductions
+//! ([`Process::allreduce`], [`Process::allreduce_sum_f64`]) are *provided*
+//! methods built on the point-to-point layer: a binomial-tree reduce to
+//! rank 0 plus a binomial broadcast, `2(P−1)` messages total, with a fixed
+//! bracketing that is a function of the rank count alone — so one
+//! implementation serves every backend and the result is bitwise identical
+//! across backends and a sequential replay ([`reduce::tree_combine_partials`]).
 //!
 //! The [`tags`] module centralises the tag-space layout shared by every
 //! runtime component so tag ranges are disjoint by construction.  The
@@ -31,7 +36,7 @@
 pub mod reduce;
 pub mod tags;
 
-pub use reduce::{combine_partials, Max, Min, Norm2, Reduce, ReduceOp, Sum};
+pub use reduce::{combine_partials, tree_combine_partials, Max, Min, Norm2, Reduce, ReduceOp, Sum};
 
 /// Message tag, used to match sends with receives (like MPI tags).
 ///
@@ -205,38 +210,121 @@ pub trait Process {
     fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>>;
 
     /// Sum an `f64` across all processes; every process receives a result
-    /// that is bitwise identical across ranks.
+    /// that is bitwise identical across ranks *and* across backends.
     ///
-    /// The combining order (and therefore the exact rounding) is
-    /// backend-defined; callers must not rely on bitwise agreement *between*
-    /// backends, only between ranks of one run.  For reductions whose
-    /// rounding must be reproducible across backends (the typed
-    /// `execute_reduce` pipeline), use [`Process::allreduce`] instead.
-    fn allreduce_sum_f64(&mut self, value: f64) -> f64;
+    /// Provided: routes through the generic [`Process::allreduce`], so both
+    /// entry points share one tree implementation and one bracketing — there
+    /// is no backend-defined rounding left anywhere in the reduction path.
+    fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
 
     /// Generic typed all-reduce with a **fixed, backend-independent**
-    /// combining order: gather every rank's value (rank-ordered, via
-    /// [`Process::allgather`]) and fold them in ascending rank order.
+    /// combining order: a binomial-tree reduce to rank 0 followed by a
+    /// binomial-tree broadcast of the combined value, built on the trait's
+    /// own point-to-point `send`/`recv` (tags from
+    /// [`tags::tree_reduce_tag`] / [`tags::tree_bcast_tag`]).
     ///
-    /// The result is bitwise identical on every rank *and* across backends —
-    /// the property the typed reduction pipeline
-    /// (`ParallelLoop::execute_reduce`) builds its determinism contract on.
-    /// The traffic is the allgather's, so metering backends charge it like
-    /// any other communication.  `combine` must not depend on rank.
+    /// The tree's bracketing is a function of the rank count alone — at
+    /// stride `s`, the partial of rank `r` (a multiple of `2s`) absorbs the
+    /// partial of rank `r + s`, lower-rank operand on the left — so the
+    /// result is bitwise identical on every rank *and* across backends: the
+    /// property the typed reduction pipeline (`execute_reduce`) builds its
+    /// determinism contract on.  A sequential replay with
+    /// [`reduce::tree_combine_partials`] reproduces it bit for bit.
+    ///
+    /// Exactly `2(P−1)` point-to-point messages machine-wide (the flat
+    /// allgather-fold this replaced cost `P·(P−1)`); metering backends
+    /// charge them like any other communication.  `combine` must not depend
+    /// on rank.  See [`tree_allreduce_sends`] for the per-rank share.
     fn allreduce<T, F>(&mut self, value: T, combine: F) -> T
     where
         T: Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
-        let gathered = self.allgather(vec![value]);
-        gathered
-            .into_iter()
-            .map(|mut per_rank| {
-                debug_assert_eq!(per_rank.len(), 1, "one contribution per rank");
-                per_rank.remove(0)
-            })
-            .reduce(|a, b| combine(&a, &b))
-            .expect("a machine has at least one rank")
+        let p = self.nprocs();
+        let me = self.rank();
+        if p == 1 {
+            return value;
+        }
+
+        // Reduce phase: at round k (stride 2^k), every surviving rank whose
+        // lowest set bit is the stride sends its partial to `me - stride`
+        // and leaves; the receiver absorbs it with the lower-rank partial on
+        // the left.  Rank 0 ends up holding the tree-bracketed total.
+        let mut acc = value;
+        let mut stride = 1usize;
+        let mut round = 0u32;
+        while stride < p {
+            if me & (2 * stride - 1) == stride {
+                self.send(me - stride, tags::tree_reduce_tag(round), acc.clone());
+                break;
+            }
+            if me & (2 * stride - 1) == 0 && me + stride < p {
+                let other: T = self.recv(me + stride, tags::tree_reduce_tag(round));
+                acc = combine(&acc, &other);
+            }
+            stride <<= 1;
+            round += 1;
+        }
+
+        // Broadcast phase: the reduce tree run in reverse.  Each nonzero
+        // rank receives the total over the edge it reduced along (its round
+        // is log2 of its lowest set bit), then forwards to its own subtree,
+        // largest stride first.
+        let lowbit = if me == 0 {
+            p.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
+        if me != 0 {
+            acc = self.recv(me - lowbit, tags::tree_bcast_tag(lowbit.trailing_zeros()));
+        }
+        let mut s = lowbit >> 1;
+        while s >= 1 {
+            if me + s < p {
+                self.send(
+                    me + s,
+                    tags::tree_bcast_tag(s.trailing_zeros()),
+                    acc.clone(),
+                );
+            }
+            s >>= 1;
+        }
+        acc
+    }
+
+    /// Allgather by recursive doubling: `log2(P)` rounds of pairwise
+    /// exchanges in which each rank sends everything it has accumulated so
+    /// far to the partner `rank XOR 2^round` — `P·log2(P)` messages instead
+    /// of the flat allgather's `P·(P−1)`.  Requires a power-of-two rank
+    /// count; any other count falls back to [`Process::allgather`].
+    ///
+    /// Returns the same rank-indexed contributions as `allgather`, so the
+    /// two are interchangeable wherever the caller sorts by rank anyway.
+    fn allgather_doubling<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+        let p = self.nprocs();
+        if p == 1 || !p.is_power_of_two() {
+            return self.allgather(items);
+        }
+        let me = self.rank();
+        let mut acc: Vec<(usize, Vec<T>)> = vec![(me, items)];
+        let mut stride = 1usize;
+        let mut round = 0u32;
+        while stride < p {
+            let partner = me ^ stride;
+            let tag = tags::tree_gather_tag(round);
+            self.send_vec(partner, tag, acc.clone());
+            let theirs: Vec<(usize, Vec<T>)> = self.recv_vec(partner, tag);
+            acc.extend(theirs);
+            stride <<= 1;
+            round += 1;
+        }
+        debug_assert_eq!(acc.len(), p, "doubling must accumulate every rank");
+        acc.sort_by_key(|(rank, _)| *rank);
+        acc.into_iter()
+            .map(|(_, contribution)| contribution)
+            .collect()
     }
 
     // ----------------------------------------------------------------
@@ -307,6 +395,43 @@ pub trait Process {
     }
 }
 
+/// Number of children rank `rank` has in the binomial tree over `nprocs`
+/// ranks — equivalently, how many partials it absorbs during the reduce
+/// phase of [`Process::allreduce`] (its `combine` invocations), and how
+/// many copies of the result it forwards during the broadcast phase.
+pub fn tree_children(nprocs: usize, rank: usize) -> usize {
+    debug_assert!(rank < nprocs, "rank {rank} out of range for {nprocs} procs");
+    let bound = if rank == 0 {
+        nprocs.next_power_of_two()
+    } else {
+        rank & rank.wrapping_neg()
+    };
+    let mut count = 0;
+    let mut s = 1usize;
+    while s < bound {
+        if rank + s < nprocs {
+            count += 1;
+        }
+        s <<= 1;
+    }
+    count
+}
+
+/// Number of point-to-point messages rank `rank` sends during one
+/// [`Process::allreduce`]: one partial up to its parent (every rank except
+/// 0) plus one result copy per child.  Summed over ranks this is exactly
+/// `2(P−1)` — the number the session's reduction metering and the
+/// `CommReport` tables account with.
+pub fn tree_allreduce_sends(nprocs: usize, rank: usize) -> usize {
+    let up = usize::from(rank != 0);
+    up + tree_children(nprocs, rank)
+}
+
+/// Machine-wide message count of one tree allreduce: `2(P−1)`.
+pub fn tree_allreduce_messages(nprocs: usize) -> usize {
+    2 * (nprocs - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,9 +481,6 @@ mod tests {
         fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
             vec![items]
         }
-        fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-            value
-        }
     }
 
     #[test]
@@ -380,6 +502,34 @@ mod tests {
         assert_eq!(v, 1.25);
         let m = p.allreduce(7u64, |a, b| *a.max(b));
         assert_eq!(m, 7);
+        // One rank has no peers: the provided methods must not send.
+        assert_eq!(p.allreduce_sum_f64(2.25), 2.25);
+        assert_eq!(p.allgather_doubling(vec![9u8]), vec![vec![9u8]]);
+    }
+
+    #[test]
+    fn tree_message_counts_sum_to_two_p_minus_one() {
+        for p in 1..=33usize {
+            let total: usize = (0..p).map(|r| tree_allreduce_sends(p, r)).sum();
+            assert_eq!(total, tree_allreduce_messages(p), "p = {p}");
+            // Reduce phase: every nonzero rank sends exactly one partial up,
+            // absorbed by its parent — children counts must mirror that.
+            let absorbed: usize = (0..p).map(|r| tree_children(p, r)).sum();
+            assert_eq!(absorbed, p - 1, "p = {p}");
+        }
+        // Spot-check the per-rank shape the session metering relies on.
+        assert_eq!(
+            (0..4)
+                .map(|r| tree_allreduce_sends(4, r))
+                .collect::<Vec<_>>(),
+            vec![2, 1, 2, 1]
+        );
+        assert_eq!(
+            (0..7)
+                .map(|r| tree_allreduce_sends(7, r))
+                .collect::<Vec<_>>(),
+            vec![3, 1, 2, 1, 3, 1, 1]
+        );
     }
 
     #[test]
@@ -427,9 +577,6 @@ mod tests {
         fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
             vec![items]
         }
-        fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-            value
-        }
     }
 
     #[test]
@@ -470,9 +617,6 @@ mod tests {
             }
             fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
                 vec![items]
-            }
-            fn allreduce_sum_f64(&mut self, value: f64) -> f64 {
-                value
             }
             fn charge_local_access(&mut self) {
                 self.local += 1;

@@ -22,16 +22,23 @@
 //!
 //! 1. each rank folds its contributions in **ascending iteration order**
 //!    starting from the identity ([`ReduceOp::fold`]);
-//! 2. the per-rank partials are combined in **ascending rank order**
-//!    ([`combine_partials`]), via the generic
-//!    [`Process::allreduce`](crate::Process::allreduce) (an allgather
-//!    followed by a local rank-ordered fold — identical on every rank *and*
-//!    on every backend).
+//! 2. the per-rank partials are combined with the **fixed binomial-tree
+//!    bracketing** ([`tree_combine_partials`]): at stride 1 partials of
+//!    ranks `2k` and `2k+1` combine (lower rank on the left), at stride 2
+//!    the survivors `4k` and `4k+2` combine, and so on — the bracketing is
+//!    a function of the rank count alone, never of timing or backend.  The
+//!    generic [`Process::allreduce`](crate::Process::allreduce) realises
+//!    exactly this bracketing as a binomial-tree reduce to rank 0 followed
+//!    by a broadcast (`2(P−1)` messages instead of the flat allgather's
+//!    `P·(P−1)`).
 //!
 //! A sequential replay that folds the same per-rank partial structure with
 //! the same helpers reproduces the distributed result **bit for bit**; the
 //! solvers' replays (`cg_sequential`, `redblack_sequential`) and the
-//! reduction-determinism tests rely on this.
+//! reduction-determinism tests rely on this.  [`combine_partials`] (the
+//! flat ascending-rank fold the collective used before the tree) is kept
+//! for callers that want a plain left-to-right fold; it is **not** the
+//! collective's bracketing.
 
 /// One typed reduction semantics (see the module docs for the determinism
 /// contract).
@@ -73,9 +80,13 @@ pub trait ReduceOp {
     }
 }
 
-/// Combine per-rank partials in ascending rank order — the cross-rank half
-/// of the determinism contract, shared by [`Process::allreduce`][ar] and the
-/// solvers' sequential replays.
+/// Combine per-rank partials with a flat left-to-right fold in ascending
+/// rank order.
+///
+/// This was the collective's bracketing before the tree allreduce; it is
+/// kept as the plain sequential fold.  The cross-rank half of the
+/// determinism contract is [`tree_combine_partials`] — use that to replay
+/// what [`Process::allreduce`][ar] computes.
 ///
 /// [ar]: crate::Process::allreduce
 pub fn combine_partials<R: ReduceOp>(partials: impl IntoIterator<Item = R::Acc>) -> R::Acc {
@@ -83,6 +94,37 @@ pub fn combine_partials<R: ReduceOp>(partials: impl IntoIterator<Item = R::Acc>)
         .into_iter()
         .reduce(R::combine)
         .expect("a reduction needs at least one rank's partial")
+}
+
+/// Combine per-rank partials with the fixed binomial-tree bracketing — the
+/// cross-rank half of the determinism contract, shared by
+/// [`Process::allreduce`][ar] and the solvers' sequential replays.
+///
+/// `partials[r]` must be rank `r`'s partial.  At each doubling stride `s`,
+/// the surviving partial of rank `r` (a multiple of `2s`) absorbs the
+/// partial of rank `r + s` when that rank exists — lower-rank operand on
+/// the left.  The resulting bracketing, e.g. for 7 ranks
+/// `((p0+p1)+(p2+p3)) + ((p4+p5)+p6)`, depends only on the rank count, so
+/// every backend (and this replay) rounds identically.
+///
+/// [ar]: crate::Process::allreduce
+pub fn tree_combine_partials<R: ReduceOp>(partials: impl IntoIterator<Item = R::Acc>) -> R::Acc {
+    let mut v: Vec<R::Acc> = partials.into_iter().collect();
+    assert!(
+        !v.is_empty(),
+        "a reduction needs at least one rank's partial"
+    );
+    let p = v.len();
+    let mut stride = 1;
+    while stride < p {
+        let mut r = 0;
+        while r + stride < p {
+            v[r] = R::combine(v[r], v[r + stride]);
+            r += 2 * stride;
+        }
+        stride *= 2;
+    }
+    v[0]
 }
 
 /// The call-site token naming a reduction operator:
@@ -255,6 +297,44 @@ mod tests {
         let partials = [0.1f64, 0.2, 0.3, 0.4];
         let combined = combine_partials::<Sum<f64>>(partials);
         assert_eq!(combined.to_bits(), (((0.1f64 + 0.2) + 0.3) + 0.4).to_bits());
+    }
+
+    #[test]
+    fn tree_combine_partials_uses_the_binomial_bracketing() {
+        // Rounding-sensitive partials: the tree bracketing provably rounds
+        // differently from the flat fold at 4+ ranks, so equality with the
+        // hand-written tree pins the bracketing down.
+        let p: Vec<f64> = (0..7).map(|r| 0.1 * (r as f64 + 1.0)).collect();
+        let tree = tree_combine_partials::<Sum<f64>>(p.clone());
+        let manual = ((p[0] + p[1]) + (p[2] + p[3])) + ((p[4] + p[5]) + p[6]);
+        assert_eq!(tree.to_bits(), manual.to_bits());
+
+        let four = tree_combine_partials::<Sum<f64>>(p[..4].to_vec());
+        assert_eq!(four.to_bits(), ((p[0] + p[1]) + (p[2] + p[3])).to_bits());
+        // ... and the bracketing is observable: with partials whose pairwise
+        // sums are exact but whose flat prefix sums are not, the tree and
+        // the flat fold round differently.
+        let sensitive = [1.0e16, 1.0, 1.0, 1.0];
+        let tree4 = tree_combine_partials::<Sum<f64>>(sensitive);
+        let flat4 = combine_partials::<Sum<f64>>(sensitive);
+        assert_eq!(tree4, 1.0e16 + 2.0);
+        assert_ne!(tree4.to_bits(), flat4.to_bits());
+
+        // Degenerate sizes.
+        assert_eq!(tree_combine_partials::<Sum<f64>>([1.5]), 1.5);
+        assert_eq!(tree_combine_partials::<Sum<f64>>([1.5, 2.5]), 4.0);
+    }
+
+    #[test]
+    fn tree_and_flat_agree_for_exact_values() {
+        for p in 1..=16usize {
+            let partials: Vec<u64> = (0..p as u64).map(|r| r * r + 1).collect();
+            assert_eq!(
+                tree_combine_partials::<Sum<u64>>(partials.clone()),
+                combine_partials::<Sum<u64>>(partials),
+                "p = {p}"
+            );
+        }
     }
 
     #[test]

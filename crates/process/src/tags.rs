@@ -12,7 +12,8 @@
 //! | `[2^41, 2^42)`           | hand-coded baseline halo exchange              |
 //! | `[2^42, 2^43)`           | array redistribution traffic                   |
 //! | `[2^43, 2^44)`           | distributed owner-map lookup traffic           |
-//! | `[2^44, 2^63)`           | reserved (unused)                              |
+//! | `[2^44, 2^45)`           | tree collectives (phase + round encoded)       |
+//! | `[2^45, 2^63)`           | reserved (unused)                              |
 //! | `[2^63, 2^64)`           | collectives (per-invocation sequence numbers)  |
 //!
 //! Collective tags additionally embed a per-stage offset in bits 32..40
@@ -43,6 +44,18 @@ pub const REDIST_BASE: Tag = 1 << 42;
 /// Base of the distributed owner-map lookup range (collective resolution of
 /// irregular-distribution translation tables).
 pub const OWNERMAP_BASE: Tag = 1 << 43;
+
+/// Base of the tree-collective range used by the [`Process`] trait's
+/// provided binomial-tree `allreduce` and recursive-doubling allgather
+/// (phase in bits 40..42, round in the low bits).
+///
+/// Tree collectives use *fixed* per-(phase, round) tags instead of
+/// per-invocation sequence numbers: every rank calls collectives in the
+/// same order (the SPMD contract) and same-`(src, tag)` delivery is FIFO,
+/// so messages of consecutive collectives cannot be confused.
+///
+/// [`Process`]: crate::Process
+pub const TREE_BASE: Tag = 1 << 44;
 
 /// Base of the collective-operation range (top half of the tag space).
 pub const COLLECTIVE_BASE: Tag = 1 << 63;
@@ -92,6 +105,38 @@ pub fn halo_tag(offset: Tag) -> Tag {
     HALO_BASE + offset
 }
 
+/// Phase discriminants of the tree collectives (bits 40..42 of the tag).
+const TREE_REDUCE_PHASE: Tag = 0;
+const TREE_BCAST_PHASE: Tag = 1;
+const TREE_GATHER_PHASE: Tag = 2;
+
+fn tree_tag(phase: Tag, round: u32) -> Tag {
+    debug_assert!(
+        (round as Tag) < SPAN,
+        "tree round {round} exceeds the range span"
+    );
+    TREE_BASE + (phase << 40) + round as Tag
+}
+
+/// Tag of round `round` of the binomial-tree reduce phase (partials moving
+/// towards rank 0).
+pub fn tree_reduce_tag(round: u32) -> Tag {
+    tree_tag(TREE_REDUCE_PHASE, round)
+}
+
+/// Tag of round `round` of the binomial-tree broadcast phase (the combined
+/// result moving back down the tree).  The round of a broadcast message is
+/// `log2(stride)` of the hop, so sender and receiver derive it
+/// independently.
+pub fn tree_bcast_tag(round: u32) -> Tag {
+    tree_tag(TREE_BCAST_PHASE, round)
+}
+
+/// Tag of round `round` of the recursive-doubling allgather.
+pub fn tree_gather_tag(round: u32) -> Tag {
+    tree_tag(TREE_GATHER_PHASE, round)
+}
+
 /// Tag of the `seq`-th collective operation of a run.
 ///
 /// SPMD programs call collectives in the same order on every rank, so a
@@ -117,6 +162,7 @@ mod tests {
             (HALO_BASE, HALO_BASE + SPAN),
             (REDIST_BASE, REDIST_BASE + SPAN),
             (OWNERMAP_BASE, OWNERMAP_BASE + SPAN),
+            (TREE_BASE, TREE_BASE + (1 << 44)),
             (COLLECTIVE_BASE, Tag::MAX),
         ];
         for (i, a) in ranges.iter().enumerate() {
@@ -135,7 +181,19 @@ mod tests {
         assert_eq!(redistribute_tag(0), REDIST_BASE);
         assert!(redistribute_tag(SPAN - 1) < OWNERMAP_BASE);
         assert_eq!(ownermap_tag(0), OWNERMAP_BASE);
-        assert!(ownermap_tag(SPAN - 1) < COLLECTIVE_BASE);
+        assert!(ownermap_tag(SPAN - 1) < TREE_BASE);
+        assert_eq!(tree_reduce_tag(0), TREE_BASE);
+        assert!(tree_reduce_tag(63) < tree_bcast_tag(0));
+        assert!(tree_bcast_tag(63) < tree_gather_tag(0));
+        assert!(tree_gather_tag(63) < TREE_BASE + (1 << 44));
+        // Distinct (phase, round) pairs always map to distinct tags.
+        let tree: Vec<Tag> = (0..3u64)
+            .flat_map(|ph| (0..64).map(move |r| tree_tag(ph, r)))
+            .collect();
+        let mut dedup = tree.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), tree.len());
         assert!(collective_tag(0) >= COLLECTIVE_BASE);
         // Stage offsets (bits 32..40) stay inside the collective range.
         assert!(collective_tag(u32::MAX as u64) + (0xFFu64 << 32) >= COLLECTIVE_BASE);

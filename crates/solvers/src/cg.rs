@@ -500,14 +500,15 @@ mod tests {
             let dist = DimDist::block(mesh.len(), proc.nprocs());
             cg_solve(proc, &mesh, &dist, &b, &config)
         });
-        for o in &outcomes {
+        for (rank, o) in outcomes.iter().enumerate() {
             assert_eq!(o.iterations, 10);
             // 1 initial ⟨b,b⟩ + 2 per iteration, all through the session.
             assert_eq!(o.stats.reductions, 1 + 2 * 10);
+            let sends = kali_core::process::tree_allreduce_sends(4, rank) as u64;
             assert_eq!(
                 o.stats.reduction_bytes,
-                (1 + 2 * 10) * 3 * 8,
-                "(P-1) * 8 bytes per reduction"
+                (1 + 2 * 10) * sends * 8,
+                "tree sends * 8 bytes per reduction"
             );
             // The mat-vec plans once; the identity loops never miss.
             assert_eq!(o.stats.cache.misses, 1);

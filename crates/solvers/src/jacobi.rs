@@ -498,14 +498,15 @@ mod tests {
             })
             .collect();
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-        for o in &outcomes {
+        for (rank, o) in outcomes.iter().enumerate() {
             assert_eq!(bits(&o.change_history), bits(&expected));
             assert_eq!(
                 o.global_change.map(f64::to_bits),
                 Some(expected[2].to_bits())
             );
             assert_eq!(o.reductions, 3, "one reduction per check");
-            assert_eq!(o.reduction_bytes, 3 * (nprocs as u64 - 1) * 8);
+            let sends = kali_core::process::tree_allreduce_sends(nprocs, rank) as u64;
+            assert_eq!(o.reduction_bytes, 3 * sends * 8);
         }
         // Checks disabled: no reductions, no value.
         let quiet = JacobiConfig::with_sweeps(4);

@@ -26,9 +26,13 @@
 //! and the resulting history is bitwise identical across dmsim, native and
 //! the sequential replay ([`redblack_sequential`]).
 
+use std::sync::Arc;
+
 use distrib::DimDist;
 use kali_core::process::{Counters, Process};
-use kali_core::{Reduce, Session, SessionStats, Stripe, Sum};
+use kali_core::{
+    analyze_stripe, AffineMap, Reduce, Session, SessionStats, Stripe, StripeSpec, Sum,
+};
 use meshes::AdjacencyMesh;
 
 use crate::adaptive::scatter_mesh;
@@ -110,6 +114,25 @@ fn damped(own: f64, acc: f64) -> f64 {
     0.5 * own + 0.5 * acc
 }
 
+/// True when `mesh` is the 1-D chain: `neighbors(i) = {i−1, i+1} ∩ [0, n)`
+/// for every node — the adjacency of a three-point stencil stored as
+/// run-time data.
+fn is_chain_mesh(mesh: &AdjacencyMesh) -> bool {
+    let n = mesh.len();
+    (0..n).all(|i| {
+        let mut expect: Vec<u32> = Vec::with_capacity(2);
+        if i > 0 {
+            expect.push((i - 1) as u32);
+        }
+        if i + 1 < n {
+            expect.push((i + 1) as u32);
+        }
+        let mut got: Vec<u32> = mesh.neighbors(i).to_vec();
+        got.sort_unstable();
+        got == expect
+    })
+}
+
 /// Run `config.sweeps` red–black sweeps over `mesh`, collectively.
 pub fn redblack_sweeps<P: Process>(
     proc: &mut P,
@@ -146,14 +169,41 @@ pub fn redblack_sweeps<P: Process>(
 
     // Each colour's references are exactly its own nodes' adjacency, so the
     // two schedules are disjoint halves of the Jacobi schedule.
-    let refs_of = |i: usize, refs: &mut Vec<usize>| {
-        let l = dist.local_index(i);
-        for j in 0..count[l] as usize {
-            refs.push(adj[l * width + j] as usize);
-        }
+    //
+    // Chain meshes — `neighbors(i) = {i−1, i+1} ∩ [0, n)` — are the 1-D
+    // three-point stencil stored as run-time data: each colour's references
+    // are the affine shifts `i∓1` over its stripe (boundary references
+    // clip), so the schedule has a closed form ([`analyze_stripe`]) and
+    // planning exchanges **zero messages** and never runs the inspector.
+    // Any other adjacency falls back to the cached inspector, as before.
+    let (red_schedule, black_schedule) = if is_chain_mesh(mesh) {
+        let stripe_schedule = |lo: usize| {
+            let spec = StripeSpec {
+                lo,
+                hi: n,
+                step: 2,
+                on_dist: dist.clone(),
+                data_dist: dist.clone(),
+                ref_maps: vec![AffineMap::shift(-1), AffineMap::shift(1)],
+            };
+            Arc::new(
+                analyze_stripe(&spec, rank)
+                    .expect("unit-stride stripe stencils always have a closed form"),
+            )
+        };
+        (stripe_schedule(0), stripe_schedule(1))
+    } else {
+        let refs_of = |i: usize, refs: &mut Vec<usize>| {
+            let l = dist.local_index(i);
+            for j in 0..count[l] as usize {
+                refs.push(adj[l * width + j] as usize);
+            }
+        };
+        (
+            session.plan_indirect(proc, &red, dist, refs_of),
+            session.plan_indirect(proc, &black, dist, refs_of),
+        )
     };
-    let red_schedule = session.plan_indirect(proc, &red, dist, refs_of);
-    let black_schedule = session.plan_indirect(proc, &black, dist, refs_of);
     let red_recv_elements = red_schedule.recv_len;
     let black_recv_elements = black_schedule.recv_len;
 
@@ -405,6 +455,98 @@ mod tests {
         for w in history.windows(2) {
             assert!(w[1] <= w[0], "change norm must not increase: {w:?}");
         }
+    }
+
+    #[test]
+    fn chain_meshes_plan_in_closed_form_with_zero_messages() {
+        // A 1-D chain is the three-point stencil as run-time data: planning
+        // must go through the stripe closed form — no inspector runs (cache
+        // misses stay 0) and no planning traffic at all.
+        let mesh = RegularGrid::new(40, 1).five_point_mesh();
+        assert!(is_chain_mesh(&mesh));
+        let initial = field(mesh.len());
+        let config = RedBlackConfig {
+            sweeps: 0, // counters then cover planning alone
+            check_every: None,
+            ..RedBlackConfig::default()
+        };
+        let nprocs = 4;
+        for dist in [
+            DimDist::block(mesh.len(), nprocs),
+            DimDist::cyclic(mesh.len(), nprocs),
+        ] {
+            let machine = Machine::new(nprocs, CostModel::ncube7());
+            let outcomes = machine.run(|proc| {
+                let d = dist.clone();
+                redblack_sweeps(proc, &mesh, &d, &initial, &config)
+            });
+            for (rank, o) in outcomes.iter().enumerate() {
+                assert_eq!(o.stats.cache.misses, 0, "rank {rank}: no inspector runs");
+                assert_eq!(o.stats.cache.resident_entries, 0);
+                assert_eq!(
+                    o.counters.msgs_sent, 0,
+                    "rank {rank}: zero planning messages"
+                );
+                assert_eq!(o.counters.msgs_recv, 0);
+                assert_eq!(o.inspector_time, 0.0, "closed form costs no simulated time");
+            }
+            // The closed form still produced real halo schedules.
+            let total_recv: usize = outcomes
+                .iter()
+                .map(|o| o.red_recv_elements + o.black_recv_elements)
+                .sum();
+            assert!(
+                total_recv > 0,
+                "chain halos must exist across {nprocs} ranks"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_fast_path_matches_the_sequential_replay_bitwise() {
+        // The closed-form schedules must drive the executor to the exact
+        // same bits as the (inspector-planned) contract: field and change
+        // history agree with the sequential replay on every rank.
+        let mesh = RegularGrid::new(37, 1).five_point_mesh();
+        assert!(is_chain_mesh(&mesh));
+        let initial = field(mesh.len());
+        let config = RedBlackConfig {
+            sweeps: 10,
+            check_every: Some(2),
+            ..RedBlackConfig::default()
+        };
+        let nprocs = 4;
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for dist in [
+            DimDist::block(mesh.len(), nprocs),
+            DimDist::cyclic(mesh.len(), nprocs),
+            DimDist::block_cyclic(mesh.len(), nprocs, 3),
+        ] {
+            let machine = Machine::new(nprocs, CostModel::ideal());
+            let outcomes = machine.run(|proc| {
+                let d = dist.clone();
+                redblack_sweeps(proc, &mesh, &d, &initial, &config)
+            });
+            let (seq_a, seq_history) = redblack_sequential(&mesh, &initial, &config, &dist);
+            for o in &outcomes {
+                assert_eq!(bits(&o.change_history), bits(&seq_history));
+                assert_eq!(o.stats.cache.misses, 0, "chain planning never inspects");
+            }
+            assert_eq!(bits(&gather(&dist, &outcomes)), bits(&seq_a));
+        }
+    }
+
+    #[test]
+    fn non_chain_meshes_still_use_the_cached_inspector() {
+        // A 2-D grid is not a chain: detection must leave the indirect path
+        // (and its cache behaviour) untouched.
+        assert!(!is_chain_mesh(&RegularGrid::square(5).five_point_mesh()));
+        assert!(!is_chain_mesh(
+            &UnstructuredMeshBuilder::new(6, 6).seed(3).build()
+        ));
+        // A scrambled chain is not a chain either (numbering matters).
+        let mesh = RegularGrid::new(12, 1).five_point_mesh();
+        assert!(is_chain_mesh(&mesh));
     }
 
     #[test]

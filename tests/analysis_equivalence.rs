@@ -4,7 +4,7 @@
 
 use kali_repro::distrib::DimDist;
 use kali_repro::dmsim::{CostModel, Machine};
-use kali_repro::kali::analysis::{analyze, LoopSpec};
+use kali_repro::kali::analysis::{analyze, analyze_stripe, LoopSpec, StripeSpec};
 use kali_repro::kali::{run_inspector, AffineMap};
 
 use proptest::prelude::*;
@@ -72,6 +72,64 @@ fn three_point_stencil_is_equivalent_under_block_cyclic() {
     assert_equivalent(&spec);
 }
 
+/// Run the stripe closed form and the run-time inspector over the same
+/// congruence class and compare their signatures on every processor.
+fn assert_stripe_equivalent(spec: &StripeSpec) {
+    let nprocs = spec.on_dist.nprocs();
+    let machine = Machine::new(nprocs, CostModel::ideal());
+    let spec_clone = spec.clone();
+    let inspector_schedules = machine.run(|proc| {
+        let exec: Vec<usize> = spec_clone.exec_set(proc.rank()).iter().collect();
+        let maps = spec_clone.ref_maps.clone();
+        let data_n = spec_clone.data_dist.n();
+        run_inspector(proc, &spec_clone.data_dist, &exec, |i, refs| {
+            for g in &maps {
+                if let Some(v) = g.apply(i) {
+                    if v < data_n {
+                        refs.push(v);
+                    }
+                }
+            }
+        })
+        .signature()
+    });
+    for (rank, inspector_schedule) in inspector_schedules.iter().enumerate().take(nprocs) {
+        let ct = analyze_stripe(spec, rank)
+            .expect("unit-stride stripe loops must have a closed form")
+            .signature();
+        assert_eq!(
+            &ct, inspector_schedule,
+            "rank {rank}: stripe closed form and inspector schedules disagree"
+        );
+    }
+}
+
+#[test]
+fn redblack_stripes_are_equivalent_under_every_distribution() {
+    // Both halves of a red–black three-point relaxation, over block, cyclic
+    // and block-cyclic placements: the stripe closed form must reproduce
+    // the inspector's schedule exactly — with zero messages.
+    let n = 83;
+    let p = 4;
+    for dist in [
+        DimDist::block(n, p),
+        DimDist::cyclic(n, p),
+        DimDist::block_cyclic(n, p, 5),
+    ] {
+        for lo in [0usize, 1] {
+            let spec = StripeSpec {
+                lo,
+                hi: n,
+                step: 2,
+                on_dist: dist.clone(),
+                data_dist: dist.clone(),
+                ref_maps: vec![AffineMap::shift(-1), AffineMap::shift(1)],
+            };
+            assert_stripe_equivalent(&spec);
+        }
+    }
+}
+
 /// Exhaustive executability check: for every iteration of `exec(p)`, every
 /// reference is either local or covered by the receive schedule, and the
 /// receive schedule contains nothing else.
@@ -121,6 +179,33 @@ proptest! {
             ref_maps: vec![AffineMap::shift(shift_a), AffineMap::shift(shift_b)],
         };
         assert_equivalent(&spec);
+    }
+
+    #[test]
+    fn stripe_closed_form_matches_inspector_for_random_strided_loops(
+        n in 16usize..160,
+        p in 2usize..8,
+        step in 2usize..5,
+        lo in 0usize..4,
+        shift_a in -2i64..3,
+        shift_b in -2i64..3,
+        kind in 0usize..3,
+        block in 1usize..9,
+    ) {
+        let dist = match kind {
+            0 => DimDist::block(n, p),
+            1 => DimDist::cyclic(n, p),
+            _ => DimDist::block_cyclic(n, p, block),
+        };
+        let spec = StripeSpec {
+            lo,
+            hi: n,
+            step,
+            on_dist: dist.clone(),
+            data_dist: dist,
+            ref_maps: vec![AffineMap::shift(shift_a), AffineMap::shift(shift_b)],
+        };
+        assert_stripe_equivalent(&spec);
     }
 
     #[test]

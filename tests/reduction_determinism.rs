@@ -1,8 +1,8 @@
 //! Reduction determinism: `execute_reduce` is **order-fixed**.
 //!
 //! The typed reduction pipeline promises one combining order everywhere —
-//! per-rank folds in ascending iteration order, cross-rank combining in
-//! ascending rank order — so a reduction's value is bitwise identical
+//! per-rank folds in ascending iteration order, cross-rank combining with
+//! the fixed binomial-tree bracketing — so a reduction's value is bitwise identical
 //! across the dmsim simulator, the native threaded backend, and a
 //! sequential replay folding the same partial structure.  These tests pin
 //! that promise down with rounding-sensitive `f64` sums (values for which a
@@ -121,7 +121,7 @@ fn the_fold_order_is_the_contract_not_an_accident() {
     // Under a cyclic placement the deterministic order differs from the
     // plain global-order sum — and the backends still agree with the
     // replay, proving they follow the contract rather than coincidence.
-    let n = 33;
+    let n = 24;
     let v = sensitive_values(n);
     let nprocs = 4;
     let dist = DimDist::cyclic(n, nprocs);
@@ -152,6 +152,24 @@ mod properties {
         })
     }
 
+    /// Ragged and power-of-two rank counts for the tree-bracketing
+    /// property: the binomial tree looks different at each of these.
+    fn arb_tree_case() -> impl Strategy<Value = (DimDist, Vec<f64>)> {
+        (16usize..80, 0usize..5, 0usize..4, 1u64..100).prop_map(|(n, p_pick, kind, seed)| {
+            let p = [2usize, 3, 4, 7, 8][p_pick];
+            let dist = match kind {
+                0 => DimDist::block(n, p),
+                1 => DimDist::cyclic(n, p),
+                2 => DimDist::block_cyclic(n, p, 3),
+                _ => DimDist::custom((0..n).map(|i| (i * 7 + 3) % p).collect(), p),
+            };
+            let v: Vec<f64> = (0..n)
+                .map(|i| 0.1 * seed as f64 * (i as f64 + 1.0) - 0.37 * ((i % 7) as f64))
+                .collect();
+            (dist, v)
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -159,6 +177,24 @@ mod properties {
         /// the sequential replay produce the same bits.
         #[test]
         fn random_cases_stay_bitwise_identical(case in arb_case()) {
+            let (dist, v) = case;
+            let nprocs = dist.nprocs();
+            let replayed = replay_sum(&dist, |i| v[i]);
+            let simulated = Machine::new(nprocs, CostModel::ideal())
+                .run(|proc| reduce_on(proc, &dist, &v, Reduce::<Sum<f64>>::new()));
+            let native = NativeMachine::new(nprocs)
+                .run(|proc| reduce_on(proc, &dist, &v, Reduce::<Sum<f64>>::new()));
+            for s in simulated.iter().chain(&native) {
+                prop_assert_eq!(s.to_bits(), replayed.to_bits());
+            }
+        }
+
+        /// Tree-allreduce determinism at P ∈ {2,3,4,7,8}: the binomial
+        /// bracketing (ragged trees included) gives bitwise-identical
+        /// rounding-sensitive f64 sums on dmsim, native and the sequential
+        /// replay, which folds partials with `tree_combine_partials`.
+        #[test]
+        fn tree_allreduce_is_bitwise_identical_at_ragged_rank_counts(case in arb_tree_case()) {
             let (dist, v) = case;
             let nprocs = dist.nprocs();
             let replayed = replay_sum(&dist, |i| v[i]);
@@ -200,19 +236,24 @@ fn reduction_messages_and_bytes_surface_in_the_comm_report() {
         convergence_check_every: Some(2),
         ..base
     });
-    let reductions_machine = (sweeps / 2) as u64 * nprocs as u64;
+    let reductions_performed = (sweeps / 2) as u64;
+    let reductions_machine = reductions_performed * nprocs as u64;
     assert_eq!(checked.comm.reductions, reductions_machine);
+    // The tree's 2(P−1) messages of 8 bytes per reduction, summed over the
+    // per-rank shares the session meters.
     assert_eq!(
         checked.comm.reduction_bytes,
-        reductions_machine * (nprocs as u64 - 1) * 8
+        reductions_performed * 2 * (nprocs as u64 - 1) * 8
     );
     assert!(checked.final_change.is_some());
     // The collective's traffic is real: it shows up in the machine-wide
-    // message counters, exactly P·(P−1) messages per reduction.
+    // message counters, exactly 2(P−1) messages per reduction — at most
+    // 2(P−1), never the flat allgather-fold's P·(P−1).
     let extra_msgs = checked.comm.messages - quiet.comm.messages;
-    assert_eq!(
-        extra_msgs,
-        (sweeps / 2) as u64 * nprocs as u64 * (nprocs as u64 - 1)
+    assert_eq!(extra_msgs, reductions_performed * 2 * (nprocs as u64 - 1));
+    assert!(
+        extra_msgs / reductions_performed <= 2 * (nprocs as u64 - 1),
+        "per-reduction messages must be <= 2(P-1)"
     );
     // The reduce columns render in the report line.
     assert!(kali_repro::solvers::CommReport::table_header().contains("reduce"));
