@@ -15,6 +15,8 @@
 //! * [`sequential`] — a plain single-address-space Jacobi used as the
 //!   numerical ground truth.
 
+#![forbid(unsafe_code)]
+
 pub mod handcoded;
 pub mod sequential;
 

@@ -24,7 +24,10 @@
 //! | `table_multidim`         | extension | 2-D `[block, *]` stencils: compile-time planning vs inspector fallback, and the row↔column phase-change redistribution |
 //! | `table_solvers`          | extension | Session & typed reductions: CG and red–black Gauss–Seidel with bit-identical histories, inspector amortisation and exact per-reduction message accounting |
 //! | `table_collectives`      | extension | communication fast paths: tree allreduce `2(P−1)` vs flat allgather-fold `P·(P−1)` message scaling across P, and the stripe planner's zero-message red–black planning on chain meshes |
+//! | `verify_all`             | correctness tooling | static verification sweep: schedule duality, tag safety, deadlock freedom, SPMD & determinism-contract conformance for every solver/distribution/backend configuration |
 //! | `table_all`              | everything above in one run |
+
+#![forbid(unsafe_code)]
 
 use solvers::ExperimentRow;
 
@@ -1444,6 +1447,338 @@ pub fn run_native_scaling(smoke: bool) -> bool {
         );
     }
     ok
+}
+
+/// Which reference pattern a planned loop of the verification sweep used —
+/// enough for the driver to rebuild the same `refs_of` closure outside the
+/// machine and re-check every planned reference against the schedule
+/// ([`kali_core::verify::check_plan_refs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefPattern {
+    /// Scrambled-mesh adjacency (jacobi relaxation, red–black halves).
+    MeshAdj,
+    /// Adjacency plus the diagonal (CG's matvec).
+    MeshAdjSelf,
+    /// Adjacency of the adaptively evolved mesh (post-adaptation replan).
+    AdaptedAdj,
+    /// The identity map (convergence / vector-update loops).
+    Identity,
+    /// The three-point chain stencil `i ∓ 1`, clipped at the ends (the
+    /// red–black closed-form stripe planning).
+    Chain,
+}
+
+impl RefPattern {
+    fn name(self) -> &'static str {
+        match self {
+            RefPattern::MeshAdj => "mesh-adjacency",
+            RefPattern::MeshAdjSelf => "matvec-adjacency",
+            RefPattern::AdaptedAdj => "adapted-adjacency",
+            RefPattern::Identity => "identity",
+            RefPattern::Chain => "chain-stencil",
+        }
+    }
+}
+
+/// Plan every solver shape the repo ships — jacobi (inspector + closed-form
+/// convergence), adaptive replanning, CG (matvec + updates), red–black
+/// stripes (closed form and inspector) — on one rank under `dist`, and run
+/// the two reductions the solvers interleave so the collective trace is
+/// populated.  Returns the planned schedules (labelled with their reference
+/// pattern), the session's collective trace, and this rank's result of a
+/// live bracket-hash allreduce.
+fn plan_solver_suite<P: kali_core::Process>(
+    proc: &mut P,
+    mesh: &meshes::AdjacencyMesh,
+    adapted: &meshes::AdjacencyMesh,
+    dist: &distrib::DimDist,
+) -> (
+    Vec<(RefPattern, kali_core::CommSchedule)>,
+    Vec<kali_core::CollectiveCall>,
+    u64,
+) {
+    use kali_core::verify::{bracket_leaf, BracketHash};
+    use kali_core::{
+        analyze_stripe, AffineMap, Norm2, Reduce, ReduceOp, Session, Stripe, StripeSpec, Sum,
+    };
+
+    let n = mesh.len();
+    let rank = proc.rank();
+    let mut session = Session::new();
+    let mut planned = Vec::new();
+
+    let mesh_refs = |i: usize, out: &mut Vec<usize>| {
+        out.extend(mesh.neighbors(i).iter().map(|&j| j as usize));
+    };
+    let matvec_refs = |i: usize, out: &mut Vec<usize>| {
+        out.push(i);
+        out.extend(mesh.neighbors(i).iter().map(|&j| j as usize));
+    };
+    let adapted_refs = |i: usize, out: &mut Vec<usize>| {
+        out.extend(adapted.neighbors(i).iter().map(|&j| j as usize));
+    };
+
+    // Jacobi: inspector-planned relaxation + closed-form convergence loop,
+    // then the convergence-test reduction (first collective of the trace).
+    let relax = session.loop_1d(n, dist.clone());
+    let conv = session.loop_1d(n, dist.clone());
+    planned.push((
+        RefPattern::MeshAdj,
+        (*session.plan_indirect(proc, &relax, dist, mesh_refs)).clone(),
+    ));
+    let conv_schedule = session.plan(proc, &conv, dist, &[AffineMap::identity()]);
+    planned.push((RefPattern::Identity, (*conv_schedule).clone()));
+    let local: Vec<f64> = (0..dist.local_count(rank))
+        .map(|l| 0.125 * (dist.global_index(rank, l) as f64 + 1.0))
+        .collect();
+    session.execute_reduce(
+        proc,
+        &conv,
+        &conv_schedule,
+        dist,
+        &local,
+        Reduce::<Norm2>::new(),
+        |i, fetch| fetch.fetch(i),
+    );
+
+    // Adaptive: the mesh evolved, the data version bumps, the same loop
+    // replans against the new adjacency.
+    session.bump_data_version();
+    planned.push((
+        RefPattern::AdaptedAdj,
+        (*session.plan_indirect(proc, &relax, dist, adapted_refs)).clone(),
+    ));
+
+    // CG: matvec (diagonal + off-diagonals) and the affine update loop,
+    // then a dot-product reduction (second collective of the trace).
+    let matvec = session.loop_1d(n, dist.clone());
+    let update = session.loop_1d(n, dist.clone());
+    planned.push((
+        RefPattern::MeshAdjSelf,
+        (*session.plan_indirect(proc, &matvec, dist, matvec_refs)).clone(),
+    ));
+    let update_schedule = session.plan(proc, &update, dist, &[AffineMap::identity()]);
+    planned.push((RefPattern::Identity, (*update_schedule).clone()));
+    session.execute_reduce(
+        proc,
+        &update,
+        &update_schedule,
+        dist,
+        &local,
+        Reduce::<Sum<f64>>::new(),
+        |i, fetch| {
+            let v = fetch.fetch(i);
+            v * v
+        },
+    );
+
+    // Red–black: the chain mesh's zero-message closed-form stripe planning…
+    for lo in [0usize, 1] {
+        let spec = StripeSpec {
+            lo,
+            hi: n,
+            step: 2,
+            on_dist: dist.clone(),
+            data_dist: dist.clone(),
+            ref_maps: vec![AffineMap::shift(-1), AffineMap::shift(1)],
+        };
+        planned.push((
+            RefPattern::Chain,
+            analyze_stripe(&spec, rank)
+                .expect("unit-stride stripe stencils always have a closed form"),
+        ));
+    }
+    // …and the scrambled mesh's inspector path for both colour classes.
+    let red = session.loop_over(Stripe::new(0, n, 2), dist.clone());
+    let black = session.loop_over(Stripe::new(1, n, 2), dist.clone());
+    planned.push((
+        RefPattern::MeshAdj,
+        (*session.plan_indirect(proc, &red, dist, mesh_refs)).clone(),
+    ));
+    planned.push((
+        RefPattern::MeshAdj,
+        (*session.plan_indirect(proc, &black, dist, mesh_refs)).clone(),
+    ));
+
+    // A live bracket-hash allreduce: the backend's collective must realise
+    // exactly the contract bracketing (checked against the replay outside).
+    let hash = proc.allreduce(bracket_leaf(rank), |a, b| BracketHash::combine(*a, *b));
+
+    (planned, session.collective_trace().to_vec(), hash)
+}
+
+/// Run the static verification sweep (`verify_all`): every solver shape
+/// under every distribution kind on both backends through
+/// [`kali_core::verify`], plus the backend-independent protocol proofs
+/// (tag windows, sweep-tag wrap, collective deadlock freedom, reduction
+/// bracketing) and a live bracket-hash allreduce on each backend.
+///
+/// Prints one line per configuration and a violation summary; returns
+/// `true` exactly when **zero** violations were found.
+pub fn run_verify_all(smoke: bool) -> bool {
+    use dmsim::{CostModel, Machine};
+    use kali_core::process::tree_combine_partials;
+    use kali_core::verify::{self, bracket_leaf, BracketHash, Violation};
+    use kali_native::NativeMachine;
+
+    let (side, proc_counts, max_p): (usize, &[usize], usize) = if smoke {
+        (8, &[2, 4], 33)
+    } else {
+        (12, &[2, 3, 4, 8], 65)
+    };
+
+    println!("\n=== Static verification sweep (kali_core::verify) ===");
+    let mut violations: Vec<(String, Violation)> = Vec::new();
+    let mut record = |context: String, found: Vec<Violation>| {
+        let n = found.len();
+        for v in found {
+            violations.push((context.clone(), v));
+        }
+        n
+    };
+
+    // Backend-independent protocol proofs.
+    println!("\n{:>42}  {:>10}", "protocol check", "violations");
+    for (name, found) in [
+        ("tag-window disjointness", verify::check_tag_windows()),
+        (
+            "sweep-tag wrap (1024 in flight)",
+            verify::check_sweep_tag_wrap(1024),
+        ),
+        (
+            "collective deadlock freedom",
+            verify::check_collective_deadlock(max_p),
+        ),
+        (
+            "reduction bracketing",
+            verify::check_reduce_bracketing(max_p),
+        ),
+    ] {
+        println!("{:>42}  {:>10}", name, found.len());
+        record(name.to_string(), found);
+    }
+
+    // The solver/distribution/backend sweep.
+    let mesh = meshes::UnstructuredMeshBuilder::new(side, side)
+        .seed(1990)
+        .scramble_numbering(true)
+        .build();
+    let adapted = meshes::evolve(&mesh, &meshes::AdaptConfig::default(), 2);
+    let n = mesh.len();
+
+    println!(
+        "\n{:>8}  {:>8}  {:>14}  {:>6}  {:>8}  {:>10}",
+        "backend", "procs", "dist", "loops", "records", "violations"
+    );
+    for &nprocs in proc_counts {
+        let dists: Vec<(&str, distrib::DimDist)> = vec![
+            ("block", distrib::DimDist::block(n, nprocs)),
+            ("cyclic", distrib::DimDist::cyclic(n, nprocs)),
+            ("block-cyclic", distrib::DimDist::block_cyclic(n, nprocs, 3)),
+            (
+                "irregular",
+                distrib::DimDist::custom(meshes::greedy_partition(&mesh, nprocs), nprocs),
+            ),
+        ];
+        for (dist_name, dist) in dists {
+            for backend in ["dmsim", "native"] {
+                let results = if backend == "dmsim" {
+                    Machine::new(nprocs, CostModel::ideal())
+                        .run(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist))
+                } else {
+                    NativeMachine::new(nprocs)
+                        .run(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist))
+                };
+                let context = format!("{backend} P={nprocs} {dist_name}");
+                let mut found_here = 0usize;
+                let mut records = 0usize;
+
+                // Every planned loop: per-set structural + duality +
+                // deadlock checks, then the reference-resolution proof with
+                // the same refs the plan was built from.
+                let nloops = results[0].0.len();
+                for k in 0..nloops {
+                    let pattern = results[0].0[k].0;
+                    let set: Vec<kali_core::CommSchedule> =
+                        results.iter().map(|r| r.0[k].1.clone()).collect();
+                    records += set.iter().map(|s| s.range_count()).sum::<usize>();
+                    let mut found = verify::check_schedule_set(&set);
+                    for s in &set {
+                        found.extend(match pattern {
+                            RefPattern::MeshAdj => verify::check_plan_refs(s, &dist, |i, out| {
+                                out.extend(mesh.neighbors(i).iter().map(|&j| j as usize));
+                            }),
+                            RefPattern::MeshAdjSelf => {
+                                verify::check_plan_refs(s, &dist, |i, out| {
+                                    out.push(i);
+                                    out.extend(mesh.neighbors(i).iter().map(|&j| j as usize));
+                                })
+                            }
+                            RefPattern::AdaptedAdj => {
+                                verify::check_plan_refs(s, &dist, |i, out| {
+                                    out.extend(adapted.neighbors(i).iter().map(|&j| j as usize));
+                                })
+                            }
+                            RefPattern::Identity => {
+                                verify::check_plan_refs(s, &dist, |i, out| out.push(i))
+                            }
+                            RefPattern::Chain => verify::check_plan_refs(s, &dist, |i, out| {
+                                if i > 0 {
+                                    out.push(i - 1);
+                                }
+                                if i + 1 < n {
+                                    out.push(i + 1);
+                                }
+                            }),
+                        });
+                    }
+                    found_here += record(format!("{context} loop#{k} {}", pattern.name()), found);
+                }
+
+                // SPMD conformance: the collective traces must be
+                // rank-invariant.
+                let traces: Vec<Vec<kali_core::CollectiveCall>> =
+                    results.iter().map(|r| r.1.clone()).collect();
+                found_here += record(
+                    format!("{context} collective sequence"),
+                    verify::check_collective_sequence(&traces),
+                );
+
+                // Determinism contract, live: the backend's allreduce must
+                // produce the replay bracketing's hash on every rank.
+                let expected = tree_combine_partials::<BracketHash>((0..nprocs).map(bracket_leaf));
+                for (rank, r) in results.iter().enumerate() {
+                    if r.2 != expected {
+                        found_here += record(
+                            format!("{context} live allreduce"),
+                            vec![Violation::BracketingMismatch {
+                                nprocs,
+                                rank: Some(rank),
+                                expected,
+                                found: r.2,
+                            }],
+                        );
+                    }
+                }
+
+                println!(
+                    "{:>8}  {:>8}  {:>14}  {:>6}  {:>8}  {:>10}",
+                    backend, nprocs, dist_name, nloops, records, found_here
+                );
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!("\nOK: zero violations across the sweep");
+        true
+    } else {
+        println!("\nFAIL: {} violation(s):", violations.len());
+        for (context, v) in &violations {
+            println!("  [{context}] {v}");
+        }
+        false
+    }
 }
 
 #[cfg(test)]

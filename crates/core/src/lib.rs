@@ -61,6 +61,14 @@
 //! * [`process`] — the backend contract: what the above needs from a
 //!   machine.  Message tags used by the components are partitioned in
 //!   [`process::tags`] so the ranges can never collide.
+//! * [`verify`] — plan-time static verification: given the
+//!   SPMD-deterministic per-rank plans, prove schedule duality, tag-space
+//!   safety, deadlock freedom, SPMD conformance, and determinism-contract
+//!   conformance *before* anything executes, reporting defects as
+//!   structured [`verify::Violation`]s.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod array;
@@ -75,6 +83,7 @@ pub mod redistribute;
 pub mod schedule;
 pub mod session;
 pub mod space;
+pub mod verify;
 
 pub use analysis::affine::AffineMap;
 pub use analysis::multi::MultiAffineMap;
@@ -92,3 +101,4 @@ pub use redistribute::{redistribute, redistribute_epoch, redistribution_schedule
 pub use schedule::{CommSchedule, RangeRecord};
 pub use session::{Session, SessionStats};
 pub use space::{IterSpace, Rect, Span, Stripe};
+pub use verify::{check_plan_refs, check_schedule, check_schedule_set, CollectiveCall, Violation};

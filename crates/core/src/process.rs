@@ -22,5 +22,6 @@
 
 pub use kali_process::{
     combine_partials, tags, tree_allreduce_messages, tree_allreduce_sends, tree_children,
-    tree_combine_partials, Counters, Max, Min, Norm2, Process, Reduce, ReduceOp, Sum, Tag,
+    tree_combine_partials, tree_merge_order, Counters, Max, Min, Norm2, Process, Reduce, ReduceOp,
+    Sum, Tag,
 };

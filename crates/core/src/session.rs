@@ -46,6 +46,7 @@ use crate::process::{tree_allreduce_sends, Process, Reduce, ReduceOp};
 use crate::redistribute::redistribute_epoch;
 use crate::schedule::CommSchedule;
 use crate::space::{IterSpace, Span};
+use crate::verify::{self, CollectiveCall, Violation};
 
 /// Per-rank execute-side runtime state: schedule cache, loop-id / sweep-tag /
 /// epoch allocation, data-version tracking and reduction metering (see the
@@ -71,6 +72,7 @@ pub struct Session {
     reductions: u64,
     reduction_bytes: u64,
     inspector_time: f64,
+    collective_trace: Vec<CollectiveCall>,
 }
 
 /// A snapshot of one session's meters, for outcome structs and reports.
@@ -138,6 +140,7 @@ impl Session {
             reductions: 0,
             reduction_bytes: 0,
             inspector_time: 0.0,
+            collective_trace: Vec::new(),
         }
     }
 
@@ -250,6 +253,7 @@ impl Session {
         let before = proc.time();
         let schedule = loop_.plan(proc, &mut self.cache, data_dist, refs, self.data_version);
         self.inspector_time += proc.time() - before;
+        self.debug_verify(&schedule);
         schedule
     }
 
@@ -273,7 +277,34 @@ impl Session {
         let schedule =
             loop_.plan_indirect(proc, &mut self.cache, data_dist, self.data_version, refs_of);
         self.inspector_time += proc.time() - before;
+        self.debug_verify(&schedule);
         schedule
+    }
+
+    /// Statically verify one planned schedule's rank-local invariants
+    /// (record ordering, dense non-overlapping receive layout, lookup
+    /// consistency, well-formed iteration lists) — see
+    /// [`verify::check_schedule`].  Cross-rank properties (duality,
+    /// deadlock freedom) need every rank's plan at once; gather those and
+    /// call [`verify::check_schedule_set`].
+    ///
+    /// Debug builds run this automatically on every [`Session::plan`] /
+    /// [`Session::plan_indirect`] result, so a broken analysis aborts at
+    /// plan time with a diagnostic instead of hanging in the executor.
+    pub fn verify_plan(&self, schedule: &CommSchedule) -> Vec<Violation> {
+        verify::check_schedule(schedule)
+    }
+
+    #[inline]
+    fn debug_verify(&self, schedule: &CommSchedule) {
+        if cfg!(debug_assertions) {
+            let violations = self.verify_plan(schedule);
+            assert!(
+                violations.is_empty(),
+                "plan failed static verification:\n{}",
+                verify::render(&violations)
+            );
+        }
     }
 
     // ----------------------------------------------------------------
@@ -340,9 +371,7 @@ impl Session {
     {
         let config = self.next_sweep_config();
         let value = loop_.execute_reduce(proc, config, schedule, data_dist, local_data, op, body);
-        self.reductions += 1;
-        self.reduction_bytes += tree_allreduce_sends(proc.nprocs(), proc.rank()) as u64
-            * std::mem::size_of::<R::Acc>() as u64;
+        self.meter_reduction::<P, R>(proc);
         value
     }
 
@@ -407,10 +436,21 @@ impl Session {
         let value = loop_.execute_reduce_chunked(
             proc, config, schedule, data_dist, local_data, op, body, sink,
         );
+        self.meter_reduction::<P, R>(proc);
+        value
+    }
+
+    /// Count one typed reduction: meters (count, bytes) plus one
+    /// [`CollectiveCall`] appended to the collective trace the SPMD
+    /// conformance check compares across ranks.
+    fn meter_reduction<P: Process, R: ReduceOp>(&mut self, proc: &P) {
         self.reductions += 1;
         self.reduction_bytes += tree_allreduce_sends(proc.nprocs(), proc.rank()) as u64
             * std::mem::size_of::<R::Acc>() as u64;
-        value
+        self.collective_trace.push(CollectiveCall {
+            op: R::name(),
+            acc_bytes: std::mem::size_of::<R::Acc>(),
+        });
     }
 
     // ----------------------------------------------------------------
@@ -467,6 +507,14 @@ impl Session {
     /// Simulated seconds this rank has spent planning so far.
     pub fn inspector_time(&self) -> f64 {
         self.inspector_time
+    }
+
+    /// Every collective this session has issued, in program order — the
+    /// per-rank trace [`verify::check_collective_sequence`] compares across
+    /// ranks to prove the SPMD contract (no code branches on the rank id
+    /// around a collective).
+    pub fn collective_trace(&self) -> &[CollectiveCall] {
+        &self.collective_trace
     }
 
     /// Snapshot every session meter.
@@ -719,6 +767,52 @@ mod tests {
                     "machine counters diverged"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn planned_schedules_verify_clean_and_collectives_are_traced() {
+        let machine = Machine::new(3, CostModel::ideal());
+        let traces = machine.run(|proc| {
+            let n = 24;
+            let dist = DimDist::block(n, proc.nprocs());
+            let mut session = Session::new();
+            let loop_ = session.loop_1d(n, dist.clone());
+            let refs = |i: usize, out: &mut Vec<usize>| out.push((i * 5) % 24);
+            let schedule = session.plan_indirect(proc, &loop_, &dist, refs);
+            // The plan passes rank-local static verification...
+            assert_eq!(session.verify_plan(&schedule), vec![]);
+            // ...and a hand-corrupted copy does not.
+            let mut broken = (*schedule).clone();
+            if let Some(r) = broken.recv_records.first_mut() {
+                r.buffer += 1;
+                assert!(!session.verify_plan(&broken).is_empty());
+            }
+            let local: Vec<f64> = dist
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| g as f64)
+                .collect();
+            for _ in 0..2 {
+                session.execute_reduce(
+                    proc,
+                    &loop_,
+                    &schedule,
+                    &dist,
+                    &local,
+                    Reduce::<Sum<f64>>::new(),
+                    |i, fetch| fetch.fetch((i * 5) % 24),
+                );
+            }
+            session.collective_trace().to_vec()
+        });
+        // Each rank issued the same two collectives in the same order: the
+        // SPMD conformance check accepts the traces.
+        assert_eq!(crate::verify::check_collective_sequence(&traces), vec![]);
+        for trace in &traces {
+            assert_eq!(trace.len(), 2);
+            assert_eq!(trace[0].op, "sum-f64");
+            assert_eq!(trace[0].acc_bytes, 8);
         }
     }
 

@@ -1,0 +1,1559 @@
+//! Plan-time static verification of communication schedules and protocols.
+//!
+//! The paper's central claim is that communication for irregular loops can
+//! be *analysed ahead of execution*.  This module takes that claim
+//! seriously for the runtime itself: given the SPMD-deterministic per-rank
+//! plans of a loop, it proves — without executing a single sweep — that
+//!
+//! 1. **Schedule duality** holds: every receive record `(src, range)` on
+//!    rank `r` is mirrored by a send record `(dest = r, range)` on rank
+//!    `src` with an equal element count ([`check_schedule_set`]), every
+//!    receive buffer is dense and non-overlapping, and every planned
+//!    nonlocal reference resolves through the schedule
+//!    ([`check_plan_refs`]).
+//! 2. **Tag-space safety** holds: the [`tags`] component windows are
+//!    pairwise disjoint ([`check_tag_windows`], also enforced at compile
+//!    time by const assertions in `kali_process::tags`), and the executor's
+//!    sweep-tag wrap can never alias two in-flight sweeps
+//!    ([`check_sweep_tag_wrap`]).
+//! 3. **Deadlock freedom** holds: the sweep's send/recv matching — and the
+//!    tree collective's rounds ([`check_collective_deadlock`]) — form an
+//!    acyclically orderable bipartite dependence graph under a sequential
+//!    post-sends-then-receive execution model.
+//! 4. **SPMD and determinism-contract conformance** hold: the collective
+//!    call sequence is rank-invariant ([`check_collective_sequence`]) and
+//!    the allreduce protocol's reduction bracketing equals
+//!    `tree_combine_partials`' replay order ([`check_reduce_bracketing`]),
+//!    verified with the order-sensitive [`BracketHash`] operator.
+//!
+//! Violations come back as the structured [`Violation`] enum with precise
+//! diagnostics.  The checks run in three layers: [`Session::verify_plan`]
+//! (plus a debug-mode check on every plan), this module's public API for
+//! tests and tools, and the `verify_all` bench driver sweeping every
+//! solver/bench configuration in CI.
+//!
+//! [`Session::verify_plan`]: crate::session::Session::verify_plan
+//! [`tags`]: crate::process::tags
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use distrib::Distribution;
+
+use crate::process::{tags, tree_combine_partials, tree_merge_order, ReduceOp, Tag};
+use crate::schedule::{CommSchedule, RangeRecord};
+
+/// Which record list of a [`CommSchedule`] a violation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A receive record (`in(p,q)` of the paper).
+    Recv,
+    /// A send record (`out(p,q)` of the paper).
+    Send,
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordKind::Recv => write!(f, "recv"),
+            RecordKind::Send => write!(f, "send"),
+        }
+    }
+}
+
+/// One collective operation as observed on one rank — the unit of the
+/// rank-invariance check ([`check_collective_sequence`]).  Recorded by
+/// [`Session`](crate::session::Session) for every typed reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveCall {
+    /// The reduction operator's name (`ReduceOp::name`).
+    pub op: &'static str,
+    /// Size of the accumulator type in bytes.
+    pub acc_bytes: usize,
+}
+
+impl fmt::Display for CollectiveCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}B]", self.op, self.acc_bytes)
+    }
+}
+
+/// One statically detected protocol defect, with enough context to point at
+/// the offending record, rank, or round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A record's own-rank field does not name the schedule's rank.
+    RecordRankMismatch {
+        /// Rank of the schedule holding the record.
+        rank: usize,
+        /// Which record list the record sits in.
+        kind: RecordKind,
+        /// The offending record.
+        record: RangeRecord,
+    },
+    /// A record names its own rank as the peer (a processor never messages
+    /// itself through a schedule).
+    SelfMessage {
+        /// Rank of the schedule holding the record.
+        rank: usize,
+        /// Which record list the record sits in.
+        kind: RecordKind,
+        /// The offending record.
+        record: RangeRecord,
+    },
+    /// A record covers no elements (empty records shadow covering ranges in
+    /// the binary search).
+    EmptyRecord {
+        /// Rank of the schedule holding the record.
+        rank: usize,
+        /// Which record list the record sits in.
+        kind: RecordKind,
+        /// The offending record.
+        record: RangeRecord,
+    },
+    /// Records are not sorted by `(peer, low)` — the executor's
+    /// message-grouping and the binary search both rely on that order.
+    UnsortedRecords {
+        /// Rank of the schedule holding the records.
+        rank: usize,
+        /// Which record list is out of order.
+        kind: RecordKind,
+        /// Index of the first record that sorts before its predecessor.
+        index: usize,
+    },
+    /// Two receive records cover overlapping global ranges (every element
+    /// has exactly one home, so received ranges must be disjoint).
+    OverlappingRecvRanges {
+        /// Rank of the schedule holding the records.
+        rank: usize,
+        /// The earlier record (by `low`).
+        first: RangeRecord,
+        /// The overlapping record.
+        second: RangeRecord,
+    },
+    /// A receive record's buffer offset is not the running sum of the
+    /// preceding records' lengths — the packed receive path would scatter
+    /// elements to the wrong slots.
+    NonDenseRecvLayout {
+        /// Rank of the schedule holding the record.
+        rank: usize,
+        /// The offending record.
+        record: RangeRecord,
+        /// The offset the dense layout requires.
+        expected_buffer: usize,
+    },
+    /// `recv_len` disagrees with the records' total length.
+    RecvLenMismatch {
+        /// Rank of the schedule.
+        rank: usize,
+        /// The `recv_len` the schedule declares.
+        declared: usize,
+        /// The sum of the receive records' lengths.
+        actual: usize,
+    },
+    /// A received element does not resolve through the schedule's binary
+    /// search (`find`) to its record's buffer slot — the lookup table is out
+    /// of sync with the records.
+    LookupMiss {
+        /// Rank of the schedule.
+        rank: usize,
+        /// The global index that failed to resolve.
+        global: usize,
+    },
+    /// An iteration list is not strictly ascending.
+    UnsortedIterations {
+        /// Rank of the schedule.
+        rank: usize,
+        /// Which list (`"local"` or `"nonlocal"`).
+        list: &'static str,
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
+    /// An iteration appears in both the local and the nonlocal list.
+    OverlappingIterationLists {
+        /// Rank of the schedule.
+        rank: usize,
+        /// The duplicated iteration.
+        iter: usize,
+    },
+    /// Schedule at position `index` of the set does not carry rank `index`.
+    ScheduleRankMismatch {
+        /// Position in the schedule set.
+        index: usize,
+        /// The rank the schedule claims.
+        rank: usize,
+    },
+    /// A receive record has no matching send record on the sending rank —
+    /// the receiver would block forever.
+    DanglingRecv {
+        /// Rank of the receiving schedule.
+        rank: usize,
+        /// The unmatched receive record.
+        record: RangeRecord,
+    },
+    /// A send record has no matching receive record on the destination rank
+    /// — the message would arrive unexpected.
+    DanglingSend {
+        /// Rank of the sending schedule.
+        rank: usize,
+        /// The unmatched send record.
+        record: RangeRecord,
+    },
+    /// Matched send/recv records (same pair, same `low`) disagree on their
+    /// extent, so the two sides would exchange different byte counts.
+    ByteCountMismatch {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// Common start of the matched records.
+        low: usize,
+        /// The receiver's `high`.
+        recv_high: usize,
+        /// The sender's `high`.
+        send_high: usize,
+    },
+    /// A planned local iteration references an element the rank does not
+    /// own (the local/nonlocal split is wrong).
+    LocalIterNonlocalRef {
+        /// Rank of the schedule.
+        rank: usize,
+        /// The iteration.
+        iter: usize,
+        /// The nonlocal global index it references.
+        global: usize,
+    },
+    /// A planned nonlocal reference is neither owned nor covered by any
+    /// receive record — the executor's fetch would fail.
+    UnresolvableRef {
+        /// Rank of the schedule.
+        rank: usize,
+        /// The iteration.
+        iter: usize,
+        /// The unresolvable global index.
+        global: usize,
+    },
+    /// A modelled message has no matching counterpart (protocol model
+    /// internal mismatch).
+    UnmatchedMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// Human-readable identity of the message.
+        label: String,
+    },
+    /// The send/recv dependence graph contains a cycle: the plan can
+    /// deadlock under sequential posting.
+    DeadlockCycle {
+        /// The operations on the cycle (capped for readability).
+        events: Vec<String>,
+    },
+    /// Two ranks disagree on the collective call sequence — some code
+    /// branches on the rank id around a collective.
+    DivergentCollectives {
+        /// The diverging rank.
+        rank: usize,
+        /// Position in the call sequence.
+        position: usize,
+        /// What rank 0 called at this position (`None` = nothing).
+        reference: Option<CollectiveCall>,
+        /// What the diverging rank called (`None` = nothing).
+        found: Option<CollectiveCall>,
+    },
+    /// Two tag-space component windows overlap.
+    TagWindowOverlap {
+        /// First window's name.
+        a: &'static str,
+        /// Second window's name.
+        b: &'static str,
+    },
+    /// A derived tag escaped its component window.
+    TagOutOfWindow {
+        /// The escaping tag.
+        tag: Tag,
+        /// The window it was supposed to stay in.
+        window: &'static str,
+    },
+    /// Two in-flight sweeps map to the same executor tag across the wrap
+    /// boundary.
+    SweepTagCollision {
+        /// The earlier sweep number.
+        sweep_a: usize,
+        /// The later sweep number.
+        sweep_b: usize,
+        /// The shared tag.
+        tag: Tag,
+    },
+    /// The allreduce protocol's bracketing diverged from
+    /// `tree_combine_partials`' replay order.
+    BracketingMismatch {
+        /// Rank count the divergence occurred at.
+        nprocs: usize,
+        /// The diverging rank (`None`: the exposed merge order itself
+        /// disagrees with the replay helper).
+        rank: Option<usize>,
+        /// Bracket hash of the replay order.
+        expected: u64,
+        /// Bracket hash the protocol produced.
+        found: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::RecordRankMismatch { rank, kind, record } => write!(
+                f,
+                "rank {rank}: {kind} record {record:?} does not name this rank"
+            ),
+            Violation::SelfMessage { rank, kind, record } => {
+                write!(f, "rank {rank}: {kind} record {record:?} messages itself")
+            }
+            Violation::EmptyRecord { rank, kind, record } => {
+                write!(f, "rank {rank}: empty {kind} record {record:?}")
+            }
+            Violation::UnsortedRecords { rank, kind, index } => write!(
+                f,
+                "rank {rank}: {kind} record #{index} sorts before its predecessor"
+            ),
+            Violation::OverlappingRecvRanges {
+                rank,
+                first,
+                second,
+            } => write!(
+                f,
+                "rank {rank}: recv ranges [{},{}) and [{},{}) overlap",
+                first.low, first.high, second.low, second.high
+            ),
+            Violation::NonDenseRecvLayout {
+                rank,
+                record,
+                expected_buffer,
+            } => write!(
+                f,
+                "rank {rank}: recv record [{},{}) sits at buffer {} but the dense \
+                 layout requires {expected_buffer}",
+                record.low, record.high, record.buffer
+            ),
+            Violation::RecvLenMismatch {
+                rank,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "rank {rank}: recv_len declares {declared} elements but the records \
+                 cover {actual}"
+            ),
+            Violation::LookupMiss { rank, global } => write!(
+                f,
+                "rank {rank}: received element {global} does not resolve through find()"
+            ),
+            Violation::UnsortedIterations { rank, list, index } => write!(
+                f,
+                "rank {rank}: {list} iteration #{index} is not strictly ascending"
+            ),
+            Violation::OverlappingIterationLists { rank, iter } => write!(
+                f,
+                "rank {rank}: iteration {iter} is both local and nonlocal"
+            ),
+            Violation::ScheduleRankMismatch { index, rank } => {
+                write!(f, "schedule at position {index} carries rank {rank}")
+            }
+            Violation::DanglingRecv { rank, record } => write!(
+                f,
+                "rank {rank}: recv [{},{}) from rank {} has no matching send",
+                record.low, record.high, record.from_proc
+            ),
+            Violation::DanglingSend { rank, record } => write!(
+                f,
+                "rank {rank}: send [{},{}) to rank {} has no matching recv",
+                record.low, record.high, record.to_proc
+            ),
+            Violation::ByteCountMismatch {
+                from,
+                to,
+                low,
+                recv_high,
+                send_high,
+            } => write!(
+                f,
+                "pair {from}->{to}: matched records at {low} disagree on extent \
+                 (recv high {recv_high}, send high {send_high})"
+            ),
+            Violation::LocalIterNonlocalRef { rank, iter, global } => write!(
+                f,
+                "rank {rank}: local iteration {iter} references nonlocal element {global}"
+            ),
+            Violation::UnresolvableRef { rank, iter, global } => write!(
+                f,
+                "rank {rank}: iteration {iter} references element {global}, which is \
+                 neither owned nor scheduled for receive"
+            ),
+            Violation::UnmatchedMessage { from, to, label } => write!(
+                f,
+                "message {from}->{to} ({label}) has no matching counterpart"
+            ),
+            Violation::DeadlockCycle { events } => {
+                write!(f, "dependence cycle: {}", events.join(" -> "))
+            }
+            Violation::DivergentCollectives {
+                rank,
+                position,
+                reference,
+                found,
+            } => write!(
+                f,
+                "rank {rank} diverges from rank 0 at collective #{position}: \
+                 rank 0 called {}, rank {rank} called {}",
+                reference.map_or("nothing".to_string(), |c| c.to_string()),
+                found.map_or("nothing".to_string(), |c| c.to_string())
+            ),
+            Violation::TagWindowOverlap { a, b } => {
+                write!(f, "tag windows '{a}' and '{b}' overlap")
+            }
+            Violation::TagOutOfWindow { tag, window } => {
+                write!(f, "tag {tag:#x} escaped the '{window}' window")
+            }
+            Violation::SweepTagCollision {
+                sweep_a,
+                sweep_b,
+                tag,
+            } => write!(
+                f,
+                "in-flight sweeps {sweep_a} and {sweep_b} share executor tag {tag:#x}"
+            ),
+            Violation::BracketingMismatch {
+                nprocs,
+                rank,
+                expected,
+                found,
+            } => match rank {
+                Some(r) => write!(
+                    f,
+                    "P={nprocs}: rank {r}'s allreduce bracket hash {found:#x} diverges \
+                     from the replay order's {expected:#x}"
+                ),
+                None => write!(
+                    f,
+                    "P={nprocs}: exposed merge order hashes to {found:#x}, replay \
+                     helper to {expected:#x}"
+                ),
+            },
+        }
+    }
+}
+
+/// Render a violation list for a panic or report message.
+pub fn render(violations: &[Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  - {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ----------------------------------------------------------------------
+// 1. Schedule duality
+// ----------------------------------------------------------------------
+
+/// Structurally verify one rank's schedule: record rank fields, sorting,
+/// dense non-overlapping receive layout, lookup consistency, and
+/// well-formed iteration lists.  Cross-rank properties (duality, deadlock
+/// freedom) need the whole set — see [`check_schedule_set`].
+pub fn check_schedule(s: &CommSchedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let rank = s.rank;
+
+    // Receive records: rank fields, order, dense buffer layout.
+    let mut expected_buffer = 0usize;
+    for (k, r) in s.recv_records.iter().enumerate() {
+        if r.to_proc != rank {
+            out.push(Violation::RecordRankMismatch {
+                rank,
+                kind: RecordKind::Recv,
+                record: *r,
+            });
+        }
+        if r.from_proc == rank {
+            out.push(Violation::SelfMessage {
+                rank,
+                kind: RecordKind::Recv,
+                record: *r,
+            });
+        }
+        if r.is_empty() {
+            out.push(Violation::EmptyRecord {
+                rank,
+                kind: RecordKind::Recv,
+                record: *r,
+            });
+        }
+        if k > 0 {
+            let prev = &s.recv_records[k - 1];
+            if (r.from_proc, r.low) < (prev.from_proc, prev.low) {
+                out.push(Violation::UnsortedRecords {
+                    rank,
+                    kind: RecordKind::Recv,
+                    index: k,
+                });
+            }
+        }
+        if r.buffer != expected_buffer {
+            out.push(Violation::NonDenseRecvLayout {
+                rank,
+                record: *r,
+                expected_buffer,
+            });
+        }
+        expected_buffer += r.len();
+    }
+    if expected_buffer != s.recv_len {
+        out.push(Violation::RecvLenMismatch {
+            rank,
+            declared: s.recv_len,
+            actual: expected_buffer,
+        });
+    }
+
+    // Received global ranges must be pairwise disjoint (every element has
+    // one home).
+    let mut by_low: Vec<RangeRecord> = s.recv_records.clone();
+    by_low.sort_by_key(|r| (r.low, r.high));
+    let mut overlapping = false;
+    for w in by_low.windows(2) {
+        if w[1].low < w[0].high {
+            overlapping = true;
+            out.push(Violation::OverlappingRecvRanges {
+                rank,
+                first: w[0],
+                second: w[1],
+            });
+        }
+    }
+
+    // Lookup consistency: each record's endpoints must resolve to their
+    // buffer slots (only meaningful when the ranges are disjoint).
+    if !overlapping {
+        for r in s.recv_records.iter().filter(|r| !r.is_empty()) {
+            let lo_ok = s.find(r.low) == Some(r.buffer);
+            let hi_ok = s.find(r.high - 1) == Some(r.buffer + r.len() - 1);
+            if !lo_ok || !hi_ok {
+                out.push(Violation::LookupMiss {
+                    rank,
+                    global: if lo_ok { r.high - 1 } else { r.low },
+                });
+            }
+        }
+    }
+
+    // Send records: rank fields and `(to_proc, low)` order; ranges to the
+    // *same* destination must be disjoint (they mirror that receiver's
+    // disjoint receive set), while different destinations may legitimately
+    // request the same element.
+    for (k, r) in s.send_records.iter().enumerate() {
+        if r.from_proc != rank {
+            out.push(Violation::RecordRankMismatch {
+                rank,
+                kind: RecordKind::Send,
+                record: *r,
+            });
+        }
+        if r.to_proc == rank {
+            out.push(Violation::SelfMessage {
+                rank,
+                kind: RecordKind::Send,
+                record: *r,
+            });
+        }
+        if r.is_empty() {
+            out.push(Violation::EmptyRecord {
+                rank,
+                kind: RecordKind::Send,
+                record: *r,
+            });
+        }
+        if k > 0 {
+            let prev = &s.send_records[k - 1];
+            if (r.to_proc, r.low) < (prev.to_proc, prev.low) {
+                out.push(Violation::UnsortedRecords {
+                    rank,
+                    kind: RecordKind::Send,
+                    index: k,
+                });
+            }
+            if r.to_proc == prev.to_proc && r.low < prev.high {
+                out.push(Violation::OverlappingRecvRanges {
+                    rank,
+                    first: *prev,
+                    second: *r,
+                });
+            }
+        }
+    }
+
+    // Iteration lists: strictly ascending and disjoint.
+    for (list, name) in [(&s.local_iters, "local"), (&s.nonlocal_iters, "nonlocal")] {
+        for (k, w) in list.windows(2).enumerate() {
+            if w[1] <= w[0] {
+                out.push(Violation::UnsortedIterations {
+                    rank,
+                    list: name,
+                    index: k + 1,
+                });
+            }
+        }
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < s.local_iters.len() && j < s.nonlocal_iters.len() {
+        match s.local_iters[i].cmp(&s.nonlocal_iters[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(Violation::OverlappingIterationLists {
+                    rank,
+                    iter: s.local_iters[i],
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+
+    out
+}
+
+/// Verify a whole machine's schedules at once: per-rank structure
+/// ([`check_schedule`]), **schedule duality** (`out(p,q) = in(q,p)`, equal
+/// extents), and **deadlock freedom** of the sweep's send/recv matching
+/// under the executor's sequential post-sends-then-receive order.
+///
+/// `set[r]` must be rank `r`'s schedule — the SPMD-deterministic plans a
+/// simulator run (or, later, a real launch) produces.
+pub fn check_schedule_set(set: &[CommSchedule]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (index, s) in set.iter().enumerate() {
+        if s.rank != index {
+            out.push(Violation::ScheduleRankMismatch {
+                index,
+                rank: s.rank,
+            });
+        }
+        out.extend(check_schedule(s));
+    }
+
+    // Duality: match records by (from, to, low).
+    let mut sends: BTreeMap<(usize, usize, usize), RangeRecord> = BTreeMap::new();
+    for s in set {
+        for r in &s.send_records {
+            sends.insert((r.from_proc, r.to_proc, r.low), *r);
+        }
+    }
+    let mut matched = 0usize;
+    for s in set {
+        for r in &s.recv_records {
+            match sends.get(&(r.from_proc, r.to_proc, r.low)) {
+                None => out.push(Violation::DanglingRecv {
+                    rank: s.rank,
+                    record: *r,
+                }),
+                Some(send) if send.high != r.high => {
+                    matched += 1;
+                    out.push(Violation::ByteCountMismatch {
+                        from: r.from_proc,
+                        to: r.to_proc,
+                        low: r.low,
+                        recv_high: r.high,
+                        send_high: send.high,
+                    });
+                }
+                Some(_) => matched += 1,
+            }
+        }
+    }
+    if matched != sends.len() {
+        // Some send has no receiver: find them by probing the recv side.
+        let mut recvs: BTreeMap<(usize, usize, usize), RangeRecord> = BTreeMap::new();
+        for s in set {
+            for r in &s.recv_records {
+                recvs.insert((r.from_proc, r.to_proc, r.low), *r);
+            }
+        }
+        for (key, send) in &sends {
+            if !recvs.contains_key(key) {
+                out.push(Violation::DanglingSend {
+                    rank: send.from_proc,
+                    record: *send,
+                });
+            }
+        }
+    }
+
+    // Deadlock freedom of the sweep: each rank posts its sends (grouped by
+    // destination, ascending) and then blocks on its receives (grouped by
+    // source, ascending) — the executor's order.
+    let mut ops: Vec<Vec<ModelOp>> = Vec::with_capacity(set.len());
+    for s in set {
+        let mut rank_ops = Vec::new();
+        for (to, _) in s.send_messages() {
+            rank_ops.push(ModelOp {
+                kind: OpKind::Send,
+                peer: to,
+                key: 0,
+            });
+        }
+        for (from, _) in s.recv_messages() {
+            rank_ops.push(ModelOp {
+                kind: OpKind::Recv,
+                peer: from,
+                key: 0,
+            });
+        }
+        rank_ops.shrink_to_fit();
+        ops.push(rank_ops);
+    }
+    out.extend(check_deadlock_model(&ops, "sweep"));
+
+    out
+}
+
+/// Verify that every reference the plan promises to serve is actually
+/// served: local iterations reference only owned elements, and every
+/// nonlocal reference is either owned or resolvable through the schedule's
+/// binary search.  `refs_of` is the same enumerator the plan was built
+/// with.
+pub fn check_plan_refs<D, F>(schedule: &CommSchedule, dist: &D, mut refs_of: F) -> Vec<Violation>
+where
+    D: Distribution + ?Sized,
+    F: FnMut(usize, &mut Vec<usize>),
+{
+    let mut out = Vec::new();
+    let rank = schedule.rank;
+    let mut refs = Vec::new();
+    for &i in &schedule.local_iters {
+        refs.clear();
+        refs_of(i, &mut refs);
+        for &g in &refs {
+            if dist.owner(g) != rank {
+                out.push(Violation::LocalIterNonlocalRef {
+                    rank,
+                    iter: i,
+                    global: g,
+                });
+            }
+        }
+    }
+    for &i in &schedule.nonlocal_iters {
+        refs.clear();
+        refs_of(i, &mut refs);
+        for &g in &refs {
+            if dist.owner(g) != rank && schedule.find(g).is_none() {
+                out.push(Violation::UnresolvableRef {
+                    rank,
+                    iter: i,
+                    global: g,
+                });
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// 2. Tag-space safety
+// ----------------------------------------------------------------------
+
+/// Verify the tag-space component windows are pairwise disjoint — the
+/// runtime mirror of the `const` assertions in `kali_process::tags` (which
+/// already fail the *build* on overlap; this produces a reportable
+/// [`Violation`] for `verify_all`).
+pub fn check_tag_windows() -> Vec<Violation> {
+    let windows = tags::COMPONENT_WINDOWS;
+    let mut out = Vec::new();
+    for (i, a) in windows.iter().enumerate() {
+        for b in windows.iter().skip(i + 1) {
+            if !(a.2 <= b.1 || b.2 <= a.1) {
+                out.push(Violation::TagWindowOverlap { a: a.0, b: b.0 });
+            }
+        }
+    }
+    out
+}
+
+/// Model the executor's sweep-tag wrap: sweep `s` is stamped with
+/// `EXECUTOR_BASE + (s mod SPAN)`, so two sweeps alias exactly when their
+/// distance is a multiple of `SPAN`.  With at most `in_flight` sweeps
+/// concurrently un-retired (solvers keep one, pipelined variants a handful),
+/// tags can never collide as long as `in_flight <= SPAN` — verified
+/// algebraically, plus an explicit enumeration of windows straddling the
+/// wrap boundary, where the aliasing would first appear.
+pub fn check_sweep_tag_wrap(in_flight: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let span = tags::SPAN;
+    if in_flight as Tag > span {
+        // More in-flight sweeps than distinct tags: sweeps s and s + SPAN
+        // are both live and share a tag.
+        out.push(Violation::SweepTagCollision {
+            sweep_a: 0,
+            sweep_b: span as usize,
+            tag: crate::executor::ExecutorConfig::sweep(0).tag,
+        });
+        return out;
+    }
+    // Enumerate a window of sweeps crossing the wrap boundary and check
+    // every in-flight pair stays distinct and inside the executor window.
+    let probe = (in_flight as Tag).min(512);
+    let start = span - probe;
+    let tags_in_window: Vec<(usize, Tag)> = (0..2 * probe)
+        .map(|k| {
+            let sweep = (start + k) as usize;
+            (sweep, crate::executor::ExecutorConfig::sweep(sweep).tag)
+        })
+        .collect();
+    for (k, &(sweep_a, tag_a)) in tags_in_window.iter().enumerate() {
+        let absolute = tags::EXECUTOR_BASE + tag_a;
+        if !(tags::EXECUTOR_BASE..tags::EXECUTOR_BASE + span).contains(&absolute) {
+            out.push(Violation::TagOutOfWindow {
+                tag: absolute,
+                window: "executor",
+            });
+        }
+        for &(sweep_b, tag_b) in tags_in_window
+            .iter()
+            .skip(k + 1)
+            .take(in_flight.saturating_sub(1))
+        {
+            if tag_a == tag_b {
+                out.push(Violation::SweepTagCollision {
+                    sweep_a,
+                    sweep_b,
+                    tag: tags::EXECUTOR_BASE + tag_a,
+                });
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// 3. Deadlock freedom & SPMD conformance
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Send,
+    Recv,
+}
+
+/// One modelled point-to-point operation of one rank's program order.
+#[derive(Debug, Clone, Copy)]
+struct ModelOp {
+    kind: OpKind,
+    peer: usize,
+    /// Message identity within the `(src, dst)` pair (a tag or round);
+    /// same-key messages match FIFO by position.
+    key: Tag,
+}
+
+/// Check a per-rank operation model for deadlock: sends post without
+/// blocking, receives block, and an operation can only be *initiated* once
+/// every earlier blocking operation of its rank has completed.  The matched
+/// send→recv pairs plus those initiation edges form a bipartite dependence
+/// graph; the model is deadlock-free iff it is acyclic (verified with
+/// Kahn's algorithm).
+fn check_deadlock_model(ops: &[Vec<ModelOp>], context: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Global node numbering.
+    let mut base = Vec::with_capacity(ops.len());
+    let mut total = 0usize;
+    for rank_ops in ops {
+        base.push(total);
+        total += rank_ops.len();
+    }
+    let node = |rank: usize, idx: usize| base[rank] + idx;
+
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut indegree = vec![0usize; total];
+    let add_edge = |edges: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
+        edges[a].push(b);
+        indegree[b] += 1;
+    };
+
+    // Initiation edges: previous blocking op -> each later op.
+    for (rank, rank_ops) in ops.iter().enumerate() {
+        let mut last_blocking: Option<usize> = None;
+        for (idx, op) in rank_ops.iter().enumerate() {
+            if let Some(b) = last_blocking {
+                add_edge(&mut edges, &mut indegree, node(rank, b), node(rank, idx));
+            }
+            if op.kind == OpKind::Recv {
+                last_blocking = Some(idx);
+            }
+        }
+    }
+
+    // Matching edges: k-th send with key on (q -> r) enables the k-th recv
+    // with the same key on (r from q).
+    let mut send_queues: BTreeMap<(usize, usize, Tag), Vec<usize>> = BTreeMap::new();
+    for (rank, rank_ops) in ops.iter().enumerate() {
+        for (idx, op) in rank_ops.iter().enumerate() {
+            if op.kind == OpKind::Send {
+                send_queues
+                    .entry((rank, op.peer, op.key))
+                    .or_default()
+                    .push(node(rank, idx));
+            }
+        }
+    }
+    let mut consumed: BTreeMap<(usize, usize, Tag), usize> = BTreeMap::new();
+    for (rank, rank_ops) in ops.iter().enumerate() {
+        for (idx, op) in rank_ops.iter().enumerate() {
+            if op.kind == OpKind::Recv {
+                let key = (op.peer, rank, op.key);
+                let pos = consumed.entry(key).or_insert(0);
+                match send_queues.get(&key).and_then(|q| q.get(*pos)) {
+                    Some(&send_node) => {
+                        add_edge(&mut edges, &mut indegree, send_node, node(rank, idx));
+                        *pos += 1;
+                    }
+                    None => out.push(Violation::UnmatchedMessage {
+                        from: op.peer,
+                        to: rank,
+                        label: format!("{context} recv key {:#x} #{pos}", op.key),
+                    }),
+                }
+            }
+        }
+    }
+    for (key, queue) in &send_queues {
+        let used = consumed.get(key).copied().unwrap_or(0);
+        for _ in used..queue.len() {
+            out.push(Violation::UnmatchedMessage {
+                from: key.0,
+                to: key.1,
+                label: format!("{context} send key {:#x} (never received)", key.2),
+            });
+        }
+    }
+
+    // Kahn's algorithm.
+    let mut queue: Vec<usize> = (0..total).filter(|&n| indegree[n] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(n) = queue.pop() {
+        seen += 1;
+        for &m in &edges[n] {
+            indegree[m] -= 1;
+            if indegree[m] == 0 {
+                queue.push(m);
+            }
+        }
+    }
+    if seen != total {
+        let mut events = Vec::new();
+        'outer: for (rank, rank_ops) in ops.iter().enumerate() {
+            for (idx, op) in rank_ops.iter().enumerate() {
+                if indegree[node(rank, idx)] > 0 {
+                    let verb = match op.kind {
+                        OpKind::Send => "send to",
+                        OpKind::Recv => "recv from",
+                    };
+                    events.push(format!("rank {rank} {verb} {}", op.peer));
+                    if events.len() >= 12 {
+                        events.push("...".to_string());
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out.push(Violation::DeadlockCycle { events });
+    }
+    out
+}
+
+/// Model the binomial-tree allreduce's per-rank send/recv rounds (the same
+/// rank-local predicates `Process::allreduce` uses, keyed by the same
+/// [`tags`]) and prove the rounds deadlock-free for every rank count up to
+/// `max_p`.
+pub fn check_collective_deadlock(max_p: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for p in 1..=max_p {
+        out.extend(check_deadlock_model(&model_allreduce_ops(p), "allreduce"));
+    }
+    out
+}
+
+/// Per-rank send/recv sequence of one `Process::allreduce` at `p` ranks,
+/// mirroring the implementation's rank-local predicates and tag derivation.
+fn model_allreduce_ops(p: usize) -> Vec<Vec<ModelOp>> {
+    let mut ops: Vec<Vec<ModelOp>> = vec![Vec::new(); p];
+    for (me, rank_ops) in ops.iter_mut().enumerate() {
+        // Reduce phase.
+        let mut stride = 1usize;
+        let mut round = 0u32;
+        while stride < p {
+            if me & (2 * stride - 1) == stride {
+                rank_ops.push(ModelOp {
+                    kind: OpKind::Send,
+                    peer: me - stride,
+                    key: tags::tree_reduce_tag(round),
+                });
+                break;
+            }
+            if me & (2 * stride - 1) == 0 && me + stride < p {
+                rank_ops.push(ModelOp {
+                    kind: OpKind::Recv,
+                    peer: me + stride,
+                    key: tags::tree_reduce_tag(round),
+                });
+            }
+            stride <<= 1;
+            round += 1;
+        }
+        // Broadcast phase.
+        let lowbit = if me == 0 {
+            p.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
+        if me != 0 {
+            rank_ops.push(ModelOp {
+                kind: OpKind::Recv,
+                peer: me - lowbit,
+                key: tags::tree_bcast_tag(lowbit.trailing_zeros()),
+            });
+        }
+        let mut s = lowbit >> 1;
+        while s >= 1 {
+            if me + s < p {
+                rank_ops.push(ModelOp {
+                    kind: OpKind::Send,
+                    peer: me + s,
+                    key: tags::tree_bcast_tag(s.trailing_zeros()),
+                });
+            }
+            s >>= 1;
+        }
+    }
+    ops
+}
+
+/// Verify collective call sequences are rank-invariant: every rank must
+/// have issued the same collectives in the same order (the SPMD contract —
+/// code that branches on the rank id around an `allreduce` hangs a real
+/// machine).  `traces[r]` is rank `r`'s recorded sequence
+/// ([`Session::collective_trace`]).
+///
+/// [`Session::collective_trace`]: crate::session::Session::collective_trace
+pub fn check_collective_sequence(traces: &[Vec<CollectiveCall>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(reference) = traces.first() else {
+        return out;
+    };
+    for (rank, trace) in traces.iter().enumerate().skip(1) {
+        let len = reference.len().max(trace.len());
+        for position in 0..len {
+            let expected = reference.get(position).copied();
+            let found = trace.get(position).copied();
+            if expected != found {
+                out.push(Violation::DivergentCollectives {
+                    rank,
+                    position,
+                    reference: expected,
+                    found,
+                });
+                break; // one divergence per rank is diagnosis enough
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// 4. Determinism-contract conformance
+// ----------------------------------------------------------------------
+
+/// An order-sensitive [`ReduceOp`] whose accumulator is a Merkle-style hash
+/// of the bracketing tree: `combine(a, b)` mixes its operands
+/// asymmetrically, so *any* deviation in combine order, operand order, or
+/// tree shape changes the final hash.  Running this op through the real
+/// reduction pipeline and comparing against `tree_combine_partials`' replay
+/// pins the determinism contract down exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct BracketHash;
+
+/// SplitMix64 finaliser: a cheap, well-distributed 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The leaf hash rank `r` contributes to a bracket-hash reduction.
+pub fn bracket_leaf(rank: usize) -> u64 {
+    mix64(rank as u64 ^ 0x6b61_6c69_2d76_6572) // "kali-ver"
+}
+
+impl ReduceOp for BracketHash {
+    type Input = u64;
+    type Acc = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn lift(v: u64) -> u64 {
+        v
+    }
+    fn combine(a: u64, b: u64) -> u64 {
+        // Asymmetric on purpose: combine(a, b) != combine(b, a), and the
+        // mix is non-associative, so the hash encodes the full bracketing.
+        mix64(
+            a.wrapping_mul(0x100000001b3)
+                .wrapping_add(mix64(b ^ 0x5bd1e995)),
+        )
+    }
+    fn name() -> &'static str {
+        "bracket-hash"
+    }
+}
+
+/// Simulate the allreduce protocol's message rounds at `p` ranks over
+/// [`BracketHash`] leaves, returning each rank's final value — or the
+/// violation describing where the protocol model lost a message.
+fn simulate_allreduce_hash(p: usize) -> Result<Vec<u64>, Violation> {
+    let mut acc: Vec<u64> = (0..p).map(bracket_leaf).collect();
+    if p == 1 {
+        return Ok(acc);
+    }
+    // Reduce phase, executed round by round machine-wide; `done[r]` marks a
+    // rank that sent its partial up the tree and left the loop.
+    let mut done = vec![false; p];
+    let mut stride = 1usize;
+    while stride < p {
+        let mut mailbox: Vec<Option<u64>> = vec![None; p];
+        for me in 0..p {
+            if !done[me] && me & (2 * stride - 1) == stride {
+                mailbox[me - stride] = Some(acc[me]);
+                done[me] = true;
+            }
+        }
+        for me in 0..p {
+            if !done[me] && me & (2 * stride - 1) == 0 && me + stride < p {
+                match mailbox[me].take() {
+                    Some(other) => acc[me] = BracketHash::combine(acc[me], other),
+                    None => {
+                        return Err(Violation::UnmatchedMessage {
+                            from: me + stride,
+                            to: me,
+                            label: format!("allreduce reduce round, stride {stride}"),
+                        })
+                    }
+                }
+            }
+        }
+        stride <<= 1;
+    }
+    // Broadcast phase: rank 0 holds the total; each rank receives over the
+    // edge it reduced along, then forwards to its subtree.  Ascending rank
+    // order is a valid schedule because every broadcast sender is smaller
+    // than its receiver.
+    let mut mail: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut finals = vec![0u64; p];
+    for (me, slot) in finals.iter_mut().enumerate() {
+        let lowbit = if me == 0 {
+            p.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
+        let v = if me == 0 {
+            acc[0]
+        } else {
+            match mail.remove(&me) {
+                Some(v) => v,
+                None => {
+                    return Err(Violation::UnmatchedMessage {
+                        from: me - lowbit,
+                        to: me,
+                        label: "allreduce broadcast".to_string(),
+                    })
+                }
+            }
+        };
+        let mut s = lowbit >> 1;
+        while s >= 1 {
+            if me + s < p {
+                mail.insert(me + s, v);
+            }
+            s >>= 1;
+        }
+        *slot = v;
+    }
+    Ok(finals)
+}
+
+/// Prove determinism-contract conformance for every rank count up to
+/// `max_p`: the allreduce protocol's bracketing (simulated from the
+/// per-rank predicates) must equal `tree_combine_partials`' replay, and the
+/// exposed [`tree_merge_order`] must describe exactly that bracketing —
+/// all compared via the order-sensitive [`BracketHash`].
+pub fn check_reduce_bracketing(max_p: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for p in 1..=max_p {
+        let leaves: Vec<u64> = (0..p).map(bracket_leaf).collect();
+        let expected = tree_combine_partials::<BracketHash>(leaves.clone());
+
+        // The exposed merge order must replay to the same hash.
+        let mut v = leaves.clone();
+        for (dst, src) in tree_merge_order(p) {
+            v[dst] = BracketHash::combine(v[dst], v[src]);
+        }
+        if v[0] != expected {
+            out.push(Violation::BracketingMismatch {
+                nprocs: p,
+                rank: None,
+                expected,
+                found: v[0],
+            });
+        }
+
+        // The protocol simulation must deliver that hash to every rank.
+        match simulate_allreduce_hash(p) {
+            Err(v) => out.push(v),
+            Ok(finals) => {
+                for (rank, &found) in finals.iter().enumerate() {
+                    if found != expected {
+                        out.push(Violation::BracketingMismatch {
+                            nprocs: p,
+                            rank: Some(rank),
+                            expected,
+                            found,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distrib::{DimDist, IndexRange, IndexSet};
+
+    /// A consistent 2-rank schedule pair: rank 0 receives [8,10) from rank
+    /// 1; rank 1 receives [6,8) from rank 0.
+    fn sample_pair() -> Vec<CommSchedule> {
+        let mut s0 = CommSchedule::from_recv_sets(
+            0,
+            &[IndexSet::new(), IndexSet::from_range(8, 10)],
+            vec![0, 1, 2],
+            vec![6, 7],
+        );
+        s0.set_send_records(vec![RangeRecord {
+            from_proc: 0,
+            to_proc: 1,
+            low: 6,
+            high: 8,
+            buffer: 0,
+        }]);
+        let mut s1 = CommSchedule::from_recv_sets(
+            1,
+            &[IndexSet::from_range(6, 8), IndexSet::new()],
+            vec![12, 13],
+            vec![8, 9],
+        );
+        s1.set_send_records(vec![RangeRecord {
+            from_proc: 1,
+            to_proc: 0,
+            low: 8,
+            high: 10,
+            buffer: 0,
+        }]);
+        vec![s0, s1]
+    }
+
+    #[test]
+    fn consistent_schedules_pass_every_check() {
+        let set = sample_pair();
+        assert_eq!(check_schedule_set(&set), vec![]);
+        for s in &set {
+            assert_eq!(check_schedule(s), vec![]);
+        }
+    }
+
+    #[test]
+    fn dangling_recv_is_reported() {
+        let mut set = sample_pair();
+        let extra = RangeRecord {
+            from_proc: 1,
+            to_proc: 0,
+            low: 20,
+            high: 22,
+            buffer: set[0].recv_len,
+        };
+        set[0].recv_records.push(extra);
+        set[0].recv_len += 2;
+        let violations = check_schedule_set(&set);
+        assert!(
+            violations.iter().any(
+                |v| matches!(v, Violation::DanglingRecv { rank: 0, record } if record.low == 20)
+            ),
+            "expected DanglingRecv, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_send_is_reported() {
+        let mut set = sample_pair();
+        set[1].recv_records.clear();
+        set[1].recv_len = 0;
+        let violations = check_schedule_set(&set);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::DanglingSend { rank: 0, .. })),
+            "expected DanglingSend, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn byte_count_mismatch_is_reported() {
+        let mut set = sample_pair();
+        set[0].send_records[0].high = 9; // sender now offers [6,9), receiver expects [6,8)
+        let violations = check_schedule_set(&set);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::ByteCountMismatch {
+                    from: 0,
+                    to: 1,
+                    low: 6,
+                    recv_high: 8,
+                    send_high: 9
+                }
+            )),
+            "expected ByteCountMismatch, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn non_dense_layout_is_reported() {
+        let mut set = sample_pair();
+        set[0].recv_records[0].buffer += 3;
+        let violations = check_schedule(&set[0]);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::NonDenseRecvLayout { rank: 0, .. })),
+            "expected NonDenseRecvLayout, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_recv_ranges_are_reported() {
+        // Two senders claiming overlapping global ranges, each dense.
+        let s = CommSchedule::from_recv_sets(
+            0,
+            &[
+                IndexSet::new(),
+                IndexSet::from_range(5, 9),
+                IndexSet::from_ranges([IndexRange::new(7, 11)]),
+            ],
+            vec![],
+            vec![0],
+        );
+        let violations = check_schedule(&s);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::OverlappingRecvRanges { rank: 0, .. })),
+            "expected OverlappingRecvRanges, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn plan_refs_catch_unresolvable_and_misclassified_references() {
+        let set = sample_pair();
+        let dist = DimDist::block(12, 2);
+        // Consistent refs pass.
+        let ok = check_plan_refs(&set[0], dist.as_dyn(), |i, out| {
+            if i < 6 {
+                out.push(i); // local iterations touch owned elements
+            } else {
+                out.push(i + 2); // nonlocal iterations touch the received [8,10)
+            }
+        });
+        assert_eq!(ok, vec![]);
+        // A nonlocal ref the schedule never planned for.
+        let bad = check_plan_refs(&set[0], dist.as_dyn(), |i, out| {
+            if i == 7 {
+                out.push(11);
+            }
+        });
+        assert!(
+            bad.iter().any(|v| matches!(
+                v,
+                Violation::UnresolvableRef {
+                    rank: 0,
+                    iter: 7,
+                    global: 11
+                }
+            )),
+            "expected UnresolvableRef, got: {bad:?}"
+        );
+        // A "local" iteration referencing a nonlocal element.
+        let bad = check_plan_refs(&set[0], dist.as_dyn(), |i, out| {
+            if i == 2 {
+                out.push(9);
+            }
+        });
+        assert!(
+            bad.iter().any(|v| matches!(
+                v,
+                Violation::LocalIterNonlocalRef {
+                    rank: 0,
+                    iter: 2,
+                    global: 9
+                }
+            )),
+            "expected LocalIterNonlocalRef, got: {bad:?}"
+        );
+    }
+
+    #[test]
+    fn tag_windows_are_disjoint_and_sweep_wrap_is_safe() {
+        assert_eq!(check_tag_windows(), vec![]);
+        assert_eq!(check_sweep_tag_wrap(1), vec![]);
+        assert_eq!(check_sweep_tag_wrap(64), vec![]);
+        // More in-flight sweeps than the window holds must be rejected.
+        let violations = check_sweep_tag_wrap(tags::SPAN as usize + 1);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::SweepTagCollision { .. })),
+            "expected SweepTagCollision, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn tree_collective_rounds_are_deadlock_free() {
+        assert_eq!(check_collective_deadlock(33), vec![]);
+    }
+
+    #[test]
+    fn deadlock_model_flags_a_recv_before_send_cycle() {
+        // Two ranks that each recv before sending: the classic head-to-head
+        // deadlock.
+        let ops = vec![
+            vec![
+                ModelOp {
+                    kind: OpKind::Recv,
+                    peer: 1,
+                    key: 0,
+                },
+                ModelOp {
+                    kind: OpKind::Send,
+                    peer: 1,
+                    key: 0,
+                },
+            ],
+            vec![
+                ModelOp {
+                    kind: OpKind::Recv,
+                    peer: 0,
+                    key: 0,
+                },
+                ModelOp {
+                    kind: OpKind::Send,
+                    peer: 0,
+                    key: 0,
+                },
+            ],
+        ];
+        let violations = check_deadlock_model(&ops, "test");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::DeadlockCycle { .. })),
+            "expected DeadlockCycle, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn collective_sequences_must_be_rank_invariant() {
+        let sum = CollectiveCall {
+            op: "sum-f64",
+            acc_bytes: 8,
+        };
+        let norm = CollectiveCall {
+            op: "norm2",
+            acc_bytes: 8,
+        };
+        assert_eq!(
+            check_collective_sequence(&[vec![sum, norm], vec![sum, norm]]),
+            vec![]
+        );
+        let violations = check_collective_sequence(&[vec![sum, norm], vec![sum, sum]]);
+        assert_eq!(
+            violations,
+            vec![Violation::DivergentCollectives {
+                rank: 1,
+                position: 1,
+                reference: Some(norm),
+                found: Some(sum),
+            }]
+        );
+        // Length divergence (a rank skipping a collective) is caught too.
+        let violations = check_collective_sequence(&[vec![sum, norm], vec![sum]]);
+        assert!(matches!(
+            violations[0],
+            Violation::DivergentCollectives {
+                rank: 1,
+                position: 1,
+                found: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reduce_bracketing_matches_the_replay_order() {
+        assert_eq!(check_reduce_bracketing(64), vec![]);
+    }
+
+    #[test]
+    fn bracket_hash_is_order_sensitive() {
+        let (a, b, c) = (bracket_leaf(0), bracket_leaf(1), bracket_leaf(2));
+        assert_ne!(BracketHash::combine(a, b), BracketHash::combine(b, a));
+        assert_ne!(
+            BracketHash::combine(BracketHash::combine(a, b), c),
+            BracketHash::combine(a, BracketHash::combine(b, c))
+        );
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = vec![
+            Violation::DanglingRecv {
+                rank: 3,
+                record: RangeRecord {
+                    from_proc: 1,
+                    to_proc: 3,
+                    low: 10,
+                    high: 12,
+                    buffer: 0,
+                },
+            },
+            Violation::TagWindowOverlap {
+                a: "executor",
+                b: "halo",
+            },
+        ];
+        let text = render(&v);
+        assert!(text.contains("rank 3"));
+        assert!(text.contains("no matching send"));
+        assert!(text.contains("'executor'"));
+    }
+}

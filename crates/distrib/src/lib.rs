@@ -36,6 +36,8 @@
 //! run-time (inspector/executor) analysis, and work with the compile-time
 //! analysis whenever closed forms exist.
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod distribution;
 pub mod grid;

@@ -50,6 +50,8 @@
 //! assert_eq!(results, vec![3, 0, 1, 2]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod collectives;
 pub mod cost;

@@ -20,6 +20,8 @@
 //!   stresses the schedule cache's amortisation claim: every adaptation
 //!   changes `adj`, forcing a data-version bump and a re-inspection.
 
+#![forbid(unsafe_code)]
+
 pub mod adapt;
 pub mod csr;
 pub mod grid;

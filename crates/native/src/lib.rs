@@ -34,6 +34,8 @@
 //! assert_eq!(results, vec![3, 0, 1, 2]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 
 pub use engine::{NativeMachine, NativeProc};

@@ -33,10 +33,16 @@
 //! the built-in combiners) consumed by the generic [`Process::allreduce`]
 //! and by the runtime's `execute_reduce` pipeline.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod reduce;
 pub mod tags;
 
-pub use reduce::{combine_partials, tree_combine_partials, Max, Min, Norm2, Reduce, ReduceOp, Sum};
+pub use reduce::{
+    combine_partials, tree_combine_partials, tree_merge_order, Max, Min, Norm2, Reduce, ReduceOp,
+    Sum,
+};
 
 /// Message tag, used to match sends with receives (like MPI tags).
 ///

@@ -63,6 +63,44 @@ pub const COLLECTIVE_BASE: Tag = 1 << 63;
 /// Width of each non-collective component range.
 pub const SPAN: Tag = 1 << 40;
 
+/// Every component window of the tag space as `(name, start, end)`
+/// half-open ranges — the single source of truth the compile-time
+/// disjointness proof below, the runtime documentation test, and
+/// `kali_core::verify::check_tag_windows` all read.
+pub const COMPONENT_WINDOWS: [(&str, Tag, Tag); 7] = [
+    ("user", 0, USER_LIMIT),
+    ("executor", EXECUTOR_BASE, EXECUTOR_BASE + SPAN),
+    ("halo", HALO_BASE, HALO_BASE + SPAN),
+    ("redistribute", REDIST_BASE, REDIST_BASE + SPAN),
+    ("ownermap", OWNERMAP_BASE, OWNERMAP_BASE + SPAN),
+    ("tree", TREE_BASE, TREE_BASE + (1 << 44)),
+    ("collective", COLLECTIVE_BASE, Tag::MAX),
+];
+
+const fn windows_pairwise_disjoint(windows: &[(&str, Tag, Tag)]) -> bool {
+    let mut i = 0;
+    while i < windows.len() {
+        let mut j = i + 1;
+        while j < windows.len() {
+            let (_, a_lo, a_hi) = windows[i];
+            let (_, b_lo, b_hi) = windows[j];
+            if !(a_hi <= b_lo || b_hi <= a_lo) {
+                return false;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    true
+}
+
+// Overlapping component windows fail the *build*, not a test run: moving a
+// base or widening SPAN so two ranges collide is a compile error.
+const _: () = assert!(
+    windows_pairwise_disjoint(&COMPONENT_WINDOWS),
+    "tag component windows must be pairwise disjoint"
+);
+
 /// Tag of the executor's data messages for one execution (sweep) of a
 /// `forall`.
 ///
@@ -110,6 +148,14 @@ const TREE_REDUCE_PHASE: Tag = 0;
 const TREE_BCAST_PHASE: Tag = 1;
 const TREE_GATHER_PHASE: Tag = 2;
 
+// The phase field is statically bounded: even the largest phase, shifted
+// into bits 40..42 and combined with a maximal round offset, stays inside
+// the tree window declared in `COMPONENT_WINDOWS`.
+const _: () = assert!(
+    TREE_BASE + (TREE_GATHER_PHASE << 40) + (SPAN - 1) < TREE_BASE + (1 << 44),
+    "tree phase field must stay inside the tree-collective window"
+);
+
 fn tree_tag(phase: Tag, round: u32) -> Tag {
     debug_assert!(
         (round as Tag) < SPAN,
@@ -154,22 +200,17 @@ pub fn collective_tag(seq: u64) -> Tag {
 mod tests {
     use super::*;
 
+    /// Documentation of the invariant the `const` assertion above enforces
+    /// at compile time: an overlap would fail the build before this test
+    /// could even run.
     #[test]
     fn component_ranges_are_pairwise_disjoint() {
-        let ranges: &[(Tag, Tag)] = &[
-            (0, USER_LIMIT),
-            (EXECUTOR_BASE, EXECUTOR_BASE + SPAN),
-            (HALO_BASE, HALO_BASE + SPAN),
-            (REDIST_BASE, REDIST_BASE + SPAN),
-            (OWNERMAP_BASE, OWNERMAP_BASE + SPAN),
-            (TREE_BASE, TREE_BASE + (1 << 44)),
-            (COLLECTIVE_BASE, Tag::MAX),
-        ];
-        for (i, a) in ranges.iter().enumerate() {
-            for b in ranges.iter().skip(i + 1) {
-                assert!(a.1 <= b.0 || b.1 <= a.0, "ranges {a:?} and {b:?} overlap");
+        for (i, a) in COMPONENT_WINDOWS.iter().enumerate() {
+            for b in COMPONENT_WINDOWS.iter().skip(i + 1) {
+                assert!(a.2 <= b.1 || b.2 <= a.1, "ranges {a:?} and {b:?} overlap");
             }
         }
+        assert!(windows_pairwise_disjoint(&COMPONENT_WINDOWS));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! benches need (the *simulated* times in the table binaries are the
 //! reproducible quantities).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::Instant;
 

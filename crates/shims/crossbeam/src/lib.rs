@@ -11,6 +11,8 @@
 //! are faster under contention and support `select!`; neither property is
 //! needed here.)
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::sync::mpsc;
 

@@ -14,6 +14,8 @@
 //!   `Just`, `prop_oneof!`, `prop_map`, `collection::vec`, `bool::ANY`, and
 //!   `ProptestConfig { cases, .. }`.
 
+#![forbid(unsafe_code)]
+
 /// Deterministic generator handed to strategies (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct TestRng {

@@ -47,6 +47,8 @@
 //! typed reductions (`execute_reduce`) that replace the old out-of-band
 //! `allreduce_sum_f64` calls.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod cg;
 pub mod experiment;

@@ -27,6 +27,8 @@
 //! `Process`; the `backend_equivalence` integration test pins the two
 //! backends to bit-identical numerical results.
 
+#![forbid(unsafe_code)]
+
 pub use baseline;
 pub use distrib;
 pub use dmsim;

@@ -1,0 +1,269 @@
+//! Negative verification: `kali::verify` rejects corrupted plans precisely.
+//!
+//! The positive direction is covered by `verify_all` (every solver/bench
+//! configuration plans clean on both backends).  This suite establishes the
+//! other half of the static-analysis contract: when a planned communication
+//! schedule **is** defective, the checker reports the defect as the
+//! *specific* [`Violation`] variant the corruption deserves — not a generic
+//! failure, and not a pass.
+//!
+//! Each test starts from a genuinely planned schedule set (a 3-point
+//! Jacobi-style stencil planned by a real [`Session`] on the dmsim
+//! machine, which `check_schedule_set` accepts violation-free), hand-corrupts
+//! one invariant, and asserts the matching variant fires:
+//!
+//! | corruption                              | expected violation          |
+//! |-----------------------------------------|-----------------------------|
+//! | receive record with no matching send    | `DanglingRecv`              |
+//! | send record with no matching receive    | `DanglingSend`              |
+//! | matched records with different extents  | `ByteCountMismatch`         |
+//! | receive buffer offsets not dense        | `NonDenseRecvLayout`        |
+//! | two receive records covering one index  | `OverlappingRecvRanges`     |
+//! | body reference the plan never fetched   | `UnresolvableRef`           |
+//! | rank-divergent collective call sequence | `DivergentCollectives`      |
+
+use kali_repro::distrib::DimDist;
+use kali_repro::dmsim::{CostModel, Machine};
+use kali_repro::kali::verify::check_collective_sequence;
+use kali_repro::kali::{
+    check_plan_refs, check_schedule_set, AffineMap, CollectiveCall, CommSchedule, Norm2, Reduce,
+    Session, Span, Sum, Violation,
+};
+
+const N: usize = 32;
+const P: usize = 4;
+
+/// Plan the 3-point stencil `A[i-1], A[i], A[i+1]` over the interior
+/// iterations `1..N-1` of a block distribution on every rank of a
+/// `P`-process dmsim machine, returning the per-rank schedules (cloned out
+/// of the session cache so tests can corrupt them) and each rank's
+/// collective-call trace after two reductions.
+fn planned_stencil() -> (Vec<CommSchedule>, Vec<Vec<CollectiveCall>>) {
+    let results = Machine::new(P, CostModel::ideal()).run(|proc| {
+        let dist = DimDist::block(N, P);
+        let mut session = Session::new();
+        let loop_ = session.loop_over(Span::new(1, N - 1), dist.clone());
+        let refs = [
+            AffineMap::shift(-1),
+            AffineMap::identity(),
+            AffineMap::shift(1),
+        ];
+        let schedule = session.plan(proc, &loop_, &dist, &refs);
+        let local: Vec<f64> = dist
+            .local_set(proc.rank())
+            .iter()
+            .map(|g| g as f64 + 0.5)
+            .collect();
+        // Two collectives so the trace has a sequence worth diverging.
+        let _ = session.execute_reduce(
+            proc,
+            &loop_,
+            &schedule,
+            &dist,
+            &local,
+            Reduce::<Sum<f64>>::new(),
+            |i, fetch| fetch.fetch(i),
+        );
+        let _ = session.execute_reduce(
+            proc,
+            &loop_,
+            &schedule,
+            &dist,
+            &local,
+            Reduce::<Norm2>::new(),
+            |i, fetch| fetch.fetch(i),
+        );
+        ((*schedule).clone(), session.collective_trace().to_vec())
+    });
+    results.into_iter().unzip()
+}
+
+/// The stencil's reference pattern, as the executor body would issue it.
+fn stencil_refs(i: usize, out: &mut Vec<usize>) {
+    if i > 0 {
+        out.push(i - 1);
+    }
+    out.push(i);
+    if i + 1 < N {
+        out.push(i + 1);
+    }
+}
+
+#[test]
+fn pristine_plans_pass_all_checks() {
+    let (set, traces) = planned_stencil();
+    assert_eq!(check_schedule_set(&set), vec![]);
+    let dist = DimDist::block(N, P);
+    for s in &set {
+        assert_eq!(check_plan_refs(s, dist.as_dyn(), stencil_refs), vec![]);
+    }
+    assert_eq!(check_collective_sequence(&traces), vec![]);
+    // Every rank traced exactly the two reductions, in order.
+    for trace in &traces {
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].op, "sum-f64");
+        assert_eq!(trace[1].op, "norm2");
+    }
+}
+
+#[test]
+fn dangling_recv_record_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 1 now claims it will also receive [20,23) from rank 3 — but rank
+    // 3 plans no such send.
+    let buffer = set[1].recv_len;
+    set[1].recv_records.push(kali_repro::kali::RangeRecord {
+        from_proc: 3,
+        to_proc: 1,
+        low: 20,
+        high: 23,
+        buffer,
+    });
+    set[1].recv_len += 3;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::DanglingRecv { rank: 1, record }
+                if record.from_proc == 3 && record.low == 20
+        )),
+        "expected DanglingRecv, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn dangling_send_record_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 2 forgets it was going to receive from rank 1; rank 1's planned
+    // send to rank 2 is now unexpected on arrival.
+    set[2].recv_records.retain(|r| r.from_proc != 1);
+    set[2].recv_len = set[2].recv_records.iter().map(|r| r.len()).sum();
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::DanglingSend { rank: 1, record } if record.to_proc == 2
+        )),
+        "expected DanglingSend from rank 1 to rank 2, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn mismatched_byte_counts_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 0's send to rank 1 grows by one element; the matched receive on
+    // rank 1 still expects the original extent, so the two sides would
+    // exchange different byte counts.
+    let record = set[0]
+        .send_records
+        .iter_mut()
+        .find(|r| r.to_proc == 1)
+        .expect("rank 0 sends its high boundary to rank 1");
+    record.high += 1;
+    let (low, send_high) = (record.low, record.high);
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::ByteCountMismatch { from: 0, to: 1, low: l, send_high: sh, .. }
+                if l == low && sh == send_high
+        )),
+        "expected ByteCountMismatch on the 0->1 message, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn non_dense_recv_layout_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Interior ranks receive from both neighbours; shifting the second
+    // record's buffer offset leaves a hole in the packed receive buffer.
+    let rank = 1;
+    assert!(set[rank].recv_records.len() >= 2);
+    set[rank].recv_records[1].buffer += 2;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(*v, Violation::NonDenseRecvLayout { rank: r, .. } if r == rank)),
+        "expected NonDenseRecvLayout on rank {rank}, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn overlapping_recv_ranges_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 1's two halo receives ([7,8) from rank 0 and [16,17) from rank
+    // 2) are made to claim a common element: every global index has exactly
+    // one home, so two sources for one element is a protocol error.
+    let rank = 1;
+    let first_low = set[rank].recv_records[0].low;
+    set[rank].recv_records[1].low = first_low;
+    set[rank].recv_records[1].high = first_low + 1;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(*v, Violation::OverlappingRecvRanges { rank: r, .. } if r == rank)),
+        "expected OverlappingRecvRanges on rank {rank}, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn references_outside_the_plan_are_rejected() {
+    let (set, _) = planned_stencil();
+    let dist = DimDist::block(N, P);
+    // A body that suddenly reads 5 elements ahead was never planned for:
+    // the stencil's schedule only fetched the ±1 halo.
+    let violations = check_plan_refs(&set[1], dist.as_dyn(), |i, out| {
+        stencil_refs(i, out);
+        if i + 5 < N {
+            out.push(i + 5);
+        }
+    });
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(*v, Violation::UnresolvableRef { rank: 1, .. })),
+        "expected UnresolvableRef on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn rank_divergent_collective_sequences_are_rejected() {
+    let (_, mut traces) = planned_stencil();
+    // Rank 2 swaps the order of its two reductions — the SPMD conformance
+    // rule (every rank issues the same collectives in the same order) is
+    // broken even though the *set* of calls matches.
+    traces[2].reverse();
+    let violations = check_collective_sequence(&traces);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::DivergentCollectives {
+                rank: 2,
+                position: 0,
+                ..
+            }
+        )),
+        "expected DivergentCollectives on rank 2, got:\n{violations:#?}"
+    );
+
+    // A rank issuing an *extra* trailing collective diverges too (the
+    // classic "reduce inside a rank-conditional" bug).
+    let (_, mut traces) = planned_stencil();
+    let extra = traces[3][0];
+    traces[3].push(extra);
+    let violations = check_collective_sequence(&traces);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::DivergentCollectives {
+                rank: 3,
+                position: 2,
+                reference: None,
+                ..
+            }
+        )),
+        "expected trailing DivergentCollectives on rank 3, got:\n{violations:#?}"
+    );
+}
