@@ -27,6 +27,7 @@ fn main() {
     ok &= bench_tables::run_collectives(bench_tables::quick_mode());
     ok &= bench_tables::run_native_scaling(bench_tables::quick_mode());
     ok &= bench_tables::run_verify_all(bench_tables::quick_mode());
+    ok &= bench_tables::run_mc_all(bench_tables::quick_mode());
     if !ok {
         std::process::exit(1);
     }

@@ -25,6 +25,7 @@
 //! | `table_solvers`          | extension | Session & typed reductions: CG and red–black Gauss–Seidel with bit-identical histories, inspector amortisation and exact per-reduction message accounting |
 //! | `table_collectives`      | extension | communication fast paths: tree allreduce `2(P−1)` vs flat allgather-fold `P·(P−1)` message scaling across P, and the stripe planner's zero-message red–black planning on chain meshes |
 //! | `verify_all`             | correctness tooling | static verification sweep: schedule duality, tag safety, deadlock freedom, SPMD & determinism-contract conformance for every solver/distribution/backend configuration |
+//! | `mc_all`                 | correctness tooling | trace-level model checking: happens-before analysis of recorded event traces plus bitwise-identical re-execution under perturbed delivery orders, for every solver/distribution/backend configuration |
 //! | `table_all`              | everything above in one run |
 
 #![forbid(unsafe_code)]
@@ -707,6 +708,7 @@ pub fn run_multidim(smoke: bool) -> bool {
                     .flat_map(|o| &o.phases)
                     .map(|p| p.halo_elements)
                     .sum(),
+                queue_peak: stats.totals.queue_peak,
                 ..CommReport::default()
             },
             final_change: None,
@@ -1776,6 +1778,337 @@ pub fn run_verify_all(smoke: bool) -> bool {
         println!("\nFAIL: {} violation(s):", violations.len());
         for (context, v) in &violations {
             println!("  [{context}] {v}");
+        }
+        false
+    }
+}
+
+/// Which solver a model-checking run exercises.
+#[derive(Clone, Copy)]
+enum McSolver {
+    /// Chunked Jacobi with per-sweep convergence checks.
+    Jacobi,
+    /// Adaptive Jacobi with rebalancing redistribution.
+    Adaptive,
+    /// Conjugate gradient (reduction-heavy).
+    Cg,
+    /// Red–black Gauss–Seidel (two executor phases per sweep).
+    RedBlack,
+}
+
+impl McSolver {
+    const ALL: [McSolver; 4] = [
+        McSolver::Jacobi,
+        McSolver::Adaptive,
+        McSolver::Cg,
+        McSolver::RedBlack,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            McSolver::Jacobi => "jacobi",
+            McSolver::Adaptive => "adaptive",
+            McSolver::Cg => "cg",
+            McSolver::RedBlack => "red-black",
+        }
+    }
+}
+
+/// One model-checking workload: the mesh/distribution pair plus the input
+/// fields and sweep count that every run of the configuration shares.
+struct McCase<'a> {
+    mesh: &'a meshes::AdjacencyMesh,
+    dist: &'a distrib::DimDist,
+    initial: &'a [f64],
+    b: &'a [f64],
+    sweeps: usize,
+}
+
+/// Run one solver under `dist`, optionally recording an event trace, and
+/// reduce the outcome to its delivery-order-invariant fingerprint.
+///
+/// The first vector holds everything the determinism contract pins bit for
+/// bit on both backends: field values, reduction histories and structural
+/// counts.  The second holds the deterministic dmsim traffic counters
+/// (compared across delivery policies only — the native backend charges no
+/// simulated costs).  Simulated clocks and the pending-queue high-water
+/// mark are deliberately excluded: both may legally move when wildcard
+/// deliveries are reordered.
+fn mc_run_one<P: kali_core::Process>(
+    proc: &mut P,
+    solver: McSolver,
+    case: &McCase,
+    traced: bool,
+) -> (Vec<u64>, Vec<u64>, Vec<kali_core::process::Event>) {
+    let &McCase {
+        mesh,
+        dist,
+        initial,
+        b,
+        sweeps,
+    } = case;
+    use solvers::{
+        adaptive_jacobi_sweeps, cg_solve, jacobi_sweeps, redblack_sweeps, AdaptiveConfig, CgConfig,
+        JacobiConfig, RedBlackConfig,
+    };
+
+    if traced {
+        proc.trace_start();
+    }
+    fn bits(v: &[f64]) -> impl Iterator<Item = u64> + '_ {
+        v.iter().map(|x| x.to_bits())
+    }
+    let mut fp: Vec<u64> = Vec::new();
+    let counters = match solver {
+        McSolver::Jacobi => {
+            let config = JacobiConfig {
+                sweeps,
+                convergence_check_every: Some(1),
+                workers: Some(2),
+                chunk: Some(8),
+                ..JacobiConfig::default()
+            };
+            let o = jacobi_sweeps(proc, mesh, dist, initial, &config);
+            fp.extend(bits(&o.local_a));
+            fp.extend(bits(&o.change_history));
+            fp.push(o.global_change.map_or(0, f64::to_bits));
+            fp.extend([
+                o.reductions,
+                o.reduction_bytes,
+                o.recv_elements as u64,
+                o.recv_partners as u64,
+                o.schedule_ranges as u64,
+                o.cache_hits,
+                o.cache_misses,
+            ]);
+            o.counters
+        }
+        McSolver::Adaptive => {
+            let config = AdaptiveConfig {
+                sweeps,
+                adapt_every: Some(2),
+                rebalance: true,
+                cache_capacity: 4,
+                ..AdaptiveConfig::default()
+            };
+            let o = adaptive_jacobi_sweeps(proc, mesh, dist, initial, &config);
+            fp.extend(bits(&o.local_a));
+            fp.extend([
+                o.adaptations,
+                o.cache_hits,
+                o.cache_misses,
+                o.cache_evictions,
+            ]);
+            o.counters
+        }
+        McSolver::Cg => {
+            let config = CgConfig::with_iters(sweeps);
+            let o = cg_solve(proc, mesh, dist, b, &config);
+            fp.extend(bits(&o.local_x));
+            fp.extend(bits(&o.residual_history));
+            fp.extend([
+                o.iterations as u64,
+                o.adaptations,
+                o.stats.reductions,
+                o.recv_elements as u64,
+                o.schedule_ranges as u64,
+            ]);
+            o.counters
+        }
+        McSolver::RedBlack => {
+            let config = RedBlackConfig {
+                sweeps,
+                check_every: Some(1),
+                ..RedBlackConfig::default()
+            };
+            let o = redblack_sweeps(proc, mesh, dist, b, &config);
+            fp.extend(bits(&o.local_a));
+            fp.extend(bits(&o.change_history));
+            fp.extend([
+                o.stats.reductions,
+                o.red_recv_elements as u64,
+                o.black_recv_elements as u64,
+            ]);
+            o.counters
+        }
+    };
+    let comm = vec![
+        counters.msgs_sent,
+        counters.msgs_recv,
+        counters.bytes_sent,
+        counters.bytes_recv,
+        counters.nonlocal_refs,
+    ];
+    let trace = if traced {
+        proc.trace_take()
+    } else {
+        Vec::new()
+    };
+    (fp, comm, trace)
+}
+
+/// Run the trace-level model-checking sweep (`mc_all`): every solver under
+/// every distribution kind, on both backends.
+///
+/// Each configuration runs four checks:
+///
+/// 1. a traced dmsim FIFO baseline whose recorded event trace must pass
+///    `kali_core::mc::check_trace` with zero happens-before violations;
+/// 2. re-executions under perturbed wildcard-delivery policies (LIFO, two
+///    seeded shuffles, systematic rotation) whose solver outcomes must be
+///    bitwise identical to the baseline — fields, histories and
+///    deterministic counters, with simulated clocks and the queue
+///    high-water mark excluded as legitimately order-dependent;
+/// 3. a traced native-backend run whose trace must also pass the analyzer
+///    and whose fields must match the dmsim baseline bit for bit;
+/// 4. a sweep-wide assertion that the chunked executor emitted chunk-claim
+///    events (so the write-sink conflict check actually ran on real data).
+///
+/// Prints one line per configuration and a failure summary; returns `true`
+/// exactly when **zero** violations and **zero** divergences were found.
+pub fn run_mc_all(smoke: bool) -> bool {
+    use dmsim::{CostModel, DeliveryPolicy, Machine};
+    use kali_core::process::EventKind;
+    use kali_native::NativeMachine;
+
+    let (side, proc_counts, sweeps): (usize, &[usize], usize) = if smoke {
+        (8, &[2, 4], 4)
+    } else {
+        (12, &[2, 4, 8], 8)
+    };
+
+    println!("\n=== Trace-level model checking (kali_core::mc + dmsim delivery orders) ===");
+
+    let mesh = meshes::UnstructuredMeshBuilder::new(side, side)
+        .seed(1990)
+        .scramble_numbering(true)
+        .build();
+    let n = mesh.len();
+    let initial: Vec<f64> = (0..n).map(|i| ((i * 29) % 23) as f64 * 0.1).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i * 17) % 13) as f64 * 0.25 - 1.0)
+        .collect();
+
+    let policies: [(&str, DeliveryPolicy); 4] = [
+        ("lifo", DeliveryPolicy::Lifo),
+        ("shuffle#a5", DeliveryPolicy::Shuffle(0xA5)),
+        ("shuffle#1990", DeliveryPolicy::Shuffle(1990)),
+        ("systematic", DeliveryPolicy::Systematic(1)),
+    ];
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut chunk_claims = 0usize;
+    let mut events_total = 0usize;
+
+    println!(
+        "\n{:>8}  {:>14}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}",
+        "procs", "dist", "solver", "events", "hb", "policies", "native"
+    );
+    for &nprocs in proc_counts {
+        let dists: Vec<(&str, distrib::DimDist)> = vec![
+            ("block", distrib::DimDist::block(n, nprocs)),
+            ("cyclic", distrib::DimDist::cyclic(n, nprocs)),
+            ("block-cyclic", distrib::DimDist::block_cyclic(n, nprocs, 3)),
+            (
+                "irregular",
+                distrib::DimDist::custom(meshes::greedy_partition(&mesh, nprocs), nprocs),
+            ),
+        ];
+        for (dist_name, dist) in dists {
+            for solver in McSolver::ALL {
+                let context = format!("P={nprocs} {dist_name} {}", solver.name());
+                let case = McCase {
+                    mesh: &mesh,
+                    dist: &dist,
+                    initial: &initial,
+                    b: &b,
+                    sweeps,
+                };
+
+                // 1. FIFO baseline on dmsim, traced and analyzed.
+                let base = Machine::new(nprocs, CostModel::ideal())
+                    .run(|proc| mc_run_one(proc, solver, &case, true));
+                let traces: Vec<Vec<kali_core::process::Event>> =
+                    base.iter().map(|r| r.2.clone()).collect();
+                events_total += traces.iter().map(Vec::len).sum::<usize>();
+                chunk_claims += traces
+                    .iter()
+                    .flatten()
+                    .filter(|e| matches!(e.kind, EventKind::ChunkClaim { .. }))
+                    .count();
+                let hb = kali_core::mc::check_trace(&traces);
+                let hb_found = hb.len();
+                for v in hb {
+                    failures.push(format!("[{context}] dmsim trace: {v}"));
+                }
+
+                // 2. Perturbed delivery orders must not change the answer.
+                let mut policy_div = 0usize;
+                for (pname, policy) in policies {
+                    let run = Machine::new(nprocs, CostModel::ideal())
+                        .with_delivery(policy)
+                        .run(|proc| mc_run_one(proc, solver, &case, false));
+                    for (rank, (base_r, run_r)) in base.iter().zip(&run).enumerate() {
+                        if run_r.0 != base_r.0 || run_r.1 != base_r.1 {
+                            policy_div += 1;
+                            failures.push(format!(
+                                "[{context}] delivery policy {pname} diverges from FIFO on \
+                                 rank {rank}"
+                            ));
+                        }
+                    }
+                }
+
+                // 3. Native backend: trace passes, fields match dmsim.
+                let native =
+                    NativeMachine::new(nprocs).run(|proc| mc_run_one(proc, solver, &case, true));
+                let native_traces: Vec<Vec<kali_core::process::Event>> =
+                    native.iter().map(|r| r.2.clone()).collect();
+                let native_hb = kali_core::mc::check_trace(&native_traces);
+                let mut native_bad = native_hb.len();
+                for v in native_hb {
+                    failures.push(format!("[{context}] native trace: {v}"));
+                }
+                for (rank, (base_r, nat_r)) in base.iter().zip(&native).enumerate() {
+                    if nat_r.0 != base_r.0 {
+                        native_bad += 1;
+                        failures.push(format!(
+                            "[{context}] native fields diverge from dmsim on rank {rank}"
+                        ));
+                    }
+                }
+
+                println!(
+                    "{:>8}  {:>14}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}",
+                    nprocs,
+                    dist_name,
+                    solver.name(),
+                    traces.iter().map(Vec::len).sum::<usize>(),
+                    hb_found,
+                    policy_div,
+                    native_bad
+                );
+            }
+        }
+    }
+
+    // 4. The chunked executor must actually have run under tracing.
+    if chunk_claims == 0 {
+        failures.push(
+            "no chunk-claim events recorded — the chunked executor was not exercised".to_string(),
+        );
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nOK: {events_total} events analyzed ({chunk_claims} chunk claims), zero \
+             violations, zero divergences"
+        );
+        true
+    } else {
+        println!("\nFAIL: {} problem(s):", failures.len());
+        for f in &failures {
+            println!("  {f}");
         }
         false
     }

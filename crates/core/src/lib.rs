@@ -66,6 +66,10 @@
 //!   safety, deadlock freedom, SPMD conformance, and determinism-contract
 //!   conformance *before* anything executes, reporting defects as
 //!   structured [`verify::Violation`]s.
+//! * [`mc`] — trace-level happens-before analysis: rebuild the causality
+//!   graph of a *recorded* execution (the backends' `trace_*` hooks) and
+//!   detect message races, tag reuse without epoch separation, causality
+//!   cycles and chunk-sink conflicts ([`mc::check_trace`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -76,6 +80,7 @@ pub mod cache;
 pub mod executor;
 pub mod forall;
 pub mod inspector;
+pub mod mc;
 pub mod ownermap;
 pub mod pool;
 pub mod process;
@@ -95,6 +100,7 @@ pub use executor::{
 };
 pub use forall::{forall_local, ParallelLoop};
 pub use inspector::{owner_computes_range, run_inspector};
+pub use mc::check_trace;
 pub use ownermap::DistOwnerMap;
 pub use process::{Max, Min, Norm2, Process, Reduce, ReduceOp, Sum};
 pub use redistribute::{redistribute, redistribute_epoch, redistribution_schedule};

@@ -42,6 +42,7 @@ use distrib::Distribution;
 use crate::cache::{CacheStats, ScheduleCache};
 use crate::executor::{ChunkFetcher, ExecutorConfig, Fetcher};
 use crate::forall::ParallelLoop;
+use crate::process::trace::Event;
 use crate::process::{tree_allreduce_sends, Process, Reduce, ReduceOp};
 use crate::redistribute::redistribute_epoch;
 use crate::schedule::CommSchedule;
@@ -517,6 +518,23 @@ impl Session {
         &self.collective_trace
     }
 
+    /// Opt into event-trace recording on the backend: every subsequent
+    /// send, receive, collective entry and chunk claim of this rank is
+    /// recorded (a cheap per-event append) until [`Session::take_trace`].
+    /// Backends without a recorder (the trait's default hooks) make this a
+    /// no-op and return an empty trace.
+    pub fn start_trace<P: Process>(&self, proc: &mut P) {
+        proc.trace_start();
+    }
+
+    /// Stop recording and take this rank's recorded events.  Gather every
+    /// rank's trace and feed the set to
+    /// [`mc::check_trace`](crate::mc::check_trace) for happens-before
+    /// analysis.
+    pub fn take_trace<P: Process>(&self, proc: &mut P) -> Vec<Event> {
+        proc.trace_take()
+    }
+
     /// Snapshot every session meter.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -762,8 +780,15 @@ mod tests {
                     assert_eq!(a.1.to_bits(), b.1.to_bits(), "reduction bits diverged");
                     assert_eq!(a.2, b.2, "session meters diverged");
                 }
+                // queue_peak is a scheduling observation, not a metered
+                // cost; it is the one counter outside this contract.
+                let strip = |mut c: crate::process::Counters| {
+                    c.queue_peak = 0;
+                    c
+                };
                 assert_eq!(
-                    stats.totals, scalar_stats.totals,
+                    strip(stats.totals),
+                    strip(scalar_stats.totals),
                     "machine counters diverged"
                 );
             }
@@ -814,6 +839,56 @@ mod tests {
             assert_eq!(trace[0].op, "sum-f64");
             assert_eq!(trace[0].acc_bytes, 8);
         }
+    }
+
+    #[test]
+    fn traced_chunked_execution_records_claims_and_passes_mc() {
+        use crate::process::trace::EventKind;
+        let machine = Machine::new(2, CostModel::ideal());
+        let traces = machine.run(|proc| {
+            let n = 24;
+            let dist = DimDist::block(n, proc.nprocs());
+            let mut session = Session::new().with_workers(2);
+            session.set_chunk_size(3);
+            let loop_ = session.loop_1d(n - 1, dist.clone());
+            let schedule = session.plan(proc, &loop_, &dist, &[AffineMap::shift(1)]);
+            let local: Vec<f64> = dist
+                .local_set(proc.rank())
+                .iter()
+                .map(|g| g as f64)
+                .collect();
+            let mut out = local.clone();
+            session.start_trace(proc);
+            session.execute_chunked(
+                proc,
+                &loop_,
+                &schedule,
+                &dist,
+                &local,
+                |i, fetch| fetch.fetch(i + 1),
+                |i, v| out[dist.local_index(i)] = v,
+            );
+            let trace = session.take_trace(proc);
+            // Recording has stopped: later traffic is not recorded.
+            session.execute(proc, &loop_, &schedule, &dist, &local, |i, fetch| {
+                out[dist.local_index(i)] = fetch.fetch(i + 1);
+            });
+            trace
+        });
+        // Every rank recorded its chunk claims; the boundary message shows
+        // up as a send on one rank and a receive on the other; and the
+        // trace set is causally consistent and race-free.
+        for t in &traces {
+            assert!(
+                t.iter()
+                    .any(|e| matches!(e.kind, EventKind::ChunkClaim { .. })),
+                "chunk claims must be recorded"
+            );
+        }
+        let all: Vec<&EventKind> = traces.iter().flatten().map(|e| &e.kind).collect();
+        assert!(all.iter().any(|k| matches!(k, EventKind::Send { .. })));
+        assert!(all.iter().any(|k| matches!(k, EventKind::Recv { .. })));
+        assert_eq!(crate::mc::check_trace(&traces), vec![]);
     }
 
     #[test]

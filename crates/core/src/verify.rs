@@ -298,6 +298,60 @@ pub enum Violation {
         /// Bracket hash the protocol produced.
         found: u64,
     },
+    /// Two in-flight messages on one `(src, dst, tag)` channel with no
+    /// happens-before edge between them and no collective epoch marker
+    /// separating the sends on the sender: the tag was reused while its
+    /// previous message could still be pending (trace-level check,
+    /// [`mc::check_trace`](crate::mc::check_trace)).
+    TagReuseRace {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// The reused tag.
+        tag: Tag,
+        /// Sender-side event sequence number of the earlier send.
+        first_seq: u64,
+        /// Sender-side event sequence number of the later send.
+        second_seq: u64,
+    },
+    /// Two in-flight messages on one `(src, dst, tag)` channel whose sends
+    /// are epoch-separated on the sender but whose receives are **not**
+    /// separated on the receiver and carry no happens-before edge: under a
+    /// non-FIFO transport the receiver could observe them out of order
+    /// (trace-level check, [`mc::check_trace`](crate::mc::check_trace)).
+    MessageRace {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// The contested tag.
+        tag: Tag,
+        /// Receiver-side event sequence number of the earlier receive.
+        first_seq: u64,
+        /// Receiver-side event sequence number of the later receive.
+        second_seq: u64,
+    },
+    /// The recorded trace's causality graph (program order plus send→recv
+    /// edges) contains a cycle: some receive completed before its matching
+    /// send could have been posted — the trace is not a possible execution.
+    RecvBeforeSend {
+        /// The events on the cycle (capped for readability).
+        events: Vec<String>,
+    },
+    /// Two chunk claims of the same sweep and executor phase on one rank
+    /// cover overlapping iteration positions: the chunked executor's sink
+    /// would apply two writers to one slot.
+    ChunkSinkConflict {
+        /// The rank whose chunk claims collide.
+        rank: usize,
+        /// The sweep number (executor tag offset) the claims belong to.
+        sweep: u64,
+        /// `(low, high)` iteration positions of the earlier claim.
+        first: (usize, usize),
+        /// `(low, high)` iteration positions of the overlapping claim.
+        second: (usize, usize),
+    },
 }
 
 impl fmt::Display for Violation {
@@ -440,6 +494,42 @@ impl fmt::Display for Violation {
                      helper to {expected:#x}"
                 ),
             },
+            Violation::TagReuseRace {
+                src,
+                dst,
+                tag,
+                first_seq,
+                second_seq,
+            } => write!(
+                f,
+                "channel {src}->{dst} tag {tag:#x}: sends #{first_seq} and \
+                 #{second_seq} race (no ordering edge, no epoch marker between them)"
+            ),
+            Violation::MessageRace {
+                src,
+                dst,
+                tag,
+                first_seq,
+                second_seq,
+            } => write!(
+                f,
+                "channel {src}->{dst} tag {tag:#x}: receives #{first_seq} and \
+                 #{second_seq} race (sender epoch-separated, receiver not)"
+            ),
+            Violation::RecvBeforeSend { events } => {
+                write!(f, "causality cycle: {}", events.join(" -> "))
+            }
+            Violation::ChunkSinkConflict {
+                rank,
+                sweep,
+                first,
+                second,
+            } => write!(
+                f,
+                "rank {rank} sweep {sweep}: chunk claims [{},{}) and [{},{}) of the \
+                 same phase overlap",
+                first.0, first.1, second.0, second.1
+            ),
         }
     }
 }
@@ -839,20 +929,25 @@ pub fn check_sweep_tag_wrap(in_flight: usize) -> Vec<Violation> {
 // 3. Deadlock freedom & SPMD conformance
 // ----------------------------------------------------------------------
 
+/// Whether a [`ModelOp`] posts a message or blocks for one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpKind {
+pub enum OpKind {
+    /// A non-blocking posted send.
     Send,
+    /// A blocking receive.
     Recv,
 }
 
 /// One modelled point-to-point operation of one rank's program order.
 #[derive(Debug, Clone, Copy)]
-struct ModelOp {
-    kind: OpKind,
-    peer: usize,
+pub struct ModelOp {
+    /// Send or receive.
+    pub kind: OpKind,
+    /// The peer rank (destination of a send, source of a receive).
+    pub peer: usize,
     /// Message identity within the `(src, dst)` pair (a tag or round);
     /// same-key messages match FIFO by position.
-    key: Tag,
+    pub key: Tag,
 }
 
 /// Check a per-rank operation model for deadlock: sends post without
@@ -860,8 +955,9 @@ struct ModelOp {
 /// every earlier blocking operation of its rank has completed.  The matched
 /// send→recv pairs plus those initiation edges form a bipartite dependence
 /// graph; the model is deadlock-free iff it is acyclic (verified with
-/// Kahn's algorithm).
-fn check_deadlock_model(ops: &[Vec<ModelOp>], context: &str) -> Vec<Violation> {
+/// Kahn's algorithm).  `ops[r]` is rank `r`'s program order; `context`
+/// labels the [`Violation::UnmatchedMessage`]s of mismatched models.
+pub fn check_deadlock_model(ops: &[Vec<ModelOp>], context: &str) -> Vec<Violation> {
     let mut out = Vec::new();
 
     // Global node numbering.

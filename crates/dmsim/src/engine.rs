@@ -20,11 +20,37 @@
 //! they do not depend on the host's thread scheduling.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use kali_process::trace::{EventKind, TraceRecorder};
 
 use crate::cost::CostModel;
 use crate::message::{Envelope, Tag};
 use crate::stats::{Counters, RunStats};
 use crate::topology::Topology;
+
+/// How a processor picks among *matching* buffered messages when a receive
+/// could legally complete with more than one of them.
+///
+/// Only wildcard receives (`recv_any`) ever have a real choice: a receive
+/// from a specific source always takes that source's oldest matching
+/// message, so per-`(src, tag)` delivery stays FIFO — the invariant the
+/// `Process` contract promises and the trace analyzer relies on — under
+/// *every* policy.  The non-FIFO policies perturb exactly the freedom a
+/// real transport has (which source's message shows up first), which is
+/// what the delivery-order model checker sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryPolicy {
+    /// Arrival order (the default, and the legacy code path).
+    Fifo,
+    /// Adversarial: prefer the most recently buffered candidate source.
+    Lifo,
+    /// Seeded pseudo-random choice among candidate sources; the same seed
+    /// reproduces the same delivery order.
+    Shuffle(u64),
+    /// Bounded systematic enumeration: rotate the candidate choice by a
+    /// fixed offset, so sweeping `Systematic(0..k)` visits `k` distinct
+    /// schedule-respecting delivery orders.
+    Systematic(u64),
+}
 
 /// A virtual distributed-memory machine: `nprocs` processors connected by a
 /// [`Topology`] and timed by a [`CostModel`].
@@ -33,6 +59,7 @@ pub struct Machine {
     nprocs: usize,
     topology: Topology,
     cost: CostModel,
+    delivery: DeliveryPolicy,
 }
 
 impl Machine {
@@ -44,6 +71,7 @@ impl Machine {
             nprocs,
             topology: Topology::hypercube_for(nprocs),
             cost,
+            delivery: DeliveryPolicy::Fifo,
         }
     }
 
@@ -61,7 +89,20 @@ impl Machine {
             nprocs,
             topology,
             cost,
+            delivery: DeliveryPolicy::Fifo,
         }
+    }
+
+    /// The same machine with a different wildcard-receive delivery policy
+    /// (builder style; [`Machine::new`] defaults to FIFO).
+    pub fn with_delivery(mut self, delivery: DeliveryPolicy) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// The wildcard-receive delivery policy in effect.
+    pub fn delivery(&self) -> DeliveryPolicy {
+        self.delivery
     }
 
     /// Number of virtual processors.
@@ -120,6 +161,7 @@ impl Machine {
                 senders[rank] = unbounded().0;
                 let topology = self.topology.clone();
                 let cost = self.cost.clone();
+                let delivery = self.delivery;
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut proc = Proc {
@@ -127,12 +169,16 @@ impl Machine {
                         nprocs: p,
                         topology,
                         cost,
+                        delivery,
                         senders,
                         receiver: rx,
                         pending: Vec::new(),
+                        send_seqs: vec![0; p],
+                        wildcard_recvs: 0,
                         clock: 0.0,
                         counters: Counters::default(),
                         coll_seq: 0,
+                        recorder: TraceRecorder::default(),
                     };
                     let result = f(&mut proc);
                     (rank, result, proc.clock, proc.counters)
@@ -172,15 +218,24 @@ pub struct Proc {
     nprocs: usize,
     topology: Topology,
     cost: CostModel,
+    delivery: DeliveryPolicy,
     senders: Vec<Sender<Envelope>>,
     receiver: Receiver<Envelope>,
     pending: Vec<Envelope>,
+    /// Next per-destination send sequence number (stamped on envelopes).
+    send_seqs: Vec<u64>,
+    /// Wildcard receives completed so far — the decision counter the
+    /// non-FIFO delivery policies key their choices on.
+    wildcard_recvs: u64,
     clock: f64,
     counters: Counters,
     /// Monotonic counter used to derive unique tags for collective
     /// operations (all processors call collectives in the same order in an
     /// SPMD program, so the counters stay in lock step).
     coll_seq: u64,
+    /// Opt-in execution-trace recorder (driven through the `Process` trace
+    /// hooks in `process_impl`).
+    pub(crate) recorder: TraceRecorder,
 }
 
 impl Proc {
@@ -287,16 +342,21 @@ impl Proc {
         } else {
             self.clock + self.cost.transfer_time(bytes, hops)
         };
+        let seq = self.send_seqs[dst];
+        self.send_seqs[dst] += 1;
         let env = Envelope {
             src: self.rank,
             dst,
             tag,
             bytes,
             arrival,
+            seq,
             payload: Box::new(value),
         };
+        self.recorder
+            .record(self.rank, EventKind::Send { dst, tag });
         if dst == self.rank {
-            self.pending.push(env);
+            self.buffer_pending(env);
         } else {
             self.senders[dst]
                 .send(env)
@@ -317,6 +377,9 @@ impl Proc {
     }
 
     fn recv_match<T: 'static>(&mut self, src: Option<usize>, tag: Tag) -> (usize, T) {
+        if self.delivery != DeliveryPolicy::Fifo && src.is_none() {
+            return self.recv_match_perturbed(tag);
+        }
         // First look in the pending buffer for an already-delivered match.
         if let Some(pos) = self
             .pending
@@ -327,7 +390,7 @@ impl Proc {
             // same-(src, tag) messages in arrival order so delivery stays
             // FIFO per (source, tag), as the Process contract promises.
             let env = self.pending.remove(pos);
-            return self.complete_recv(env);
+            return self.complete_recv(src.is_none(), env);
         }
         // Otherwise block on the incoming channel, buffering non-matching
         // messages for later receives.
@@ -337,10 +400,67 @@ impl Proc {
                 .recv()
                 .expect("all peer processors hung up while waiting for a message");
             if env.tag == tag && src.is_none_or(|s| env.src == s) {
-                return self.complete_recv(env);
+                return self.complete_recv(src.is_none(), env);
             }
-            self.pending.push(env);
+            self.buffer_pending(env);
         }
+    }
+
+    /// Wildcard receive under a non-FIFO [`DeliveryPolicy`]: drain whatever
+    /// already sits in the channel into the pending buffer, then let the
+    /// policy pick among the candidate *sources* (each source's candidate is
+    /// its oldest matching message, so per-channel FIFO is preserved by
+    /// construction).  Blocks for one more envelope and retries whenever no
+    /// candidate exists yet.
+    fn recv_match_perturbed<T: 'static>(&mut self, tag: Tag) -> (usize, T) {
+        loop {
+            while let Ok(env) = self.receiver.try_recv() {
+                self.buffer_pending(env);
+            }
+            // One candidate per distinct source: the first matching pending
+            // entry in arrival order (== send order per channel).
+            let mut candidates: Vec<(usize, usize)> = Vec::new(); // (pos, src)
+            for (pos, e) in self.pending.iter().enumerate() {
+                if e.tag == tag && !candidates.iter().any(|&(_, s)| s == e.src) {
+                    candidates.push((pos, e.src));
+                }
+            }
+            if !candidates.is_empty() {
+                let k = self.wildcard_recvs;
+                let choice = match self.delivery {
+                    DeliveryPolicy::Fifo => 0,
+                    DeliveryPolicy::Lifo => candidates.len() - 1,
+                    DeliveryPolicy::Shuffle(seed) => {
+                        let score = |src: usize| {
+                            mix64(seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ src as u64)
+                        };
+                        candidates
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, &(_, s))| score(s))
+                            .map(|(i, _)| i)
+                            .expect("candidates checked non-empty")
+                    }
+                    DeliveryPolicy::Systematic(rot) => {
+                        ((rot + k) % candidates.len() as u64) as usize
+                    }
+                };
+                let env = self.pending.remove(candidates[choice].0);
+                return self.complete_recv(true, env);
+            }
+            let env = self
+                .receiver
+                .recv()
+                .expect("all peer processors hung up while waiting for a message");
+            self.buffer_pending(env);
+        }
+    }
+
+    /// Park an envelope in the pending buffer (arrival order preserved) and
+    /// keep the queue-depth high-water mark.
+    fn buffer_pending(&mut self, env: Envelope) {
+        self.pending.push(env);
+        self.counters.queue_peak = self.counters.queue_peak.max(self.pending.len() as u64);
     }
 
     /// Reserve a fresh tag for one collective operation.
@@ -354,16 +474,30 @@ impl Proc {
         tag
     }
 
-    fn complete_recv<T: 'static>(&mut self, env: Envelope) -> (usize, T) {
+    fn complete_recv<T: 'static>(&mut self, wildcard: bool, env: Envelope) -> (usize, T) {
         if env.arrival > self.clock {
             self.clock = env.arrival;
         }
         self.clock += self.cost.recv_overhead;
         self.counters.msgs_recv += 1;
         self.counters.bytes_recv += env.bytes as u64;
+        if wildcard {
+            self.wildcard_recvs += 1;
+        }
         let src = env.src;
+        self.recorder
+            .record(self.rank, EventKind::Recv { src, tag: env.tag });
         (src, env.into_payload())
     }
+}
+
+/// SplitMix64 finaliser, used to score candidate sources under
+/// [`DeliveryPolicy::Shuffle`].
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -438,6 +572,63 @@ mod tests {
             }
         });
         assert_eq!(r[1], vec![1, 2, 3], "same-(src, tag) delivery must be FIFO");
+    }
+
+    #[test]
+    fn perturbed_policies_preserve_per_channel_fifo_and_lose_nothing() {
+        for policy in [
+            DeliveryPolicy::Lifo,
+            DeliveryPolicy::Shuffle(42),
+            DeliveryPolicy::Shuffle(7),
+            DeliveryPolicy::Systematic(1),
+            DeliveryPolicy::Systematic(2),
+        ] {
+            let m = Machine::new(4, CostModel::ideal()).with_delivery(policy);
+            let r = m.run(|p| {
+                if p.rank() == 0 {
+                    let n = (p.nprocs() - 1) * 3;
+                    (0..n).map(|_| p.recv_any::<u64>(5)).collect::<Vec<_>>()
+                } else {
+                    for k in 0..3u64 {
+                        p.send(0, 5, p.rank() as u64 * 10 + k);
+                    }
+                    Vec::new()
+                }
+            });
+            // Per-source delivery must stay FIFO under every policy; the
+            // cross-source interleaving is the policy's to choose.
+            let got = &r[0];
+            assert_eq!(got.len(), 9, "{policy:?}");
+            for src in 1..4usize {
+                let seq: Vec<u64> = got
+                    .iter()
+                    .filter(|(s, _)| *s == src)
+                    .map(|(_, v)| *v)
+                    .collect();
+                let expect: Vec<u64> = (0..3).map(|k| src as u64 * 10 + k).collect();
+                assert_eq!(seq, expect, "{policy:?}: src {src} not FIFO");
+            }
+        }
+    }
+
+    #[test]
+    fn queue_peak_records_pending_high_water() {
+        let m = Machine::new(2, CostModel::ideal());
+        let (_, stats) = m.run_stats(|p| {
+            if p.rank() == 0 {
+                for v in [1u64, 2, 3] {
+                    p.send(1, 5, v);
+                }
+                p.send(1, 6, 99u64);
+            } else {
+                // The tag-6 receive parks all three tag-5 messages.
+                let _: (usize, u64) = p.recv_from(0, 6);
+                for _ in 0..3 {
+                    let _: (usize, u64) = p.recv_from(0, 5);
+                }
+            }
+        });
+        assert_eq!(stats.totals.queue_peak, 3);
     }
 
     #[test]

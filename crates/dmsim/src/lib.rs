@@ -63,7 +63,7 @@ pub mod topology;
 
 pub use clock::PhaseTimer;
 pub use cost::CostModel;
-pub use engine::{Machine, Proc};
+pub use engine::{DeliveryPolicy, Machine, Proc};
 pub use message::{payload_bytes, Envelope, Tag};
 pub use stats::{Counters, RunStats};
 pub use topology::Topology;
@@ -77,7 +77,7 @@ pub mod prelude {
     pub use crate::clock::PhaseTimer;
     pub use crate::collectives;
     pub use crate::cost::CostModel;
-    pub use crate::engine::{Machine, Proc};
+    pub use crate::engine::{DeliveryPolicy, Machine, Proc};
     pub use crate::stats::{Counters, RunStats};
     pub use crate::topology::Topology;
 }

@@ -24,6 +24,10 @@ pub struct Envelope {
     pub bytes: usize,
     /// Simulated time at which the message is fully available at `dst`.
     pub arrival: f64,
+    /// Per-`(src, dst)` send sequence number (0, 1, 2, … in send order).
+    /// Lets the engine's perturbed delivery policies and the trace analyzer
+    /// reason about send order without trusting buffer positions.
+    pub seq: u64,
     /// The actual data.
     pub payload: Box<dyn Any + Send>,
 }
@@ -67,6 +71,7 @@ mod tests {
             tag: 7,
             bytes: 24,
             arrival: 0.5,
+            seq: 0,
             payload: Box::new(vec![1.0f64, 2.0, 3.0]),
         };
         let v: Vec<f64> = env.into_payload();
@@ -82,6 +87,7 @@ mod tests {
             tag: 0,
             bytes: 8,
             arrival: 0.0,
+            seq: 0,
             payload: Box::new(42u64),
         };
         let _: Vec<f64> = env.into_payload();

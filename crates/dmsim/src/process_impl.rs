@@ -15,6 +15,7 @@
 //! (hence the bits) is identical to the native backend's and the
 //! sequential replay's.
 
+use kali_process::trace::{Event, EventKind};
 use kali_process::{Counters, Process, Tag};
 
 use crate::collectives;
@@ -43,14 +44,17 @@ impl Process for Proc {
     }
 
     fn barrier(&mut self) {
+        self.trace_emit(EventKind::Collective { op: "barrier" });
         collectives::barrier(self);
     }
 
     fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+        self.trace_emit(EventKind::Collective { op: "exchange" });
         collectives::crystal_router(self, items)
     }
 
     fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+        self.trace_emit(EventKind::Collective { op: "allgather" });
         let bytes = items.len() * std::mem::size_of::<T>();
         collectives::allgather(self, items, bytes)
     }
@@ -96,6 +100,23 @@ impl Process for Proc {
 
     fn counters(&self) -> Counters {
         Proc::counters(self)
+    }
+
+    fn trace_start(&mut self) {
+        self.recorder.start();
+    }
+
+    fn trace_take(&mut self) -> Vec<Event> {
+        self.recorder.take()
+    }
+
+    fn trace_active(&self) -> bool {
+        self.recorder.is_active()
+    }
+
+    fn trace_emit(&mut self, kind: EventKind) {
+        let rank = Proc::rank(self);
+        self.recorder.record(rank, kind);
     }
 }
 

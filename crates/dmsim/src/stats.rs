@@ -83,6 +83,7 @@ mod tests {
             loop_iters: 7,
             calls: 8,
             nonlocal_refs: 9,
+            queue_peak: 5,
         };
         let b = Counters {
             msgs_sent: 10,
@@ -94,12 +95,15 @@ mod tests {
             loop_iters: 70,
             calls: 80,
             nonlocal_refs: 90,
+            queue_peak: 3,
         };
         let m = a.merge(&b);
         assert_eq!(m.msgs_sent, 11);
         assert_eq!(m.bytes_recv, 44);
         assert_eq!(m.calls, 88);
         assert_eq!(m.nonlocal_refs, 99);
+        // queue_peak is a high-water mark, not a flow: merge takes the max.
+        assert_eq!(m.queue_peak, 5);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use kali_process::{tags, Process, Tag};
+use kali_process::trace::{Event, EventKind, TraceRecorder};
+use kali_process::{tags, Counters, Process, Tag};
 
 /// Tag of the poison packet a panicking worker broadcasts so that peers
 /// blocked in `recv` fail fast instead of deadlocking the scoped join.
@@ -32,11 +33,19 @@ const RETURN_TAG: Tag = Tag::MAX - 1;
 /// the cap are simply dropped (the pool is an optimisation, not a ledger).
 const POOL_CAP: usize = 64;
 
+/// One `(src, tag)` channel's parked out-of-order arrivals, each payload
+/// paired with its send sequence number.
+type ParkedQueue = VecDeque<(u64, Box<dyn Any + Send>)>;
+
 /// A message in flight between two native processes.
 #[derive(Debug)]
 struct Packet {
     src: usize,
     tag: Tag,
+    /// Per-`(src, dst)` send sequence number.  Control packets
+    /// ([`POISON_TAG`], [`RETURN_TAG`]) carry 0 — they never enter the
+    /// pending buffer, so the FIFO debug-assertions never see them.
+    seq: u64,
     payload: Box<dyn Any + Send>,
 }
 
@@ -96,8 +105,13 @@ impl NativeMachine {
                         senders,
                         receiver: rx,
                         pending: HashMap::new(),
+                        pending_len: 0,
+                        queue_peak: 0,
+                        send_seqs: vec![0; p],
+                        recv_seqs: HashMap::new(),
                         pool: Vec::new(),
                         coll_seq: 0,
+                        recorder: TraceRecorder::default(),
                     };
                     // Catch panics so peers blocked in `recv` can be woken
                     // with a poison packet — otherwise the scoped join
@@ -140,8 +154,19 @@ pub struct NativeProc {
     /// preserved per key.  A receive probes its key in O(1) instead of
     /// scanning every buffered packet — with many outstanding tags (one per
     /// in-flight sweep and collective) the old linear scan made every
-    /// buffered receive O(pending).
-    pending: HashMap<(usize, Tag), VecDeque<Box<dyn Any + Send>>>,
+    /// buffered receive O(pending).  Each parked payload keeps its send
+    /// sequence number so debug builds can assert per-channel FIFO.
+    pending: HashMap<(usize, Tag), ParkedQueue>,
+    /// Payloads currently parked across every `pending` queue.
+    pending_len: usize,
+    /// High-water mark of `pending_len` — surfaced through
+    /// [`Process::counters`] as `queue_peak`.
+    queue_peak: u64,
+    /// Next per-destination send sequence number.
+    send_seqs: Vec<u64>,
+    /// Debug-build FIFO witness: the last delivered sequence number per
+    /// `(src, tag)` channel.  Only populated under `debug_assertions`.
+    recv_seqs: HashMap<(usize, Tag), u64>,
     /// Recycled packed send buffers, returned by peers via [`RETURN_TAG`]
     /// packets; drawn from by [`Process::acquire_send_buffer`].
     pool: Vec<Box<dyn Any + Send>>,
@@ -149,39 +174,81 @@ pub struct NativeProc {
     /// (all processes call collectives in the same order in an SPMD
     /// program, so the counters stay in lock step).
     coll_seq: u64,
+    /// Opt-in execution-trace recorder, driven through the [`Process`]
+    /// trace hooks.
+    recorder: TraceRecorder,
 }
 
 impl NativeProc {
     fn send_packet<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        let seq = self.send_seqs[dst];
+        self.send_seqs[dst] += 1;
+        self.recorder
+            .record(self.rank, EventKind::Send { dst, tag });
         if dst == self.rank {
             // Self-sends bypass the channel and go straight to the pending
             // buffer.
-            self.pending
-                .entry((self.rank, tag))
-                .or_default()
-                .push_back(Box::new(value));
+            self.park_pending(self.rank, tag, seq, Box::new(value));
         } else {
             self.senders[dst]
                 .send(Packet {
                     src: self.rank,
                     tag,
+                    seq,
                     payload: Box::new(value),
                 })
                 .expect("destination process hung up");
         }
     }
 
+    /// Park an out-of-order arrival in the pending buffer, debug-asserting
+    /// that same-`(src, tag)` payloads queue in send order (the channels are
+    /// FIFO per peer, so a violation here means the engine reordered them).
+    fn park_pending(&mut self, src: usize, tag: Tag, seq: u64, payload: Box<dyn Any + Send>) {
+        let queue = self.pending.entry((src, tag)).or_default();
+        if cfg!(debug_assertions) {
+            if let Some(&(back, _)) = queue.back() {
+                debug_assert!(
+                    seq > back,
+                    "pending queue ({src}, {tag:#x}) reordered: seq {seq} after {back}"
+                );
+            }
+        }
+        queue.push_back((seq, payload));
+        self.pending_len += 1;
+        self.queue_peak = self.queue_peak.max(self.pending_len as u64);
+    }
+
     /// Pull one buffered payload for `(src, tag)`, dropping the queue when
     /// it empties — tags are mostly unique per sweep, so an emptied queue
     /// would otherwise linger in the map forever.
-    fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Box<dyn Any + Send>> {
+    fn take_pending(&mut self, src: usize, tag: Tag) -> Option<(u64, Box<dyn Any + Send>)> {
         let queue = self.pending.get_mut(&(src, tag))?;
         let payload = queue.pop_front();
         if queue.is_empty() {
             self.pending.remove(&(src, tag));
         }
+        if payload.is_some() {
+            self.pending_len -= 1;
+        }
         payload
+    }
+
+    /// Debug-build FIFO witness: every delivery on a `(src, tag)` channel
+    /// must carry a strictly larger send sequence number than the previous
+    /// one (strictly increasing, not consecutive — sequence numbers are
+    /// per-destination across all tags).
+    fn note_delivery(&mut self, src: usize, tag: Tag, seq: u64) {
+        if cfg!(debug_assertions) {
+            if let Some(&prev) = self.recv_seqs.get(&(src, tag)) {
+                debug_assert!(
+                    seq > prev,
+                    "channel ({src}, {tag:#x}) delivered seq {seq} after {prev}: not FIFO"
+                );
+            }
+            self.recv_seqs.insert((src, tag), seq);
+        }
     }
 
     /// Park a returned send buffer in the pool (bounded by [`POOL_CAP`]).
@@ -203,17 +270,14 @@ impl NativeProc {
             if packet.tag == RETURN_TAG {
                 self.stash_returned(packet.payload);
             } else {
-                self.pending
-                    .entry((packet.src, packet.tag))
-                    .or_default()
-                    .push_back(packet.payload);
+                self.park_pending(packet.src, packet.tag, packet.seq, packet.payload);
             }
         }
     }
 
     fn recv_packet<T: 'static>(&mut self, src: usize, tag: Tag) -> T {
-        let payload = match self.take_pending(src, tag) {
-            Some(payload) => payload,
+        let (seq, payload) = match self.take_pending(src, tag) {
+            Some(entry) => entry,
             None => loop {
                 let packet = self
                     .receiver
@@ -227,14 +291,14 @@ impl NativeProc {
                     continue;
                 }
                 if packet.tag == tag && packet.src == src {
-                    break packet.payload;
+                    break (packet.seq, packet.payload);
                 }
-                self.pending
-                    .entry((packet.src, packet.tag))
-                    .or_default()
-                    .push_back(packet.payload);
+                self.park_pending(packet.src, packet.tag, packet.seq, packet.payload);
             },
         };
+        self.note_delivery(src, tag, seq);
+        self.recorder
+            .record(self.rank, EventKind::Recv { src, tag });
         *payload.downcast::<T>().unwrap_or_else(|_| {
             panic!(
                 "message payload type mismatch: src={} dst={} tag={} expected {}",
@@ -261,6 +325,7 @@ impl NativeProc {
                 let _ = self.senders[dst].send(Packet {
                     src: self.rank,
                     tag: POISON_TAG,
+                    seq: 0,
                     payload: Box::new(()),
                 });
             }
@@ -291,6 +356,8 @@ impl Process for NativeProc {
 
     /// Dissemination barrier: `⌈log2 P⌉` rounds of shifted sends.
     fn barrier(&mut self) {
+        self.recorder
+            .record(self.rank, EventKind::Collective { op: "barrier" });
         let n = self.nprocs;
         if n == 1 {
             return;
@@ -312,6 +379,8 @@ impl Process for NativeProc {
     /// peer, received and concatenated in rank order, own items in rank
     /// position — a deterministic item order regardless of thread timing.
     fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+        self.recorder
+            .record(self.rank, EventKind::Collective { op: "exchange" });
         let n = self.nprocs;
         let me = self.rank;
         let tag = self.next_collective_tag();
@@ -340,6 +409,8 @@ impl Process for NativeProc {
     }
 
     fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+        self.recorder
+            .record(self.rank, EventKind::Collective { op: "allgather" });
         let n = self.nprocs;
         let me = self.rank;
         let tag = self.next_collective_tag();
@@ -410,6 +481,7 @@ impl Process for NativeProc {
             let _ = self.senders[src].send(Packet {
                 src: self.rank,
                 tag: RETURN_TAG,
+                seq: 0,
                 payload: Box::new(values),
             });
         }
@@ -419,6 +491,31 @@ impl Process for NativeProc {
     // `allreduce` / `allreduce_sum_f64` use the trait's provided
     // binomial-tree implementation over this backend's `send`/`recv`, so
     // the bracketing (and the bits) match dmsim and the sequential replay.
+
+    /// The native backend meters nothing except the pending-queue
+    /// high-water mark, which costs one comparison per parked packet.
+    fn counters(&self) -> Counters {
+        Counters {
+            queue_peak: self.queue_peak,
+            ..Counters::default()
+        }
+    }
+
+    fn trace_start(&mut self) {
+        self.recorder.start();
+    }
+
+    fn trace_take(&mut self) -> Vec<Event> {
+        self.recorder.take()
+    }
+
+    fn trace_active(&self) -> bool {
+        self.recorder.is_active()
+    }
+
+    fn trace_emit(&mut self, kind: EventKind) {
+        self.recorder.record(self.rank, kind);
+    }
 }
 
 #[cfg(test)]

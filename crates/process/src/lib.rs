@@ -38,11 +38,13 @@
 
 pub mod reduce;
 pub mod tags;
+pub mod trace;
 
 pub use reduce::{
     combine_partials, tree_combine_partials, tree_merge_order, Max, Min, Norm2, Reduce, ReduceOp,
     Sum,
 };
+pub use trace::{Event, EventKind, TraceRecorder};
 
 /// Message tag, used to match sends with receives (like MPI tags).
 ///
@@ -79,6 +81,11 @@ pub struct Counters {
     /// locality metric: a placement that keeps references local drives this
     /// to zero.
     pub nonlocal_refs: u64,
+    /// High-water mark of the backend's pending-message buffer (messages
+    /// that arrived before they were asked for).  Unlike every other field
+    /// this is a *peak*, so [`Counters::merge`] takes the maximum and
+    /// [`Counters::since`] passes it through unchanged.
+    pub queue_peak: u64,
 }
 
 impl Counters {
@@ -94,6 +101,7 @@ impl Counters {
             loop_iters: self.loop_iters + other.loop_iters,
             calls: self.calls + other.calls,
             nonlocal_refs: self.nonlocal_refs + other.nonlocal_refs,
+            queue_peak: self.queue_peak.max(other.queue_peak),
         }
     }
 
@@ -110,6 +118,7 @@ impl Counters {
             loop_iters: self.loop_iters - earlier.loop_iters,
             calls: self.calls - earlier.calls,
             nonlocal_refs: self.nonlocal_refs - earlier.nonlocal_refs,
+            queue_peak: self.queue_peak,
         }
     }
 }
@@ -250,6 +259,10 @@ pub trait Process {
     {
         let p = self.nprocs();
         let me = self.rank();
+        // Epoch marker for the trace analyzer, *before* any tree traffic:
+        // the tree's fixed per-(phase, round) tags are reused by every
+        // invocation, and this marker is what certifies the reuse as safe.
+        self.trace_emit(trace::EventKind::Collective { op: "allreduce" });
         if p == 1 {
             return value;
         }
@@ -313,6 +326,9 @@ pub trait Process {
         if p == 1 || !p.is_power_of_two() {
             return self.allgather(items);
         }
+        self.trace_emit(trace::EventKind::Collective {
+            op: "allgather-doubling",
+        });
         let me = self.rank();
         let mut acc: Vec<(usize, Vec<T>)> = vec![(me, items)];
         let mut stride = 1usize;
@@ -399,6 +415,34 @@ pub trait Process {
     fn counters(&self) -> Counters {
         Counters::default()
     }
+
+    // ----------------------------------------------------------------
+    // Execution tracing (no-ops unless the backend records traces)
+    // ----------------------------------------------------------------
+
+    /// Begin recording execution events ([`trace::Event`]) on this rank,
+    /// discarding any previous trace.  Backends without a recorder ignore
+    /// the call and [`Process::trace_take`] returns an empty trace.
+    fn trace_start(&mut self) {}
+
+    /// Stop recording and return the events captured since
+    /// [`Process::trace_start`] (empty when tracing was never started or the
+    /// backend does not record).
+    fn trace_take(&mut self) -> Vec<trace::Event> {
+        Vec::new()
+    }
+
+    /// Whether a trace is currently being recorded.  Lets callers skip the
+    /// work of *constructing* an event when nobody is listening.
+    fn trace_active(&self) -> bool {
+        false
+    }
+
+    /// Record one execution event (no-op while inactive or on backends
+    /// without a recorder).  The runtime calls this for chunk claims and
+    /// collective entries; backends call it internally for message
+    /// endpoints.
+    fn trace_emit(&mut self, _kind: trace::EventKind) {}
 }
 
 /// Number of children rank `rank` has in the binomial tree over `nprocs`

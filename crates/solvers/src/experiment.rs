@@ -198,6 +198,7 @@ pub fn run_jacobi_experiment_placed(
             cache_evictions: outcomes.iter().map(|o| o.cache_evictions).sum(),
             cache_resident_bytes: outcomes.iter().map(|o| o.cache_resident_bytes).sum(),
             reductions: outcomes.iter().map(|o| o.reductions).sum(),
+            queue_peak: stats.totals.queue_peak,
             reduction_bytes: outcomes.iter().map(|o| o.reduction_bytes).sum(),
         },
         // The convergence value describes the *measured* run; when the

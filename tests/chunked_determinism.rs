@@ -27,6 +27,14 @@ fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
+/// The knob-independence contract covers every metered counter *except* the
+/// pending-queue high-water mark: queue occupancy is a backend/scheduling
+/// observation (it moves with chunk boundaries and thread interleaving),
+/// not a semantic output.
+fn masked(c: Counters) -> Counters {
+    Counters { queue_peak: 0, ..c }
+}
+
 /// The knob grid shared by the fixed tests: the scalar baseline is
 /// `(workers 1, chunk auto)`; every other point must match it bitwise.
 fn knob_grid() -> Vec<(usize, usize)> {
@@ -95,7 +103,8 @@ fn jacobi_is_bitwise_identical_at_every_worker_count_and_chunk_size() {
                 "rank {rank} change history at (workers {workers}, chunk {chunk})"
             );
             assert_eq!(
-                o.counters, b.counters,
+                masked(o.counters),
+                masked(b.counters),
                 "rank {rank} merged counters at (workers {workers}, chunk {chunk})"
             );
             assert_eq!(o.reductions, b.reductions);
@@ -150,7 +159,8 @@ fn cg_residual_history_is_knob_independent_and_replays_bitwise() {
                 "rank {rank} residual history at (workers {workers}, chunk {chunk})"
             );
             assert_eq!(
-                o.counters, b.counters,
+                masked(o.counters),
+                masked(b.counters),
                 "rank {rank} merged counters at (workers {workers}, chunk {chunk})"
             );
             assert_eq!(o.stats.reductions, b.stats.reductions);
@@ -204,7 +214,8 @@ fn redblack_field_and_change_history_are_knob_independent() {
         for (rank, (o, b)) in outcomes.iter().zip(&baseline).enumerate() {
             assert_eq!(bits(&o.change_history), bits(&seq_history));
             assert_eq!(
-                o.counters, b.counters,
+                masked(o.counters),
+                masked(b.counters),
                 "rank {rank} merged counters at (workers {workers}, chunk {chunk})"
             );
         }
@@ -306,7 +317,7 @@ mod properties {
             };
             prop_assert_eq!(totals(&outcomes), totals(&baseline));
             for (o, b) in outcomes.iter().zip(&baseline) {
-                prop_assert_eq!(o.counters, b.counters);
+                prop_assert_eq!(masked(o.counters), masked(b.counters));
                 prop_assert_eq!(bits(&o.change_history), bits(&b.change_history));
             }
         }

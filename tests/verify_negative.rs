@@ -21,14 +21,46 @@
 //! | two receive records covering one index  | `OverlappingRecvRanges`     |
 //! | body reference the plan never fetched   | `UnresolvableRef`           |
 //! | rank-divergent collective call sequence | `DivergentCollectives`      |
+//! | record claiming another rank's endpoint | `RecordRankMismatch`        |
+//! | record sending a rank to itself         | `SelfMessage`               |
+//! | zero-length range record                | `EmptyRecord`               |
+//! | records out of `(peer, low)` order      | `UnsortedRecords`           |
+//! | declared buffer length off by one       | `RecvLenMismatch`           |
+//! | record range absent from the lookup     | `LookupMiss`                |
+//! | iteration list out of order             | `UnsortedIterations`        |
+//! | iteration in both local & nonlocal list | `OverlappingIterationLists` |
+//! | schedule stored under the wrong rank    | `ScheduleRankMismatch`      |
+//! | nonlocal iteration filed as local       | `LocalIterNonlocalRef`      |
+//! | modelled send/recv with no counterpart  | `UnmatchedMessage`          |
+//! | circular blocking-receive dependence    | `DeadlockCycle`             |
+//! | more in-flight sweeps than tag span     | `SweepTagCollision`         |
+//!
+//! Three variants guard *constant* spaces no planned-schedule corruption
+//! can reach, so they are constructed directly (with the justification in
+//! `constant_space_violations_render_precisely`): `TagWindowOverlap` (the
+//! component windows are compile-time constants whose overlap fails the
+//! build), `TagOutOfWindow` (executor tags are congruence-bounded inside
+//! their window by construction) and `BracketingMismatch` (only a *live*
+//! backend reduction disagreeing with the replay produces one — exercised
+//! by `verify_all`'s live allreduce).  The four trace-level variants
+//! (`TagReuseRace`, `MessageRace`, `RecvBeforeSend`, `ChunkSinkConflict`)
+//! are driven from real recorded traces in `tests/mc_negative.rs`.
+//!
+//! `every_violation_variant_is_constructible_and_renders` closes the loop:
+//! an exhaustive wildcard-free match over every variant, so adding a
+//! variant without extending this audit fails to compile.
 
 use kali_repro::distrib::DimDist;
 use kali_repro::dmsim::{CostModel, Machine};
-use kali_repro::kali::verify::check_collective_sequence;
-use kali_repro::kali::{
-    check_plan_refs, check_schedule_set, AffineMap, CollectiveCall, CommSchedule, Norm2, Reduce,
-    Session, Span, Sum, Violation,
+use kali_repro::kali::verify::{
+    bracket_leaf, check_collective_sequence, check_deadlock_model, check_sweep_tag_wrap,
+    check_tag_windows, BracketHash, ModelOp, OpKind, RecordKind,
 };
+use kali_repro::kali::{
+    check_plan_refs, check_schedule, check_schedule_set, AffineMap, CollectiveCall, CommSchedule,
+    Norm2, RangeRecord, Reduce, ReduceOp, Session, Span, Sum, Violation,
+};
+use kali_repro::process::tags;
 
 const N: usize = 32;
 const P: usize = 4;
@@ -265,5 +297,503 @@ fn rank_divergent_collective_sequences_are_rejected() {
             }
         )),
         "expected trailing DivergentCollectives on rank 3, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn record_claiming_another_ranks_endpoint_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 1's first receive record suddenly claims rank 2 as its
+    // destination — a record stored on the wrong processor.
+    set[1].recv_records[0].to_proc = 2;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::RecordRankMismatch {
+                rank: 1,
+                kind: RecordKind::Recv,
+                ..
+            }
+        )),
+        "expected RecordRankMismatch on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn self_message_records_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 1 now claims to receive its own halo from itself: local data
+    // never travels through the message layer.
+    set[1].recv_records[0].from_proc = 1;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::SelfMessage {
+                rank: 1,
+                kind: RecordKind::Recv,
+                ..
+            }
+        )),
+        "expected SelfMessage on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn empty_range_records_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // A zero-length record describes no data; the planner never emits one.
+    set[1].recv_records[0].high = set[1].recv_records[0].low;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::EmptyRecord {
+                rank: 1,
+                kind: RecordKind::Recv,
+                ..
+            }
+        )),
+        "expected EmptyRecord on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn unsorted_records_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // The executor unpacks receives in `(from_proc, low)` order; swapping
+    // rank 1's two halo records breaks that contract.
+    assert!(set[1].recv_records.len() >= 2);
+    set[1].recv_records.swap(0, 1);
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::UnsortedRecords {
+                rank: 1,
+                kind: RecordKind::Recv,
+                index: 1,
+            }
+        )),
+        "expected UnsortedRecords on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn declared_buffer_length_mismatch_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // The declared communication-buffer length no longer matches the sum of
+    // the record extents.
+    set[1].recv_len += 1;
+    let declared = set[1].recv_len;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::RecvLenMismatch { rank: 1, declared: d, actual } if d == declared && actual + 1 == d
+        )),
+        "expected RecvLenMismatch on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn record_ranges_absent_from_the_lookup_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Shift rank 1's first halo record to a global range the (immutable)
+    // lookup table has never heard of: the executor's binary search would
+    // miss at run time.  Length and buffer offset are preserved so only the
+    // lookup invariant breaks within this schedule.
+    let len = set[1].recv_records[0].len();
+    set[1].recv_records[0].low = 25;
+    set[1].recv_records[0].high = 25 + len;
+    let violations = check_schedule(&set[1]);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::LookupMiss {
+                rank: 1,
+                global: 25
+            }
+        )),
+        "expected LookupMiss on rank 1 global 25, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn unsorted_iteration_lists_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Iteration lists are strictly ascending (the executor relies on it for
+    // the owner-computes partition); swap two entries.
+    assert!(set[1].local_iters.len() >= 2);
+    set[1].local_iters.swap(0, 1);
+    let violations = check_schedule(&set[1]);
+    assert!(
+        violations.iter().any(|v| matches!(
+            *v,
+            Violation::UnsortedIterations {
+                rank: 1,
+                list: "local",
+                index: 1,
+            }
+        )),
+        "expected UnsortedIterations on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn overlapping_iteration_lists_are_rejected() {
+    let (mut set, _) = planned_stencil();
+    // An iteration executed both as local and as nonlocal would run twice.
+    let dup = set[1].local_iters[0];
+    let pos = set[1].nonlocal_iters.partition_point(|&i| i < dup);
+    set[1].nonlocal_iters.insert(pos, dup);
+    let violations = check_schedule(&set[1]);
+    assert!(
+        violations.iter().any(
+            |v| matches!(*v, Violation::OverlappingIterationLists { rank: 1, iter } if iter == dup)
+        ),
+        "expected OverlappingIterationLists on rank 1, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn schedule_stored_under_the_wrong_rank_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // `set[r]` must be rank `r`'s schedule — an SPMD plan that lands in the
+    // wrong slot corrupts every cross-rank check downstream.
+    set[2].rank = 3;
+    let violations = check_schedule_set(&set);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(*v, Violation::ScheduleRankMismatch { index: 2, rank: 3 })),
+        "expected ScheduleRankMismatch at index 2, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn nonlocal_iteration_filed_as_local_is_rejected() {
+    let (mut set, _) = planned_stencil();
+    // Rank 1's first nonlocal iteration (its lower boundary, which reads
+    // the rank-0 halo) is misfiled into the local list: the executor would
+    // run it before the halo arrives.
+    let moved = set[1].nonlocal_iters.remove(0);
+    let pos = set[1].local_iters.partition_point(|&i| i < moved);
+    set[1].local_iters.insert(pos, moved);
+    let dist = DimDist::block(N, P);
+    let violations = check_plan_refs(&set[1], dist.as_dyn(), stencil_refs);
+    assert!(
+        violations.iter().any(
+            |v| matches!(*v, Violation::LocalIterNonlocalRef { rank: 1, iter, .. } if iter == moved)
+        ),
+        "expected LocalIterNonlocalRef on rank 1 iteration {moved}, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn unmatched_modelled_messages_are_rejected() {
+    // A send nobody receives and a receive nobody sends, in the executor's
+    // point-to-point deadlock model.
+    let ops = vec![
+        vec![ModelOp {
+            kind: OpKind::Send,
+            peer: 1,
+            key: 0x7,
+        }],
+        vec![ModelOp {
+            kind: OpKind::Recv,
+            peer: 0,
+            key: 0x9,
+        }],
+    ];
+    let violations = check_deadlock_model(&ops, "audit");
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::UnmatchedMessage { from: 0, to: 1, label } if label.contains("never received")
+        )),
+        "expected the orphaned send, got:\n{violations:#?}"
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            Violation::UnmatchedMessage { from: 0, to: 1, label } if label.contains("recv key")
+        )),
+        "expected the sourceless recv, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn circular_blocking_receives_are_rejected() {
+    // Both ranks block in a receive before posting their send — the classic
+    // head-to-head deadlock.  Every operation sits on the cycle.
+    let head_to_head = |peer: usize| {
+        vec![
+            ModelOp {
+                kind: OpKind::Recv,
+                peer,
+                key: 0,
+            },
+            ModelOp {
+                kind: OpKind::Send,
+                peer,
+                key: 0,
+            },
+        ]
+    };
+    let ops = vec![head_to_head(1), head_to_head(0)];
+    let violations = check_deadlock_model(&ops, "audit");
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::DeadlockCycle { events } if events.len() == 4)),
+        "expected a 4-event DeadlockCycle, got:\n{violations:#?}"
+    );
+}
+
+#[test]
+fn sweep_tag_exhaustion_is_rejected() {
+    // The realistic bound passes…
+    assert_eq!(check_sweep_tag_wrap(1024), vec![]);
+    // …but more concurrently un-retired sweeps than the executor window has
+    // tags must alias: sweeps 0 and SPAN share a tag.
+    let span = tags::SPAN as usize;
+    let violations = check_sweep_tag_wrap(span + 1);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(*v, Violation::SweepTagCollision { sweep_a: 0, sweep_b, .. } if sweep_b == span)),
+        "expected SweepTagCollision between sweeps 0 and SPAN, got:\n{violations:#?}"
+    );
+}
+
+/// Three variants guard constant spaces no schedule corruption can reach;
+/// constructing them directly documents what each would report.
+///
+/// * `TagWindowOverlap`: the component windows are `const`s in
+///   `kali_process::tags` whose overlap fails the build, so the runtime
+///   mirror (`check_tag_windows`) can only ever return clean — asserted
+///   here.
+/// * `TagOutOfWindow`: executor tags are `BASE + (sweep mod SPAN)`,
+///   congruence-bounded inside their window for every sweep index.
+/// * `BracketingMismatch`: only a live backend reduction disagreeing with
+///   the sequential replay produces one; `verify_all` runs that comparison
+///   on both real backends every sweep.
+#[test]
+fn constant_space_violations_render_precisely() {
+    assert_eq!(check_tag_windows(), vec![]);
+
+    let v = Violation::TagWindowOverlap {
+        a: "executor",
+        b: "halo",
+    };
+    let s = v.to_string();
+    assert!(s.contains("executor") && s.contains("halo") && s.contains("overlap"));
+
+    let v = Violation::TagOutOfWindow {
+        tag: 0x2a,
+        window: "executor",
+    };
+    let s = v.to_string();
+    assert!(s.contains("0x2a") && s.contains("executor"));
+
+    let expected = BracketHash::combine(bracket_leaf(0), bracket_leaf(1));
+    let found = bracket_leaf(1);
+    assert_ne!(expected, found);
+    let v = Violation::BracketingMismatch {
+        nprocs: 2,
+        rank: Some(1),
+        expected,
+        found,
+    };
+    let s = v.to_string();
+    assert!(s.contains("P=2") && s.contains("rank 1"));
+}
+
+/// Every variant's name — an exhaustive match with **no wildcard**, so
+/// adding a `Violation` variant without extending this audit fails to
+/// compile.
+fn variant_name(v: &Violation) -> &'static str {
+    match v {
+        Violation::RecordRankMismatch { .. } => "RecordRankMismatch",
+        Violation::SelfMessage { .. } => "SelfMessage",
+        Violation::EmptyRecord { .. } => "EmptyRecord",
+        Violation::UnsortedRecords { .. } => "UnsortedRecords",
+        Violation::OverlappingRecvRanges { .. } => "OverlappingRecvRanges",
+        Violation::NonDenseRecvLayout { .. } => "NonDenseRecvLayout",
+        Violation::RecvLenMismatch { .. } => "RecvLenMismatch",
+        Violation::LookupMiss { .. } => "LookupMiss",
+        Violation::UnsortedIterations { .. } => "UnsortedIterations",
+        Violation::OverlappingIterationLists { .. } => "OverlappingIterationLists",
+        Violation::ScheduleRankMismatch { .. } => "ScheduleRankMismatch",
+        Violation::DanglingRecv { .. } => "DanglingRecv",
+        Violation::DanglingSend { .. } => "DanglingSend",
+        Violation::ByteCountMismatch { .. } => "ByteCountMismatch",
+        Violation::LocalIterNonlocalRef { .. } => "LocalIterNonlocalRef",
+        Violation::UnresolvableRef { .. } => "UnresolvableRef",
+        Violation::UnmatchedMessage { .. } => "UnmatchedMessage",
+        Violation::DeadlockCycle { .. } => "DeadlockCycle",
+        Violation::DivergentCollectives { .. } => "DivergentCollectives",
+        Violation::TagWindowOverlap { .. } => "TagWindowOverlap",
+        Violation::TagOutOfWindow { .. } => "TagOutOfWindow",
+        Violation::SweepTagCollision { .. } => "SweepTagCollision",
+        Violation::BracketingMismatch { .. } => "BracketingMismatch",
+        Violation::TagReuseRace { .. } => "TagReuseRace",
+        Violation::MessageRace { .. } => "MessageRace",
+        Violation::RecvBeforeSend { .. } => "RecvBeforeSend",
+        Violation::ChunkSinkConflict { .. } => "ChunkSinkConflict",
+    }
+}
+
+#[test]
+fn every_violation_variant_is_constructible_and_renders() {
+    let rec = RangeRecord {
+        from_proc: 0,
+        to_proc: 1,
+        low: 4,
+        high: 8,
+        buffer: 0,
+    };
+    let call = CollectiveCall {
+        op: "sum-f64",
+        acc_bytes: 8,
+    };
+    let all: Vec<Violation> = vec![
+        Violation::RecordRankMismatch {
+            rank: 2,
+            kind: RecordKind::Recv,
+            record: rec,
+        },
+        Violation::SelfMessage {
+            rank: 1,
+            kind: RecordKind::Send,
+            record: rec,
+        },
+        Violation::EmptyRecord {
+            rank: 1,
+            kind: RecordKind::Recv,
+            record: rec,
+        },
+        Violation::UnsortedRecords {
+            rank: 1,
+            kind: RecordKind::Send,
+            index: 2,
+        },
+        Violation::OverlappingRecvRanges {
+            rank: 1,
+            first: rec,
+            second: rec,
+        },
+        Violation::NonDenseRecvLayout {
+            rank: 1,
+            record: rec,
+            expected_buffer: 3,
+        },
+        Violation::RecvLenMismatch {
+            rank: 1,
+            declared: 5,
+            actual: 4,
+        },
+        Violation::LookupMiss { rank: 1, global: 7 },
+        Violation::UnsortedIterations {
+            rank: 1,
+            list: "local",
+            index: 1,
+        },
+        Violation::OverlappingIterationLists { rank: 1, iter: 9 },
+        Violation::ScheduleRankMismatch { index: 2, rank: 3 },
+        Violation::DanglingRecv {
+            rank: 1,
+            record: rec,
+        },
+        Violation::DanglingSend {
+            rank: 0,
+            record: rec,
+        },
+        Violation::ByteCountMismatch {
+            from: 0,
+            to: 1,
+            low: 4,
+            recv_high: 8,
+            send_high: 9,
+        },
+        Violation::LocalIterNonlocalRef {
+            rank: 1,
+            iter: 8,
+            global: 7,
+        },
+        Violation::UnresolvableRef {
+            rank: 1,
+            iter: 8,
+            global: 13,
+        },
+        Violation::UnmatchedMessage {
+            from: 0,
+            to: 1,
+            label: "audit".to_string(),
+        },
+        Violation::DeadlockCycle {
+            events: vec!["rank 0 recv from 1".to_string()],
+        },
+        Violation::DivergentCollectives {
+            rank: 2,
+            position: 0,
+            reference: Some(call),
+            found: None,
+        },
+        Violation::TagWindowOverlap {
+            a: "executor",
+            b: "halo",
+        },
+        Violation::TagOutOfWindow {
+            tag: 0x2a,
+            window: "executor",
+        },
+        Violation::SweepTagCollision {
+            sweep_a: 0,
+            sweep_b: 1,
+            tag: 0x100,
+        },
+        Violation::BracketingMismatch {
+            nprocs: 2,
+            rank: None,
+            expected: 1,
+            found: 2,
+        },
+        Violation::TagReuseRace {
+            src: 0,
+            dst: 1,
+            tag: 0x100,
+            first_seq: 1,
+            second_seq: 2,
+        },
+        Violation::MessageRace {
+            src: 0,
+            dst: 1,
+            tag: 0x100,
+            first_seq: 1,
+            second_seq: 2,
+        },
+        Violation::RecvBeforeSend {
+            events: vec!["rank 0 recv tag 0x100 from 1".to_string()],
+        },
+        Violation::ChunkSinkConflict {
+            rank: 0,
+            sweep: 3,
+            first: (0, 4),
+            second: (2, 6),
+        },
+    ];
+    let mut names: Vec<&str> = all.iter().map(variant_name).collect();
+    for (v, name) in all.iter().zip(&names) {
+        assert!(!v.to_string().is_empty(), "{name} must render");
+    }
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        27,
+        "every Violation variant must appear exactly once in the audit"
     );
 }
