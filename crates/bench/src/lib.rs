@@ -709,6 +709,7 @@ pub fn run_multidim(smoke: bool) -> bool {
                     .map(|p| p.halo_elements)
                     .sum(),
                 queue_peak: stats.totals.queue_peak,
+                wire_bytes: stats.totals.wire_bytes,
                 ..CommReport::default()
             },
             final_change: None,
@@ -1621,6 +1622,7 @@ pub fn run_verify_all(smoke: bool) -> bool {
     use dmsim::{CostModel, Machine};
     use kali_core::process::tree_combine_partials;
     use kali_core::verify::{self, bracket_leaf, BracketHash, Violation};
+    use kali_mp::MpMachine;
     use kali_native::NativeMachine;
 
     let (side, proc_counts, max_p): (usize, &[usize], usize) = if smoke {
@@ -1683,13 +1685,17 @@ pub fn run_verify_all(smoke: bool) -> bool {
             ),
         ];
         for (dist_name, dist) in dists {
-            for backend in ["dmsim", "native"] {
-                let results = if backend == "dmsim" {
-                    Machine::new(nprocs, CostModel::ideal())
-                        .run(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist))
-                } else {
-                    NativeMachine::new(nprocs)
-                        .run(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist))
+            for backend in ["dmsim", "native", "mp"] {
+                let results = match backend {
+                    "dmsim" => Machine::new(nprocs, CostModel::ideal())
+                        .run(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist)),
+                    "native" => NativeMachine::new(nprocs)
+                        .run(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist)),
+                    // Socket transport, threads as rank containers: the
+                    // plan/schedule results are not `Wire`, so the sweep
+                    // uses the embedder mode rather than real processes.
+                    _ => MpMachine::new(nprocs)
+                        .run_threads(|proc| plan_solver_suite(proc, &mesh, &adapted, &dist)),
                 };
                 let context = format!("{backend} P={nprocs} {dist_name}");
                 let mut found_here = 0usize;
@@ -1969,6 +1975,7 @@ fn mc_run_one<P: kali_core::Process>(
 pub fn run_mc_all(smoke: bool) -> bool {
     use dmsim::{CostModel, DeliveryPolicy, Machine};
     use kali_core::process::EventKind;
+    use kali_mp::MpMachine;
     use kali_native::NativeMachine;
 
     let (side, proc_counts, sweeps): (usize, &[usize], usize) = if smoke {
@@ -2001,8 +2008,8 @@ pub fn run_mc_all(smoke: bool) -> bool {
     let mut events_total = 0usize;
 
     println!(
-        "\n{:>8}  {:>14}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}",
-        "procs", "dist", "solver", "events", "hb", "policies", "native"
+        "\n{:>8}  {:>14}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>8}",
+        "procs", "dist", "solver", "events", "hb", "policies", "native", "mp"
     );
     for &nprocs in proc_counts {
         let dists: Vec<(&str, distrib::DimDist)> = vec![
@@ -2078,15 +2085,38 @@ pub fn run_mc_all(smoke: bool) -> bool {
                     }
                 }
 
+                // 4. Multi-process socket backend: trace passes, fields
+                //    match dmsim.  Threads-as-ranks mode — every message
+                //    still crosses a Unix-domain socket, but the traced
+                //    results stay in-process for comparison.
+                let mp = MpMachine::new(nprocs)
+                    .run_threads(|proc| mc_run_one(proc, solver, &case, true));
+                let mp_traces: Vec<Vec<kali_core::process::Event>> =
+                    mp.iter().map(|r| r.2.clone()).collect();
+                let mp_hb = kali_core::mc::check_trace(&mp_traces);
+                let mut mp_bad = mp_hb.len();
+                for v in mp_hb {
+                    failures.push(format!("[{context}] mp trace: {v}"));
+                }
+                for (rank, (base_r, mp_r)) in base.iter().zip(&mp).enumerate() {
+                    if mp_r.0 != base_r.0 {
+                        mp_bad += 1;
+                        failures.push(format!(
+                            "[{context}] mp fields diverge from dmsim on rank {rank}"
+                        ));
+                    }
+                }
+
                 println!(
-                    "{:>8}  {:>14}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}",
+                    "{:>8}  {:>14}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>8}",
                     nprocs,
                     dist_name,
                     solver.name(),
                     traces.iter().map(Vec::len).sum::<usize>(),
                     hb_found,
                     policy_div,
-                    native_bad
+                    native_bad,
+                    mp_bad
                 );
             }
         }

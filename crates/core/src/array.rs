@@ -161,7 +161,7 @@ impl<T: Clone> DistArray<T> {
     }
 }
 
-impl<T: Clone + Send + Default + 'static> DistArray<T> {
+impl<T: Clone + Default + kali_process::Wire> DistArray<T> {
     /// Gather the full global array onto every processor (an allgather).
     ///
     /// Only used for verification and small demos — production code never

@@ -180,7 +180,7 @@ pub fn execute_sweep<P, D, T, F>(
 where
     P: Process,
     D: Distribution + ?Sized,
-    T: Copy + Send + 'static,
+    T: Copy + kali_process::Wire,
     F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
 {
     let rank = proc.rank();
@@ -281,7 +281,7 @@ fn send_phase<P, D, T>(
 ) where
     P: Process,
     D: Distribution + ?Sized,
-    T: Copy + Send + 'static,
+    T: Copy + kali_process::Wire,
 {
     for (to_proc, records) in schedule.send_messages() {
         let count: usize = records.iter().map(|r| r.len()).sum();
@@ -310,7 +310,7 @@ fn send_phase<P, D, T>(
 fn receive_all<P, T>(proc: &mut P, schedule: &CommSchedule, tag: Tag) -> Vec<T>
 where
     P: Process,
-    T: Copy + Send + 'static,
+    T: Copy + kali_process::Wire,
 {
     debug_assert!(
         schedule.recv_layout_is_dense(),
@@ -564,7 +564,7 @@ pub fn execute_sweep_chunked<P, D, T, V, F, W>(
 where
     P: Process,
     D: Distribution + ?Sized + Sync,
-    T: Copy + Send + Sync + 'static,
+    T: Copy + Sync + kali_process::Wire,
     V: Send,
     F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
     W: FnMut(usize, V),
@@ -751,20 +751,20 @@ mod tests {
         fn nprocs(&self) -> usize {
             2 // pretend a peer exists so upper-half indices are nonlocal
         }
-        fn send<U: Send + 'static>(&mut self, _dst: usize, _tag: u64, _value: U) {
+        fn send<U: kali_process::Wire>(&mut self, _dst: usize, _tag: u64, _value: U) {
             panic!("metered solo backend has no peers");
         }
-        fn send_vec<U: Send + 'static>(&mut self, _dst: usize, _tag: u64, _values: Vec<U>) {
+        fn send_vec<U: kali_process::Wire>(&mut self, _dst: usize, _tag: u64, _values: Vec<U>) {
             panic!("metered solo backend has no peers");
         }
-        fn recv<U: Send + 'static>(&mut self, _src: usize, _tag: u64) -> U {
+        fn recv<U: kali_process::Wire>(&mut self, _src: usize, _tag: u64) -> U {
             panic!("metered solo backend has no peers");
         }
         fn barrier(&mut self) {}
-        fn exchange<U: Send + 'static>(&mut self, items: Vec<(usize, U)>) -> Vec<U> {
+        fn exchange<U: kali_process::Wire>(&mut self, items: Vec<(usize, U)>) -> Vec<U> {
             items.into_iter().map(|(_, v)| v).collect()
         }
-        fn allgather<U: Clone + Send + 'static>(&mut self, items: Vec<U>) -> Vec<Vec<U>> {
+        fn allgather<U: Clone + kali_process::Wire>(&mut self, items: Vec<U>) -> Vec<Vec<U>> {
             vec![items]
         }
         fn charge_local_access(&mut self) {

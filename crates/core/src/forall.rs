@@ -200,7 +200,7 @@ impl<S: IterSpace> ParallelLoop<S> {
     where
         P: Process,
         D: Distribution + ?Sized,
-        T: Copy + Send + 'static,
+        T: Copy + kali_process::Wire,
         F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
     {
         self.execute_config(
@@ -246,7 +246,7 @@ impl<S: IterSpace> ParallelLoop<S> {
     where
         P: Process,
         D: Distribution + ?Sized,
-        T: Copy + Send + 'static,
+        T: Copy + kali_process::Wire,
         R: ReduceOp,
         F: FnMut(usize, &mut Fetcher<'_, T, P, D>) -> R::Input,
     {
@@ -278,7 +278,7 @@ impl<S: IterSpace> ParallelLoop<S> {
     where
         P: Process,
         D: Distribution + ?Sized,
-        T: Copy + Send + 'static,
+        T: Copy + kali_process::Wire,
         F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
     {
         execute_sweep(proc, config, schedule, data_dist, local_data, body)
@@ -320,7 +320,7 @@ impl<S: IterSpace> ParallelLoop<S> {
     where
         P: Process,
         D: Distribution + ?Sized + Sync,
-        T: Copy + Send + Sync + 'static,
+        T: Copy + Sync + kali_process::Wire,
         V: Send,
         F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
         W: FnMut(usize, V),
@@ -351,7 +351,7 @@ impl<S: IterSpace> ParallelLoop<S> {
     where
         P: Process,
         D: Distribution + ?Sized + Sync,
-        T: Copy + Send + Sync + 'static,
+        T: Copy + Sync + kali_process::Wire,
         V: Send,
         R: ReduceOp,
         R::Input: Send,

@@ -81,7 +81,7 @@ where
     P: Process,
     A: Distribution + ?Sized,
     B: Distribution + ?Sized,
-    T: Copy + Default + Send + 'static,
+    T: Copy + Default + kali_process::Wire,
 {
     redistribute_epoch(proc, from, to, local_data, 0)
 }
@@ -105,7 +105,7 @@ where
     P: Process,
     A: Distribution + ?Sized,
     B: Distribution + ?Sized,
-    T: Copy + Default + Send + 'static,
+    T: Copy + Default + kali_process::Wire,
 {
     let rank = proc.rank();
     assert_eq!(

@@ -12,6 +12,7 @@
 //! executor's "local iterations / nonlocal iterations" split.
 
 use distrib::{IndexRange, IndexSet};
+use kali_process::{Wire, WireError, WireReader};
 
 /// One contiguous block of a distributed array to be communicated between a
 /// pair of processors (Figure 5 of the paper).
@@ -31,6 +32,37 @@ pub struct RangeRecord {
     pub high: usize,
     /// Offset of the block in the receiver's communication buffer.
     pub buffer: usize,
+}
+
+/// Range records are exactly what the inspector's `exchange` ships between
+/// ranks ("Form send_list using recv_lists from all processors", Figure 6),
+/// so they must cross a real process boundary: five `usize` fields, encoded
+/// in declaration order.
+impl Wire for RangeRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let RangeRecord {
+            from_proc,
+            to_proc,
+            low,
+            high,
+            buffer,
+        } = *self;
+        from_proc.encode(out);
+        to_proc.encode(out);
+        low.encode(out);
+        high.encode(out);
+        buffer.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RangeRecord {
+            from_proc: usize::decode(r)?,
+            to_proc: usize::decode(r)?,
+            low: usize::decode(r)?,
+            high: usize::decode(r)?,
+            buffer: usize::decode(r)?,
+        })
+    }
 }
 
 impl RangeRecord {

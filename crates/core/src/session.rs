@@ -340,7 +340,7 @@ impl Session {
         P: Process,
         S: IterSpace,
         D: Distribution + ?Sized,
-        T: Copy + Send + 'static,
+        T: Copy + kali_process::Wire,
         F: FnMut(usize, &mut Fetcher<'_, T, P, D>),
     {
         let config = self.next_sweep_config();
@@ -366,7 +366,7 @@ impl Session {
         P: Process,
         S: IterSpace,
         D: Distribution + ?Sized,
-        T: Copy + Send + 'static,
+        T: Copy + kali_process::Wire,
         R: ReduceOp,
         F: FnMut(usize, &mut Fetcher<'_, T, P, D>) -> R::Input,
     {
@@ -396,7 +396,7 @@ impl Session {
         P: Process,
         S: IterSpace,
         D: Distribution + ?Sized + Sync,
-        T: Copy + Send + Sync + 'static,
+        T: Copy + Sync + kali_process::Wire,
         V: Send,
         F: Fn(usize, &mut ChunkFetcher<'_, T, D>) -> V + Sync,
         W: FnMut(usize, V),
@@ -426,7 +426,7 @@ impl Session {
         P: Process,
         S: IterSpace,
         D: Distribution + ?Sized + Sync,
-        T: Copy + Send + Sync + 'static,
+        T: Copy + Sync + kali_process::Wire,
         V: Send,
         R: ReduceOp,
         R::Input: Send,
@@ -471,7 +471,7 @@ impl Session {
         P: Process,
         A: Distribution + ?Sized,
         B: Distribution + ?Sized,
-        T: Copy + Default + Send + 'static,
+        T: Copy + Default + kali_process::Wire,
     {
         let epoch = self.epoch;
         self.epoch += 1;

@@ -84,6 +84,7 @@ mod tests {
             calls: 8,
             nonlocal_refs: 9,
             queue_peak: 5,
+            wire_bytes: 100,
         };
         let b = Counters {
             msgs_sent: 10,
@@ -96,6 +97,7 @@ mod tests {
             calls: 80,
             nonlocal_refs: 90,
             queue_peak: 3,
+            wire_bytes: 200,
         };
         let m = a.merge(&b);
         assert_eq!(m.msgs_sent, 11);
@@ -104,6 +106,8 @@ mod tests {
         assert_eq!(m.nonlocal_refs, 99);
         // queue_peak is a high-water mark, not a flow: merge takes the max.
         assert_eq!(m.queue_peak, 5);
+        // wire_bytes is a flow like the modeled byte counters: merge sums.
+        assert_eq!(m.wire_bytes, 300);
     }
 
     #[test]

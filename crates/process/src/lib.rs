@@ -39,12 +39,14 @@
 pub mod reduce;
 pub mod tags;
 pub mod trace;
+pub mod wire;
 
 pub use reduce::{
     combine_partials, tree_combine_partials, tree_merge_order, Max, Min, Norm2, Reduce, ReduceOp,
     Sum,
 };
 pub use trace::{Event, EventKind, TraceRecorder};
+pub use wire::{Wire, WireError, WireReader};
 
 /// Message tag, used to match sends with receives (like MPI tags).
 ///
@@ -86,6 +88,11 @@ pub struct Counters {
     /// this is a *peak*, so [`Counters::merge`] takes the maximum and
     /// [`Counters::since`] passes it through unchanged.
     pub queue_peak: u64,
+    /// Bytes actually written to a transport (encoded payload plus frame
+    /// headers).  Zero on in-process backends — dmsim's `bytes_sent` is a
+    /// *modeled* wire size, this is a *measured* one — so paper tables can
+    /// print modeled and measured traffic side by side.
+    pub wire_bytes: u64,
 }
 
 impl Counters {
@@ -102,6 +109,7 @@ impl Counters {
             calls: self.calls + other.calls,
             nonlocal_refs: self.nonlocal_refs + other.nonlocal_refs,
             queue_peak: self.queue_peak.max(other.queue_peak),
+            wire_bytes: self.wire_bytes + other.wire_bytes,
         }
     }
 
@@ -119,6 +127,7 @@ impl Counters {
             calls: self.calls - earlier.calls,
             nonlocal_refs: self.nonlocal_refs - earlier.nonlocal_refs,
             queue_peak: self.queue_peak,
+            wire_bytes: self.wire_bytes - earlier.wire_bytes,
         }
     }
 }
@@ -152,18 +161,18 @@ pub trait Process {
     // ----------------------------------------------------------------
 
     /// Send a single value to `dst` with the given tag.
-    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T);
+    fn send<T: Wire>(&mut self, dst: usize, tag: Tag, value: T);
 
     /// Send an owned vector to `dst`; the accounted wire size is
     /// `len · size_of::<T>()`.
-    fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>);
+    fn send_vec<T: Wire>(&mut self, dst: usize, tag: Tag, values: Vec<T>);
 
     /// Receive a single value with the given tag from `src`.  Blocks until
     /// a matching message arrives.
-    fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T;
+    fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> T;
 
     /// Receive a vector with the given tag from `src`.
-    fn recv_vec<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Vec<T> {
+    fn recv_vec<T: Wire>(&mut self, src: usize, tag: Tag) -> Vec<T> {
         self.recv::<Vec<T>>(src, tag)
     }
 
@@ -185,7 +194,7 @@ pub trait Process {
     /// Send one packed contiguous buffer to `dst`.  Semantically identical
     /// to [`Process::send_vec`]; the separate entry point lets pooling
     /// backends reclaim the allocation after delivery.
-    fn send_packed<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
+    fn send_packed<T: Wire>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
         self.send_vec(dst, tag, values)
     }
 
@@ -193,7 +202,7 @@ pub trait Process {
     /// returning how many elements arrived.  Pooling backends return the
     /// spent buffer to its sender for reuse; the default simply receives and
     /// copies.
-    fn recv_packed_append<T: Copy + Send + 'static>(
+    fn recv_packed_append<T: Copy + Wire>(
         &mut self,
         src: usize,
         tag: Tag,
@@ -217,12 +226,12 @@ pub trait Process {
     /// The order of the returned items is backend-defined; callers that
     /// need a canonical order must sort (the inspector does — its send
     /// records are sorted by `(to_proc, low)` after the exchange).
-    fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T>;
+    fn exchange<T: Wire>(&mut self, items: Vec<(usize, T)>) -> Vec<T>;
 
     /// Gather one vector from every process onto every process, indexed by
     /// rank.  (`Clone` because the contribution is fanned out to `P − 1`
     /// peers.)
-    fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>>;
+    fn allgather<T: Clone + Wire>(&mut self, items: Vec<T>) -> Vec<Vec<T>>;
 
     /// Sum an `f64` across all processes; every process receives a result
     /// that is bitwise identical across ranks *and* across backends.
@@ -254,7 +263,7 @@ pub trait Process {
     /// on rank.  See [`tree_allreduce_sends`] for the per-rank share.
     fn allreduce<T, F>(&mut self, value: T, combine: F) -> T
     where
-        T: Clone + Send + 'static,
+        T: Clone + Wire,
         F: Fn(&T, &T) -> T,
     {
         let p = self.nprocs();
@@ -321,7 +330,7 @@ pub trait Process {
     ///
     /// Returns the same rank-indexed contributions as `allgather`, so the
     /// two are interchangeable wherever the caller sorts by rank anyway.
-    fn allgather_doubling<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+    fn allgather_doubling<T: Clone + Wire>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
         let p = self.nprocs();
         if p == 1 || !p.is_power_of_two() {
             return self.allgather(items);
@@ -515,20 +524,20 @@ mod tests {
         fn nprocs(&self) -> usize {
             1
         }
-        fn send<T: Send + 'static>(&mut self, _dst: usize, _tag: Tag, _value: T) {
+        fn send<T: Wire>(&mut self, _dst: usize, _tag: Tag, _value: T) {
             panic!("solo process has no peers");
         }
-        fn send_vec<T: Send + 'static>(&mut self, _dst: usize, _tag: Tag, _values: Vec<T>) {
+        fn send_vec<T: Wire>(&mut self, _dst: usize, _tag: Tag, _values: Vec<T>) {
             panic!("solo process has no peers");
         }
-        fn recv<T: Send + 'static>(&mut self, _src: usize, _tag: Tag) -> T {
+        fn recv<T: Wire>(&mut self, _src: usize, _tag: Tag) -> T {
             panic!("solo process has no peers");
         }
         fn barrier(&mut self) {}
-        fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+        fn exchange<T: Wire>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
             items.into_iter().map(|(_, item)| item).collect()
         }
-        fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+        fn allgather<T: Clone + Wire>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
             vec![items]
         }
     }
@@ -604,14 +613,14 @@ mod tests {
         fn nprocs(&self) -> usize {
             1
         }
-        fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) {
+        fn send<T: Wire>(&mut self, dst: usize, tag: Tag, value: T) {
             assert_eq!(dst, 0);
             self.queued.push((tag, Box::new(value)));
         }
-        fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
+        fn send_vec<T: Wire>(&mut self, dst: usize, tag: Tag, values: Vec<T>) {
             self.send(dst, tag, values);
         }
-        fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> T {
+        fn recv<T: Wire>(&mut self, src: usize, tag: Tag) -> T {
             assert_eq!(src, 0);
             let pos = self
                 .queued
@@ -621,10 +630,10 @@ mod tests {
             *self.queued.remove(pos).1.downcast::<T>().unwrap()
         }
         fn barrier(&mut self) {}
-        fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+        fn exchange<T: Wire>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
             items.into_iter().map(|(_, item)| item).collect()
         }
-        fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+        fn allgather<T: Clone + Wire>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
             vec![items]
         }
     }
@@ -656,16 +665,16 @@ mod tests {
             fn nprocs(&self) -> usize {
                 1
             }
-            fn send<T: Send + 'static>(&mut self, _d: usize, _t: Tag, _v: T) {}
-            fn send_vec<T: Send + 'static>(&mut self, _d: usize, _t: Tag, _v: Vec<T>) {}
-            fn recv<T: Send + 'static>(&mut self, _s: usize, _t: Tag) -> T {
+            fn send<T: Wire>(&mut self, _d: usize, _t: Tag, _v: T) {}
+            fn send_vec<T: Wire>(&mut self, _d: usize, _t: Tag, _v: Vec<T>) {}
+            fn recv<T: Wire>(&mut self, _s: usize, _t: Tag) -> T {
                 unreachable!()
             }
             fn barrier(&mut self) {}
-            fn exchange<T: Send + 'static>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
+            fn exchange<T: Wire>(&mut self, items: Vec<(usize, T)>) -> Vec<T> {
                 items.into_iter().map(|(_, item)| item).collect()
             }
-            fn allgather<T: Clone + Send + 'static>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
+            fn allgather<T: Clone + Wire>(&mut self, items: Vec<T>) -> Vec<Vec<T>> {
                 vec![items]
             }
             fn charge_local_access(&mut self) {

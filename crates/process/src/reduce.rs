@@ -49,8 +49,12 @@
 pub trait ReduceOp {
     /// What each loop iteration contributes.
     type Input: Copy + Send + 'static;
-    /// The accumulator (and result) type.
-    type Acc: Copy + PartialEq + std::fmt::Debug + Send + 'static;
+    /// The accumulator (and result) type.  `Wire` because the cross-rank
+    /// combine ships partials through [`Process::allreduce`], which on a
+    /// multi-process backend crosses an actual process boundary.
+    ///
+    /// [`Process::allreduce`]: crate::Process::allreduce
+    type Acc: Copy + PartialEq + std::fmt::Debug + crate::Wire;
 
     /// The identity every per-rank fold starts from.
     fn identity() -> Self::Acc;

@@ -13,7 +13,8 @@
 //! | `[2^42, 2^43)`           | array redistribution traffic                   |
 //! | `[2^43, 2^44)`           | distributed owner-map lookup traffic           |
 //! | `[2^44, 2^45)`           | tree collectives (phase + round encoded)       |
-//! | `[2^45, 2^63)`           | reserved (unused)                              |
+//! | `[2^45, 2^46)`           | transport control (handshake/result/shutdown)  |
+//! | `[2^46, 2^63)`           | reserved (unused)                              |
 //! | `[2^63, 2^64)`           | collectives (per-invocation sequence numbers)  |
 //!
 //! Collective tags additionally embed a per-stage offset in bits 32..40
@@ -57,6 +58,14 @@ pub const OWNERMAP_BASE: Tag = 1 << 43;
 /// [`Process`]: crate::Process
 pub const TREE_BASE: Tag = 1 << 44;
 
+/// Base of the transport-control range: frames a *transport* (not the SPMD
+/// program) exchanges to run itself — the multi-process backend's worker
+/// handshake, result delivery, worker-panic reports and shutdown frames.
+/// Keeping these in a reserved window of the one shared tag space means a
+/// control frame can never be mistaken for program traffic, and the
+/// disjointness proof below covers the transport like any other component.
+pub const TRANSPORT_BASE: Tag = 1 << 45;
+
 /// Base of the collective-operation range (top half of the tag space).
 pub const COLLECTIVE_BASE: Tag = 1 << 63;
 
@@ -67,13 +76,14 @@ pub const SPAN: Tag = 1 << 40;
 /// half-open ranges — the single source of truth the compile-time
 /// disjointness proof below, the runtime documentation test, and
 /// `kali_core::verify::check_tag_windows` all read.
-pub const COMPONENT_WINDOWS: [(&str, Tag, Tag); 7] = [
+pub const COMPONENT_WINDOWS: [(&str, Tag, Tag); 8] = [
     ("user", 0, USER_LIMIT),
     ("executor", EXECUTOR_BASE, EXECUTOR_BASE + SPAN),
     ("halo", HALO_BASE, HALO_BASE + SPAN),
     ("redistribute", REDIST_BASE, REDIST_BASE + SPAN),
     ("ownermap", OWNERMAP_BASE, OWNERMAP_BASE + SPAN),
     ("tree", TREE_BASE, TREE_BASE + (1 << 44)),
+    ("transport", TRANSPORT_BASE, TRANSPORT_BASE + SPAN),
     ("collective", COLLECTIVE_BASE, Tag::MAX),
 ];
 
@@ -142,6 +152,40 @@ pub fn halo_tag(offset: Tag) -> Tag {
     );
     HALO_BASE + offset
 }
+
+/// Tag of a transport handshake frame: the first frame on every
+/// transport-level connection, carrying the connecting rank so the acceptor
+/// can index the peer.
+pub const TRANSPORT_HELLO: Tag = TRANSPORT_BASE;
+
+/// Tag of a transport result frame: a worker's encoded SPMD return value,
+/// delivered to the coordinator when the worker's program completes.
+pub const TRANSPORT_RESULT: Tag = TRANSPORT_BASE + 1;
+
+/// Tag of a transport error frame: a worker's panic report (rendered
+/// message), delivered to the coordinator instead of a result.
+pub const TRANSPORT_ERROR: Tag = TRANSPORT_BASE + 2;
+
+/// Tag of a transport shutdown frame: an orderly-teardown marker on a
+/// peer-to-peer connection.
+pub const TRANSPORT_SHUTDOWN: Tag = TRANSPORT_BASE + 3;
+
+// The named control tags must stay inside the transport window declared in
+// `COMPONENT_WINDOWS` — widening the set past the span fails the build.
+const _: () = assert!(
+    TRANSPORT_SHUTDOWN < TRANSPORT_BASE + SPAN,
+    "transport control tags must stay inside the transport window"
+);
+// And the window itself sits strictly between the tree collectives and the
+// top-half collective range, with the control tags in ascending order.
+const _: () = assert!(
+    TREE_BASE + (1 << 44) <= TRANSPORT_HELLO
+        && TRANSPORT_HELLO < TRANSPORT_RESULT
+        && TRANSPORT_RESULT < TRANSPORT_ERROR
+        && TRANSPORT_ERROR < TRANSPORT_SHUTDOWN
+        && TRANSPORT_BASE + SPAN <= COLLECTIVE_BASE,
+    "transport window must sit between the tree and collective ranges"
+);
 
 /// Phase discriminants of the tree collectives (bits 40..42 of the tag).
 const TREE_REDUCE_PHASE: Tag = 0;
@@ -223,6 +267,12 @@ mod tests {
         assert!(redistribute_tag(SPAN - 1) < OWNERMAP_BASE);
         assert_eq!(ownermap_tag(0), OWNERMAP_BASE);
         assert!(ownermap_tag(SPAN - 1) < TREE_BASE);
+        // Transport control tags live in their reserved window, above the
+        // tree collectives and below the top-half collective range — the
+        // `const` assertions beside their definitions enforce this at
+        // compile time; here we only pin the concrete values.
+        assert_eq!(TRANSPORT_HELLO, 1 << 45);
+        assert_eq!(TRANSPORT_SHUTDOWN, (1 << 45) + 3);
         assert_eq!(tree_reduce_tag(0), TREE_BASE);
         assert!(tree_reduce_tag(63) < tree_bcast_tag(0));
         assert!(tree_bcast_tag(63) < tree_gather_tag(0));

@@ -200,6 +200,7 @@ pub fn run_jacobi_experiment_placed(
             reductions: outcomes.iter().map(|o| o.reductions).sum(),
             queue_peak: stats.totals.queue_peak,
             reduction_bytes: outcomes.iter().map(|o| o.reduction_bytes).sum(),
+            wire_bytes: stats.totals.wire_bytes,
         },
         // The convergence value describes the *measured* run; when the
         // extrapolation truncated it, the value would not correspond to the

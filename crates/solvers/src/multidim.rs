@@ -367,6 +367,7 @@ pub fn phase_comm_reports(outcomes: &[MultiDimOutcome]) -> Vec<(String, CommRepo
             slot.bytes += phase.counters.bytes_sent;
             slot.nonlocal_refs += phase.counters.nonlocal_refs;
             slot.halo_elements += phase.halo_elements;
+            slot.wire_bytes += phase.counters.wire_bytes;
         }
     }
     reports

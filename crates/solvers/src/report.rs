@@ -44,13 +44,19 @@ pub struct CommReport {
     pub queue_peak: u64,
     /// Payload bytes sent for those reductions, summed over processors.
     pub reduction_bytes: u64,
+    /// Measured transport bytes (frame headers + encoded payloads) that
+    /// actually crossed a socket, summed over processors.  Zero for the
+    /// in-process backends (dmsim models costs, native moves values over
+    /// channels); only the mp backend meters real wire traffic, so this
+    /// column lets a table distinguish modeled from measured volume.
+    pub wire_bytes: u64,
 }
 
 impl CommReport {
     /// Format the stats as one table line (no machine column).
     pub fn to_table_line(&self) -> String {
         format!(
-            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>7}  {:>10}",
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>7}  {:>10}  {:>10}",
             self.messages,
             self.bytes,
             self.nonlocal_refs,
@@ -61,14 +67,15 @@ impl CommReport {
             self.cache_resident_bytes,
             self.reductions,
             self.queue_peak,
-            self.reduction_bytes
+            self.reduction_bytes,
+            self.wire_bytes
         )
     }
 
     /// Header matching [`CommReport::to_table_line`].
     pub fn table_header() -> String {
         format!(
-            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>7}  {:>10}",
+            "{:>10}  {:>12}  {:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>10}  {:>8}  {:>7}  {:>10}  {:>10}",
             "messages",
             "bytes",
             "nonlocal refs",
@@ -79,7 +86,8 @@ impl CommReport {
             "res bytes",
             "reduce",
             "q peak",
-            "red bytes"
+            "red bytes",
+            "wire bytes"
         )
     }
 }
@@ -253,6 +261,7 @@ mod tests {
                 reductions: 0,
                 queue_peak: 0,
                 reduction_bytes: 0,
+                wire_bytes: 0,
             },
             final_change: None,
             phase_comms: Vec::new(),
@@ -281,10 +290,11 @@ mod tests {
             reductions: 21,
             queue_peak: 6,
             reduction_bytes: 504,
+            wire_bytes: 7007,
         };
         let line = comm.to_table_line();
         for needle in [
-            "42", "4242", "77", "13", "9", "1", "5", "888", "21", "6", "504",
+            "42", "4242", "77", "13", "9", "1", "5", "888", "21", "6", "504", "7007",
         ] {
             assert!(line.contains(needle), "{needle} missing from {line}");
         }
@@ -294,6 +304,7 @@ mod tests {
         assert!(CommReport::table_header().contains("reduce"));
         assert!(CommReport::table_header().contains("q peak"));
         assert!(CommReport::table_header().contains("red bytes"));
+        assert!(CommReport::table_header().contains("wire bytes"));
         let row = ExperimentRow {
             machine: "NCUBE/7".to_string(),
             nprocs: 8,

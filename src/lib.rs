@@ -12,6 +12,10 @@
 //!   the published tables.
 //! * [`native`] (`kali-native`) — the **native** backend: one OS thread per
 //!   process with channel messaging, no cost accounting, wall-clock speed.
+//! * [`mp`] (`kali-mp`) — the **multi-process** backend: one OS process per
+//!   rank over Unix-domain sockets, every message a length-prefixed frame
+//!   carrying a [`process::Wire`] encoding — the backend with no shared
+//!   memory to smuggle anything through.
 //! * [`distrib`] — processor grids, index sets and data distributions
 //!   (block, cyclic, block-cyclic, replicated, user-defined).
 //! * [`kali`] (`kali-core`) — the paper's contribution: a global name space
@@ -33,6 +37,7 @@ pub use baseline;
 pub use distrib;
 pub use dmsim;
 pub use kali_core as kali;
+pub use kali_mp as mp;
 pub use kali_native as native;
 pub use kali_process as process;
 pub use meshes;

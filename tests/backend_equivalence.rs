@@ -1,12 +1,20 @@
 //! Backend equivalence: the same Kali program must produce **bit-identical**
-//! results on the `dmsim` simulator and on the `kali-native` threaded
-//! backend.
+//! results on the `dmsim` simulator, on the `kali-native` threaded backend,
+//! and on the `kali-mp` multi-process socket backend.
 //!
 //! This is the contract that makes the `Process` abstraction trustworthy:
 //! the runtime layer (inspector, executor, redistribution) fixes the
 //! iteration order and the communication schedule, so the floating-point
 //! arithmetic happens in exactly the same order on every backend — only the
 //! notion of time differs (simulated seconds vs wall-clock).
+//!
+//! The mp column runs on **real OS processes** (`MpMachine::run`
+//! re-executes this test binary, one child per rank): every value crosses a
+//! Unix-domain socket through the `Wire` codec, and every rank rebuilds the
+//! meshes and distributions from scratch, so nothing rides along in shared
+//! memory.  The mp run call is placed *first* in each test body, before the
+//! dmsim/native runs, so a spawned worker reaches its call site with the
+//! least re-executed work.
 
 use kali_repro::baseline::sequential_jacobi;
 use kali_repro::distrib::DimDist;
@@ -14,6 +22,7 @@ use kali_repro::dmsim::{CostModel, Machine};
 use kali_repro::kali::inspector::owner_computes_iters;
 use kali_repro::kali::{execute_sweep, redistribute, run_inspector, ExecutorConfig};
 use kali_repro::meshes::{greedy_partition, AdjacencyMesh, RegularGrid, UnstructuredMeshBuilder};
+use kali_repro::mp::MpMachine;
 use kali_repro::native::NativeMachine;
 use kali_repro::process::Process;
 use kali_repro::solvers::{
@@ -45,12 +54,18 @@ fn jacobi_on<P: Process>(
 }
 
 fn assert_backends_agree(
+    test: &str,
     mesh: &AdjacencyMesh,
     initial: &[f64],
     sweeps: usize,
     nprocs: usize,
     dist_of: impl Fn(usize) -> DimDist + Sync,
 ) {
+    // Real processes first: in a re-executed worker, `run` is the exit
+    // point and nothing below this line executes.
+    let mp = MpMachine::new(nprocs).run(test, |proc| {
+        jacobi_on(proc, mesh, initial, sweeps, &dist_of)
+    });
     let simulated = Machine::new(nprocs, CostModel::ideal())
         .run(|proc| jacobi_on(proc, mesh, initial, sweeps, &dist_of));
     let native =
@@ -66,6 +81,16 @@ fn assert_backends_agree(
         native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         "dmsim and native Jacobi results diverge ({nprocs} procs)"
     );
+    // `None` only inside a re-executed worker passing a call it was not
+    // spawned for; the coordinator always gets the rank-ordered results.
+    if let Some(mp) = mp {
+        let mp = gather(&dist, &mp);
+        assert_eq!(
+            mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "mp and native Jacobi results diverge ({nprocs} procs)"
+        );
+    }
 
     let sequential = sequential_jacobi(mesh, initial, sweeps);
     assert_eq!(native, sequential, "native backend vs sequential reference");
@@ -77,9 +102,14 @@ fn jacobi_is_bit_identical_across_backends_on_the_paper_grid() {
     let mesh = grid.five_point_mesh();
     let initial = grid.initial_field();
     for nprocs in [1usize, 2, 4, 8] {
-        assert_backends_agree(&mesh, &initial, 10, nprocs, |p| {
-            DimDist::block(mesh.len(), p)
-        });
+        assert_backends_agree(
+            "jacobi_is_bit_identical_across_backends_on_the_paper_grid",
+            &mesh,
+            &initial,
+            10,
+            nprocs,
+            |p| DimDist::block(mesh.len(), p),
+        );
     }
 }
 
@@ -96,11 +126,18 @@ fn jacobi_is_bit_identical_across_backends_on_scrambled_unstructured_mesh() {
         .collect();
     for dist_kind in 0..3usize {
         let n = mesh.len();
-        assert_backends_agree(&mesh, &initial, 6, 4, move |p| match dist_kind {
-            0 => DimDist::block(n, p),
-            1 => DimDist::cyclic(n, p),
-            _ => DimDist::block_cyclic(n, p, 7),
-        });
+        assert_backends_agree(
+            "jacobi_is_bit_identical_across_backends_on_scrambled_unstructured_mesh",
+            &mesh,
+            &initial,
+            6,
+            4,
+            move |p| match dist_kind {
+                0 => DimDist::block(n, p),
+                1 => DimDist::cyclic(n, p),
+                _ => DimDist::block_cyclic(n, p, 7),
+            },
+        );
     }
 }
 
@@ -120,6 +157,22 @@ fn jacobi_is_bit_identical_across_backends_under_partitioned_irregular_dist() {
     let sweeps = 6;
     let nprocs = 4;
 
+    // Real processes: each rank rebuilds the mesh and runs the partitioner
+    // itself — the owner map genuinely cannot be shared, only exchanged.
+    let mp = MpMachine::new(nprocs).run(
+        "jacobi_is_bit_identical_across_backends_under_partitioned_irregular_dist",
+        |proc| {
+            let dist = partitioned_dist(proc, &mesh);
+            jacobi_sweeps(
+                proc,
+                &mesh,
+                &dist,
+                &initial,
+                &JacobiConfig::with_sweeps(sweeps),
+            )
+            .local_a
+        },
+    );
     let simulated = Machine::new(nprocs, CostModel::ideal()).run(|proc| {
         let dist = partitioned_dist(proc, &mesh);
         jacobi_sweeps(
@@ -153,6 +206,14 @@ fn jacobi_is_bit_identical_across_backends_under_partitioned_irregular_dist() {
         native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         "dmsim and native diverge under the partitioned irregular distribution"
     );
+    if let Some(mp) = mp {
+        let mp = gather(&dist, &mp);
+        assert_eq!(
+            mp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            native.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "mp diverges under the partitioned irregular distribution"
+        );
+    }
     let sequential = sequential_jacobi(&mesh, &initial, sweeps);
     assert_eq!(
         native, sequential,
@@ -375,6 +436,20 @@ fn cg_residual_history_is_bit_identical_across_backends() {
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
 
     for partitioned in [false, true] {
+        // Real processes; the outcome struct is not `Wire`, so the worker
+        // ships the two vectors the equivalence claims are about.
+        let mp = MpMachine::new(nprocs).run(
+            "cg_residual_history_is_bit_identical_across_backends",
+            |proc| {
+                let dist = if partitioned {
+                    partitioned_dist(proc, &mesh)
+                } else {
+                    DimDist::block(mesh.len(), proc.nprocs())
+                };
+                let outcome = cg_solve(proc, &mesh, &dist, &b, &config);
+                (outcome.residual_history, outcome.local_x)
+            },
+        );
         let simulated = Machine::new(nprocs, CostModel::ideal()).run(|proc| {
             let dist = if partitioned {
                 partitioned_dist(proc, &mesh)
@@ -428,6 +503,24 @@ fn cg_residual_history_is_bit_identical_across_backends() {
         );
         assert_eq!(bits(&sim_x), bits(&nat_x));
         assert_eq!(bits(&sim_x), bits(&seq_x));
+        if let Some(mp) = mp {
+            for (rank, (history, _)) in mp.iter().enumerate() {
+                assert_eq!(
+                    bits(history),
+                    bits(&seq_history),
+                    "mp rank {rank} vs replay (partitioned = {partitioned})"
+                );
+            }
+            let mp_x = gather(
+                &replay_dist,
+                &mp.into_iter().map(|(_, x)| x).collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                bits(&mp_x),
+                bits(&seq_x),
+                "mp solution vs replay (partitioned = {partitioned})"
+            );
+        }
     }
 }
 
@@ -453,6 +546,14 @@ fn redblack_field_and_change_history_are_bit_identical_across_backends() {
     let nprocs = 4;
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
 
+    let mp = MpMachine::new(nprocs).run(
+        "redblack_field_and_change_history_are_bit_identical_across_backends",
+        |proc| {
+            let dist = partitioned_dist(proc, &mesh);
+            let outcome = redblack_sweeps(proc, &mesh, &dist, &initial, &config);
+            (outcome.change_history, outcome.local_a)
+        },
+    );
     let simulated = Machine::new(nprocs, CostModel::ideal()).run(|proc| {
         let dist = partitioned_dist(proc, &mesh);
         redblack_sweeps(proc, &mesh, &dist, &initial, &config)
@@ -489,6 +590,16 @@ fn redblack_field_and_change_history_are_bit_identical_across_backends() {
     );
     assert_eq!(bits(&sim_a), bits(&nat_a));
     assert_eq!(bits(&sim_a), bits(&seq_a));
+    if let Some(mp) = mp {
+        for (rank, (history, _)) in mp.iter().enumerate() {
+            assert_eq!(bits(history), bits(&seq_history), "mp rank {rank}");
+        }
+        let mp_a = gather(
+            &replay_dist,
+            &mp.into_iter().map(|(_, a)| a).collect::<Vec<_>>(),
+        );
+        assert_eq!(bits(&mp_a), bits(&seq_a), "mp field vs replay");
+    }
 }
 
 #[test]

@@ -1,0 +1,114 @@
+//! Negative transport tests for the `kali-mp` backend: corrupted frames
+//! must fail **fast and structured** — the panic names the receiving rank,
+//! the peer rank and the tag — never hang or misdecode.
+//!
+//! The tests build a two-rank transport over a socketpair and feed rank 1's
+//! receiver raw bytes crafted to be wrong in a specific way: a truncated
+//! length prefix, a length prefix exceeding the payload bound, a truncated
+//! payload, and a well-formed frame whose type hash does not match the
+//! receiver's expectation.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+
+use kali_repro::mp::frame::{frame_bytes, type_hash, HEADER_LEN, MAX_PAYLOAD};
+use kali_repro::mp::MpProc;
+use kali_repro::process::Process;
+
+/// Rank 1's transport with a raw handle to rank 0's end of the wire.
+fn rigged_rank1() -> (MpProc, UnixStream) {
+    let (theirs, ours) = UnixStream::pair().expect("socketpair");
+    let proc = MpProc::from_peer_streams(1, 2, vec![Some(ours), None]);
+    (proc, theirs)
+}
+
+/// Run `f`, which must panic, and return the panic message.
+fn panic_message_of(f: impl FnOnce()) -> String {
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .expect_err("the corrupted frame must panic, not hang or succeed");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic message is text")
+}
+
+#[test]
+fn truncated_length_prefix_names_rank_and_tag() {
+    let (mut proc, mut wire) = rigged_rank1();
+    // Two bytes of what should be a 4-byte length prefix, then EOF.
+    wire.write_all(&[0x10, 0x00]).expect("raw write");
+    drop(wire);
+    let msg = panic_message_of(|| {
+        let _: u64 = proc.recv(0, 0x7);
+    });
+    assert!(msg.contains("mp rank 1"), "names the receiver: {msg}");
+    assert!(msg.contains("rank 0"), "names the peer: {msg}");
+    assert!(msg.contains("0x7"), "names the tag: {msg}");
+    assert!(
+        msg.contains("truncated length prefix"),
+        "says what was corrupt: {msg}"
+    );
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let (mut proc, mut wire) = rigged_rank1();
+    // A full 24-byte header whose length prefix exceeds MAX_PAYLOAD: the
+    // reader must reject it up front instead of trying to allocate it.
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes()); // len
+    header.extend_from_slice(&0u64.to_le_bytes()); // seq
+    header.extend_from_slice(&0x9u64.to_le_bytes()); // tag
+    header.extend_from_slice(&type_hash::<u64>().to_le_bytes());
+    wire.write_all(&header).expect("raw write");
+    drop(wire);
+    let msg = panic_message_of(|| {
+        let _: u64 = proc.recv(0, 0x9);
+    });
+    assert!(msg.contains("mp rank 1"), "names the receiver: {msg}");
+    assert!(msg.contains("exceeds"), "names the bound: {msg}");
+    assert!(msg.contains("0x9"), "names the tag: {msg}");
+}
+
+#[test]
+fn truncated_payload_names_expected_and_received_lengths() {
+    let (mut proc, mut wire) = rigged_rank1();
+    // A header promising 8 payload bytes, but only 3 arrive before EOF.
+    let frame = frame_bytes(0, 0xa, type_hash::<u64>(), &7u64.to_le_bytes());
+    wire.write_all(&frame[..HEADER_LEN + 3]).expect("raw write");
+    drop(wire);
+    let msg = panic_message_of(|| {
+        let _: u64 = proc.recv(0, 0xa);
+    });
+    assert!(msg.contains("mp rank 1"), "names the receiver: {msg}");
+    assert!(msg.contains("truncated frame payload"), "{msg}");
+    assert!(msg.contains("3 of 8"), "cites the byte counts: {msg}");
+}
+
+#[test]
+fn type_hash_mismatch_names_the_expected_type() {
+    let (mut proc, mut wire) = rigged_rank1();
+    // A perfectly well-formed u64 frame — but the receiver asked for f64.
+    let frame = frame_bytes(0, 0xb, type_hash::<u64>(), &7u64.to_le_bytes());
+    wire.write_all(&frame).expect("raw write");
+    let msg = panic_message_of(|| {
+        let _: f64 = proc.recv(0, 0xb);
+    });
+    assert!(msg.contains("type mismatch"), "{msg}");
+    assert!(msg.contains("mp rank 1"), "names the receiver: {msg}");
+    assert!(msg.contains("rank 0"), "names the sender: {msg}");
+    assert!(msg.contains("0xb"), "names the tag: {msg}");
+    assert!(msg.contains("f64"), "names the expected type: {msg}");
+}
+
+#[test]
+fn peer_hangup_mid_wait_is_a_structured_error_not_a_hang() {
+    let (mut proc, wire) = rigged_rank1();
+    drop(wire); // rank 0 "dies" before sending anything
+    let msg = panic_message_of(|| {
+        let _: u64 = proc.recv(0, 0xc);
+    });
+    assert!(msg.contains("hung up"), "{msg}");
+    assert!(msg.contains("mp rank 1"), "names the waiter: {msg}");
+    assert!(msg.contains("0xc"), "names the tag: {msg}");
+}

@@ -3,8 +3,10 @@
 //! The typed reduction pipeline promises one combining order everywhere —
 //! per-rank folds in ascending iteration order, cross-rank combining with
 //! the fixed binomial-tree bracketing — so a reduction's value is bitwise identical
-//! across the dmsim simulator, the native threaded backend, and a
-//! sequential replay folding the same partial structure.  These tests pin
+//! across the dmsim simulator, the native threaded backend, the `kali-mp`
+//! multi-process socket backend (real OS processes; every partial crosses a
+//! socket through the `Wire` codec), and a sequential replay folding the
+//! same partial structure.  These tests pin
 //! that promise down with rounding-sensitive `f64` sums (values for which a
 //! different fold order provably rounds differently) over block, cyclic,
 //! block-cyclic and irregular placements, and check that reduction traffic
@@ -13,6 +15,7 @@
 use kali_repro::distrib::DimDist;
 use kali_repro::dmsim::{CostModel, Machine};
 use kali_repro::kali::{AffineMap, Max, Min, Norm2, Process, Reduce, ReduceOp, Session, Sum};
+use kali_repro::mp::MpMachine;
 use kali_repro::native::NativeMachine;
 use kali_repro::solvers::{replay_reduce, replay_sum};
 
@@ -63,6 +66,12 @@ fn f64_sums_are_bitwise_identical_across_backends_and_replay() {
     let v = sensitive_values(n);
     for nprocs in [1usize, 2, 4] {
         for (name, dist) in distributions(n, nprocs) {
+            // Real OS processes first: in a re-executed worker, `run` is the
+            // exit point; each worker rebuilds `dist` deterministically.
+            let mp = MpMachine::new(nprocs).run(
+                "f64_sums_are_bitwise_identical_across_backends_and_replay",
+                |proc| reduce_on(proc, &dist, &v, Reduce::<Sum<f64>>::new()),
+            );
             let simulated = Machine::new(nprocs, CostModel::ideal())
                 .run(|proc| reduce_on(proc, &dist, &v, Reduce::<Sum<f64>>::new()));
             let native = NativeMachine::new(nprocs)
@@ -80,6 +89,15 @@ fn f64_sums_are_bitwise_identical_across_backends_and_replay() {
                     "{name} on {nprocs} procs: native rank {rank} vs replay"
                 );
             }
+            if let Some(mp) = mp {
+                for (rank, m) in mp.iter().enumerate() {
+                    assert_eq!(
+                        m.to_bits(),
+                        replayed.to_bits(),
+                        "{name} on {nprocs} procs: mp rank {rank} vs replay"
+                    );
+                }
+            }
         }
     }
 }
@@ -93,6 +111,10 @@ fn min_max_and_norm2_agree_across_backends_and_replay() {
     let nprocs = 4;
     let dist = DimDist::cyclic(n, nprocs);
 
+    let mp_norm = MpMachine::new(nprocs).run(
+        "min_max_and_norm2_agree_across_backends_and_replay",
+        |proc| reduce_on(proc, &dist, &v, Reduce::<Norm2>::new()),
+    );
     let sim_min = Machine::new(nprocs, CostModel::ideal())
         .run(|proc| reduce_on(proc, &dist, &v, Reduce::<Min<f64>>::new()));
     let nat_max = NativeMachine::new(nprocs)
@@ -108,6 +130,9 @@ fn min_max_and_norm2_agree_across_backends_and_replay() {
     assert!(sim_norm
         .iter()
         .all(|m| m.to_bits() == norm_replay.to_bits()));
+    if let Some(mp_norm) = mp_norm {
+        assert!(mp_norm.iter().all(|m| m.to_bits() == norm_replay.to_bits()));
+    }
     // Sanity against the plain definitions (order-insensitive for min/max).
     let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
